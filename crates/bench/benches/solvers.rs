@@ -1,0 +1,90 @@
+//! Criterion performance benches for the numerical substrate: the LU
+//! kernel, the transient engine, and the LK polarization stepper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fefet_ckt::circuit::Circuit;
+use fefet_ckt::transient::{transient, TransientOptions};
+use fefet_ckt::waveform::Waveform;
+use fefet_device::dynamics::integrate;
+use fefet_device::paper_fefet;
+use fefet_numerics::linalg::{LuFactors, Matrix};
+use std::hint::black_box;
+
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lu_factor_solve");
+    for n in [8usize, 16, 32, 64] {
+        // Diagonally dominant matrix like an MNA system.
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    m[(i, j)] = -1.0 / (1.0 + (i + j) as f64);
+                    m[(i, i)] += 1.0 / (1.0 + (i + j) as f64);
+                }
+            }
+            m[(i, i)] += 1.0;
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| {
+                let lu = LuFactors::factor(black_box(m.clone())).unwrap();
+                black_box(lu.solve(&b).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rc_transient(c: &mut Criterion) {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let mut prev = vin;
+    // A 10-stage RC ladder.
+    for i in 0..10 {
+        let n = ckt.node(&format!("n{i}"));
+        ckt.resistor(&format!("R{i}"), prev, n, 1e3);
+        ckt.capacitor(&format!("C{i}"), n, Circuit::GND, 1e-12);
+        prev = n;
+    }
+    ckt.vsource(
+        "V1",
+        vin,
+        Circuit::GND,
+        Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 5e-9),
+    );
+    c.bench_function("transient_rc_ladder_1000_steps", |b| {
+        b.iter(|| {
+            black_box(
+                transient(
+                    &ckt,
+                    10e-9,
+                    TransientOptions {
+                        dt: 10e-12,
+                        ..TransientOptions::default()
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_lk_stepper(c: &mut Criterion) {
+    let dev = paper_fefet();
+    c.bench_function("lk_write_transient_2000_steps", |b| {
+        b.iter(|| {
+            let rate = |_t: f64, p: f64| {
+                let v_fe = 0.68 - dev.mos.v_gate_of_density(p);
+                (v_fe - dev.fe.v_static(p)) / (dev.fe.thickness * dev.fe.lk.rho)
+            };
+            black_box(integrate(rate, black_box(-0.18), 2e-9, 2000))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lu, bench_rc_transient, bench_lk_stepper
+}
+criterion_main!(benches);

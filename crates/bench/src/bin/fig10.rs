@@ -1,0 +1,61 @@
+//! Fig 10: single-cell write access time (a) and write energy (b) versus
+//! write voltage, FEFET against FERAM, including the write-failure
+//! voltages (≈0.5 V for the FEFET, ≈1.5 V for the FERAM at the 550 ps
+//! operating pulse).
+
+use fefet_bench::{fmt_energy, fmt_time, section};
+use fefet_mem::cell::FefetCell;
+use fefet_mem::compare::{fefet_write_sweep, feram_write_sweep, iso_write_voltage};
+use fefet_mem::feram::FeramCell;
+
+fn main() {
+    let fefet = FefetCell::default();
+    let feram = FeramCell::default();
+
+    section("Fig 10(a)/(b): FEFET cell write vs bit-line voltage");
+    let vf: Vec<f64> = (0..=12).map(|i| 0.20 + 0.075 * i as f64).collect();
+    let fp = fefet_write_sweep(&fefet, &vf).expect("FEFET sweep");
+    println!("{:>9} {:>12} {:>12}", "V (V)", "t_write", "E_write");
+    for p in &fp {
+        println!(
+            "{:>9.3} {:>12} {:>12}",
+            p.voltage,
+            p.write_time.map(fmt_time).unwrap_or_else(|| "FAIL".into()),
+            fmt_energy(p.energy)
+        );
+    }
+
+    section("Fig 10(a)/(b): FERAM cell write vs write voltage");
+    let vr: Vec<f64> = (0..=12).map(|i| 1.00 + 0.10 * i as f64).collect();
+    let rp = feram_write_sweep(&feram, &vr).expect("FERAM sweep");
+    println!("{:>9} {:>12} {:>12}", "V (V)", "t_write", "E_write");
+    for p in &rp {
+        println!(
+            "{:>9.3} {:>12} {:>12}",
+            p.voltage,
+            p.write_time.map(fmt_time).unwrap_or_else(|| "FAIL".into()),
+            fmt_energy(p.energy)
+        );
+    }
+
+    section("Write-failure boundaries at the 550 ps operating point");
+    let t_target = 0.55e-9;
+    let f_min = iso_write_voltage(&fp, t_target);
+    let r_min = iso_write_voltage(&rp, t_target);
+    println!(
+        "FEFET: lowest voltage meeting 550 ps = {} (paper: fails below ~0.5 V)",
+        f_min.map(|p| format!("{:.2} V", p.voltage)).unwrap_or_else(|| "none".into())
+    );
+    println!(
+        "FERAM: lowest voltage meeting 550 ps = {} (paper: fails below ~1.5 V)",
+        r_min.map(|p| format!("{:.2} V", p.voltage)).unwrap_or_else(|| "none".into())
+    );
+    if let (Some(f), Some(r)) = (f_min, r_min) {
+        println!(
+            "iso-write-time energy: FEFET {} vs FERAM {} ({:.1} % lower)",
+            fmt_energy(f.energy),
+            fmt_energy(r.energy),
+            (1.0 - f.energy / r.energy) * 100.0
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Fig 11: 2×2 memory-cell layouts of the FEFET and FERAM cells and the
+//! §6.2.3 area comparison (paper: 2.4×).
+
+use fefet_bench::section;
+use fefet_mem::layout::{area_ratio, fefet_cell, feram_cell, Layer, LAMBDA_45NM};
+
+fn main() {
+    for cell in [feram_cell(), fefet_cell()] {
+        section(&format!("Fig 11 layout: {}", cell.name));
+        println!(
+            "pitch {:.1}λ x {:.1}λ = {:.0} λ²  ({:.4} µm² at λ = 22.5 nm)",
+            cell.pitch_x,
+            cell.pitch_y,
+            cell.area_lambda2(),
+            cell.area_m2(LAMBDA_45NM) * 1e12
+        );
+        let (w, h) = cell.bbox();
+        println!("drawn bbox {w:.1}λ x {h:.1}λ, {} rects", cell.rects.len());
+        for layer in [
+            Layer::Active,
+            Layer::Poly,
+            Layer::Contact,
+            Layer::Metal1,
+            Layer::Metal2,
+            Layer::FePlate,
+        ] {
+            let n = cell.rects.iter().filter(|r| r.layer == layer).count();
+            if n > 0 {
+                println!("  {layer:?}: {n} rects");
+            }
+        }
+        let tiled = cell.tile(2, 2);
+        println!("2x2 array: {} rects, footprint {:.0} λ²", tiled.len(), 4.0 * cell.area_lambda2());
+    }
+
+    section("Area comparison (paper: 2.4x)");
+    println!("FEFET 2T / FERAM 1T-1C area ratio = {:.2}", area_ratio());
+}

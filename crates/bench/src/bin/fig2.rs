@@ -1,0 +1,60 @@
+//! Fig 2: 65 nm N-type FEFET with a 2.25 nm ferroelectric layer —
+//! (a) I_D-V_G hysteresis spanning positive and negative V_GS with the
+//! two zero-bias states A (bit 0) and B (bit 1); (b) polarization
+//! retention transients after bipolar write pulses.
+
+use fefet_bench::{downsample, fmt_current, section};
+use fefet_device::paper_fefet;
+
+fn main() {
+    let dev = paper_fefet();
+
+    section("Fig 2(a): quasi-static I_D-V_G sweep, T_FE = 2.25 nm, V_DS = 0.4 V");
+    let sweep = dev.sweep_id_vg(-1.0, 1.0, 200, 0.4);
+    println!("{:>8} {:>14} {:>14}", "V_G (V)", "I_up", "I_down");
+    let up = downsample(&sweep.up, 21);
+    for (u, d) in up.iter().zip(downsample(&sweep.down, 21).iter().rev()) {
+        println!(
+            "{:>8.2} {:>14} {:>14}",
+            u.v_g,
+            fmt_current(u.i_d),
+            fmt_current(d.i_d)
+        );
+    }
+    let (v_dn, v_up) = sweep.window(0.05).expect("2.25 nm device must be hysteretic");
+    println!("hysteresis window: [{v_dn:.3}, {v_up:.3}] V (width {:.3} V)", v_up - v_dn);
+
+    section("Fig 2(a): zero-bias memory states");
+    let states = dev.stable_states_at_zero();
+    let p_a = states.iter().cloned().fold(f64::INFINITY, f64::min);
+    let p_b = states.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let i_a = dev.drain_current(p_a, 0.4);
+    let i_b = dev.drain_current(p_b, 0.4);
+    println!("state A (bit 0): P = {p_a:+.3} C/m^2, I_D = {}", fmt_current(i_a));
+    println!("state B (bit 1): P = {p_b:+.3} C/m^2, I_D = {}", fmt_current(i_b));
+    println!("distinguishability I_B/I_A = {:.2e}", i_b / i_a);
+
+    section("Fig 2(b): polarization retention after write pulses");
+    println!("{:>9} {:>12} {:>12}", "t (ns)", "P after +W", "P after -W");
+    let pos = dev.transient(
+        |t| if t < 2e-9 { 0.68 } else { 0.0 },
+        p_a,
+        50e-9,
+        2000,
+    );
+    let neg = dev.transient(
+        |t| if t < 2e-9 { -0.68 } else { 0.0 },
+        p_b,
+        50e-9,
+        2000,
+    );
+    for (a, b) in downsample(&pos, 11).iter().zip(downsample(&neg, 11).iter()) {
+        println!("{:>9.2} {:>12.4} {:>12.4}", a.t * 1e9, a.p, b.p);
+    }
+    println!(
+        "retained: +write -> {:+.3} C/m^2, -write -> {:+.3} C/m^2 (nonvolatile: {})",
+        pos.last().unwrap().p,
+        neg.last().unwrap().p,
+        dev.is_nonvolatile()
+    );
+}

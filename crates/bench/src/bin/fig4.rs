@@ -1,0 +1,59 @@
+//! Fig 4: (a) load-line analysis — charge vs voltage for the
+//! ferroelectric S-curve against the MOSFET gate charge, with the
+//! intersection count deciding hysteresis; (b) hysteresis loops of the
+//! FEFET vs the stand-alone FE capacitor, showing the series MOSFET's
+//! reduction of the switching voltage.
+
+use fefet_bench::{downsample, section};
+use fefet_device::fecap::sweep_fecap;
+use fefet_device::loadline::{fe_s_curve, intersection_count, max_intersections, mos_load_line};
+use fefet_device::paper_fefet;
+use fefet_ckt::models::FeCapParams;
+
+fn main() {
+    section("Fig 4(a): FE S-curve (Q vs V_FE) per thickness");
+    println!("{:>10} {:>12} {:>12} {:>12}", "P (C/m^2)", "V@1.0nm", "V@2.25nm", "V@2.5nm");
+    let d1 = paper_fefet().with_thickness(1.0e-9);
+    let d225 = paper_fefet();
+    let d25 = paper_fefet().with_thickness(2.5e-9);
+    let s1 = fe_s_curve(&d1, 0.5, 20);
+    let s225 = fe_s_curve(&d225, 0.5, 20);
+    let s25 = fe_s_curve(&d25, 0.5, 20);
+    for i in 0..s1.len() {
+        println!(
+            "{:>10.3} {:>12.4} {:>12.4} {:>12.4}",
+            s1[i].q, s1[i].v, s225[i].v, s25[i].v
+        );
+    }
+
+    section("Fig 4(a): MOSFET load line at V_G = 0 (Q vs V_FE)");
+    let ll = mos_load_line(&d225, 0.0, (-3.0, 3.0), 12);
+    println!("{:>10} {:>12}", "V_FE (V)", "Q (C/m^2)");
+    for p in downsample(&ll, 13) {
+        println!("{:>10.2} {:>12.4}", p.v, p.q);
+    }
+
+    section("Fig 4(a): static solution count (1 = no hysteresis, >=3 = hysteretic)");
+    for (label, dev) in [("1.00 nm", &d1), ("2.25 nm", &d225), ("2.50 nm", &d25)] {
+        println!(
+            "T_FE = {label}: max intersections over ±1 V = {}, at V_G = 0: {}",
+            max_intersections(dev, -1.0, 1.0, 60),
+            intersection_count(dev, 0.0)
+        );
+    }
+
+    section("Fig 4(b): FEFET loop vs stand-alone FE capacitor, T_FE = 2.5 nm");
+    let fefet25 = d25.sweep_id_vg(-1.2, 1.2, 400, 0.05);
+    let (v_dn, v_up) = fefet25.window(0.05).expect("2.5 nm FEFET loop");
+    println!("FEFET switching voltages: [{v_dn:+.3}, {v_up:+.3}] V (inside ±1 V: {})",
+        v_up.abs() < 1.0 && v_dn.abs() < 1.0);
+    let cap = FeCapParams::new(2.5e-9, 65e-9 * 65e-9);
+    let lp = sweep_fecap(&cap, 4.0, 1e-6, 4000);
+    let (cu, cd) = (lp.v_switch_up().unwrap(), lp.v_switch_down().unwrap());
+    println!("stand-alone FE cap switching voltages: [{cd:+.3}, {cu:+.3}] V (outside ±2 V: {})",
+        cu > 2.0 && cd < -2.0);
+    println!(
+        "NC switching-voltage reduction: {:.1}x",
+        cu / v_up.max(1e-9)
+    );
+}

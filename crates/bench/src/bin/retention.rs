@@ -1,0 +1,52 @@
+//! §6.2.4: retention — the FERAM-vs-FEFET ordering and the 112.5 nm
+//! width that equalizes them.
+
+use fefet_bench::{fmt_time, section};
+use fefet_ckt::models::FeCapParams;
+use fefet_device::params::{paper_feram_cap, paper_fefet};
+use fefet_device::retention::RetentionModel;
+
+fn main() {
+    let m = RetentionModel::default();
+    let feram = paper_feram_cap();
+    let fefet = paper_fefet().fe;
+
+    section("Retention model: t_ret = t0 * exp(V_c * P_r * A / (k_B T scale))");
+    println!(
+        "FERAM (1 nm, 65x65 nm):  {}",
+        fmt_time(m.retention_time(&feram).unwrap())
+    );
+    println!(
+        "FEFET (2.25 nm, 65 nm):  {} (NC-reduced effective coercive voltage)",
+        fmt_time(m.fefet_retention_time(&fefet).unwrap())
+    );
+
+    section("Width matching (paper: 112.5 nm FEFET ~ FERAM retention)");
+    let w = m
+        .width_matching_retention(&fefet, 45e-9, &feram)
+        .unwrap();
+    println!("FEFET width matching the FERAM: {:.1} nm", w * 1e9);
+    let matched = FeCapParams {
+        area: w * 45e-9,
+        ..fefet
+    };
+    println!(
+        "retention at that width: {}",
+        fmt_time(m.fefet_retention_time(&matched).unwrap())
+    );
+
+    section("Width sweep");
+    println!("{:>10} {:>16}", "W (nm)", "t_ret");
+    for w_nm in [65.0, 80.0, 100.0, 112.5, 130.0, 160.0] {
+        let cap = FeCapParams {
+            area: w_nm * 1e-9 * 45e-9,
+            ..fefet
+        };
+        println!(
+            "{:>10.1} {:>16}",
+            w_nm,
+            fmt_time(m.fefet_retention_time(&cap).unwrap())
+        );
+    }
+    println!("(the NVP's outage timescale is ms-s: the 65 nm FEFET's retention suffices)");
+}

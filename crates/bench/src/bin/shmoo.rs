@@ -1,0 +1,39 @@
+//! Write shmoo: the (voltage × pulse-width) pass/fail map around the
+//! paper's Fig 10 operating points, for both memories.
+
+use fefet_bench::section;
+use fefet_mem::cell::FefetCell;
+use fefet_mem::feram::FeramCell;
+use fefet_mem::shmoo::write_shmoo;
+
+fn main() {
+    section("FEFET write shmoo ('#' = both polarities pass)");
+    let cell = FefetCell::default();
+    let volts: Vec<f64> = (0..=8).map(|i| 0.20 + 0.10 * i as f64).collect();
+    let widths: Vec<f64> = (0..=7).map(|i| (0.2 + 0.4 * i as f64) * 1e-9).collect();
+    let s = write_shmoo(&cell, &volts, &widths, 0.06).expect("shmoo");
+    print!("{}", s.render());
+    println!(
+        "at 550 ps-class pulses the lowest passing voltage is {} (paper: fails below ~0.5 V)",
+        s.min_passing_voltage(1)
+            .map(|v| format!("{v:.2} V"))
+            .unwrap_or_else(|| "none".into())
+    );
+
+    section("FERAM write boundary (time to switch vs voltage)");
+    let feram = FeramCell::default();
+    let (p_lo, p_hi) = feram.memory_states();
+    println!("{:>8} {:>12}", "V (V)", "switch time");
+    for v in [1.2, 1.4, 1.6, 1.8, 2.0] {
+        let mut f = feram;
+        f.v_write = v;
+        f.v_wordline = v + 0.66;
+        let w1 = f.write(true, p_lo, 4e-9).expect("write");
+        let w0 = f.write(false, p_hi, 4e-9).expect("write");
+        let t = match (w1.switch_time, w0.switch_time) {
+            (Some(a), Some(b)) => format!("{:.0} ps", a.max(b) * 1e12),
+            _ => "FAIL".to_string(),
+        };
+        println!("{v:>8.2} {t:>12}");
+    }
+}

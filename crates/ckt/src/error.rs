@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Error type for circuit construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CktError {
+    /// The Newton iteration failed to converge at a DC point or time step.
+    Convergence {
+        /// Simulation time at which convergence failed (0 for DC).
+        time: f64,
+        /// Details from the solver.
+        detail: String,
+    },
+    /// The netlist is malformed (duplicate element name, unknown node,
+    /// non-positive component value, ...).
+    Netlist(String),
+    /// A requested signal or element does not exist.
+    UnknownSignal(String),
+    /// Underlying numerical failure (singular matrix etc.).
+    Numerics(fefet_numerics::Error),
+}
+
+impl fmt::Display for CktError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CktError::Convergence { time, detail } => {
+                write!(f, "no convergence at t={time:.3e}s: {detail}")
+            }
+            CktError::Netlist(msg) => write!(f, "netlist error: {msg}"),
+            CktError::UnknownSignal(name) => write!(f, "unknown signal: {name}"),
+            CktError::Numerics(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CktError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CktError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fefet_numerics::Error> for CktError {
+    fn from(e: fefet_numerics::Error) -> Self {
+        CktError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CktError::Netlist("dup".into()).to_string().contains("dup"));
+        assert!(CktError::UnknownSignal("v(x)".into())
+            .to_string()
+            .contains("v(x)"));
+        let c = CktError::Convergence {
+            time: 1e-9,
+            detail: "newton stalled".into(),
+        };
+        assert!(c.to_string().contains("newton stalled"));
+    }
+
+    #[test]
+    fn from_numerics() {
+        let e: CktError = fefet_numerics::Error::NoBracket.into();
+        assert!(matches!(e, CktError::Numerics(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

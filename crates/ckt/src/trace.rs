@@ -1,0 +1,348 @@
+//! Recorded transient waveforms and measurement helpers.
+
+use crate::{CktError, Result};
+use fefet_numerics::quad::trapezoid_samples;
+use std::collections::HashMap;
+
+/// Edge selector for threshold-crossing measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// Signal crosses the level going up.
+    Rising,
+    /// Signal crosses the level going down.
+    Falling,
+    /// Either direction.
+    Any,
+}
+
+/// A set of recorded signals over a common time axis.
+///
+/// Signals are named `v(<node>)` for node voltages, `i(<element>)` for
+/// element currents, and `p(<element>)` for ferroelectric polarizations.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    t: Vec<f64>,
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    data: Vec<Vec<f64>>,
+    energies: Vec<(String, f64)>,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given signal names.
+    pub(crate) fn new(names: Vec<String>) -> Self {
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let data = names.iter().map(|_| Vec::new()).collect();
+        Trace {
+            t: Vec::new(),
+            names,
+            index,
+            data,
+            energies: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push_sample(&mut self, t: f64, values: &[f64]) {
+        debug_assert_eq!(values.len(), self.data.len());
+        self.t.push(t);
+        for (col, v) in self.data.iter_mut().zip(values) {
+            col.push(*v);
+        }
+    }
+
+    pub(crate) fn set_energies(&mut self, e: Vec<(String, f64)>) {
+        self.energies = e;
+    }
+
+    /// The time axis.
+    pub fn time(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// All recorded signal names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(|s| s.as_str())
+    }
+
+    /// Samples of the named signal.
+    pub fn signal(&self, name: &str) -> Option<&[f64]> {
+        self.index.get(name).map(|&i| self.data[i].as_slice())
+    }
+
+    /// Samples of the named signal, or an error naming the signal.
+    ///
+    /// # Errors
+    ///
+    /// [`CktError::UnknownSignal`] if the signal was not recorded.
+    pub fn try_signal(&self, name: &str) -> Result<&[f64]> {
+        self.signal(name)
+            .ok_or_else(|| CktError::UnknownSignal(name.to_string()))
+    }
+
+    /// Final value of the named signal.
+    pub fn last(&self, name: &str) -> Option<f64> {
+        self.signal(name)?.last().copied()
+    }
+
+    /// Linearly interpolated value of the named signal at time `t`
+    /// (clamped to the trace's ends).
+    pub fn value_at(&self, name: &str, t: f64) -> Option<f64> {
+        let y = self.signal(name)?;
+        if self.t.is_empty() {
+            return None;
+        }
+        if t <= self.t[0] {
+            return Some(y[0]);
+        }
+        let n = self.t.len();
+        if t >= self.t[n - 1] {
+            return Some(y[n - 1]);
+        }
+        let i = match self
+            .t
+            .binary_search_by(|probe| probe.partial_cmp(&t).unwrap())
+        {
+            Ok(i) => return Some(y[i]),
+            Err(i) => i - 1,
+        };
+        let (t0, t1) = (self.t[i], self.t[i + 1]);
+        let frac = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+        Some(y[i] + frac * (y[i + 1] - y[i]))
+    }
+
+    /// First time at or after `after` at which the signal crosses `level`
+    /// with the requested edge, linearly interpolated.
+    pub fn cross_time(&self, name: &str, level: f64, edge: Edge, after: f64) -> Option<f64> {
+        let y = self.signal(name)?;
+        for i in 1..self.t.len() {
+            if self.t[i] < after {
+                continue;
+            }
+            let (y0, y1) = (y[i - 1], y[i]);
+            let rising = y0 < level && y1 >= level;
+            let falling = y0 > level && y1 <= level;
+            let hit = match edge {
+                Edge::Rising => rising,
+                Edge::Falling => falling,
+                Edge::Any => rising || falling,
+            };
+            if hit {
+                let (t0, t1) = (self.t[i - 1], self.t[i]);
+                let frac = if (y1 - y0).abs() > 0.0 {
+                    (level - y0) / (y1 - y0)
+                } else {
+                    0.0
+                };
+                let tc = t0 + frac * (t1 - t0);
+                if tc >= after {
+                    return Some(tc);
+                }
+            }
+        }
+        None
+    }
+
+    /// Minimum of the signal over the whole trace.
+    pub fn min(&self, name: &str) -> Option<f64> {
+        self.signal(name)?
+            .iter()
+            .copied()
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Maximum of the signal over the whole trace.
+    pub fn max(&self, name: &str) -> Option<f64> {
+        self.signal(name)?
+            .iter()
+            .copied()
+            .max_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Minimum of the signal restricted to `t in [t0, t1]`.
+    pub fn window_min(&self, name: &str, t0: f64, t1: f64) -> Option<f64> {
+        self.window_fold(name, t0, t1, f64::INFINITY, f64::min)
+    }
+
+    /// Maximum of the signal restricted to `t in [t0, t1]`.
+    pub fn window_max(&self, name: &str, t0: f64, t1: f64) -> Option<f64> {
+        self.window_fold(name, t0, t1, f64::NEG_INFINITY, f64::max)
+    }
+
+    fn window_fold(
+        &self,
+        name: &str,
+        t0: f64,
+        t1: f64,
+        init: f64,
+        f: fn(f64, f64) -> f64,
+    ) -> Option<f64> {
+        let y = self.signal(name)?;
+        let mut acc = init;
+        let mut any = false;
+        for (t, v) in self.t.iter().zip(y) {
+            if *t >= t0 && *t <= t1 {
+                acc = f(acc, *v);
+                any = true;
+            }
+        }
+        any.then_some(acc)
+    }
+
+    /// Time integral of the named signal over the whole trace.
+    ///
+    /// # Errors
+    ///
+    /// [`CktError::UnknownSignal`] for a missing signal; an integration
+    /// error if the trace has fewer than two samples.
+    pub fn integral(&self, name: &str) -> Result<f64> {
+        let y = self.try_signal(name)?;
+        trapezoid_samples(&self.t, y).map_err(CktError::from)
+    }
+
+    /// Energy delivered by the named independent source over the run (J).
+    pub fn energy(&self, source: &str) -> Option<f64> {
+        self.energies
+            .iter()
+            .find(|(n, _)| n == source)
+            .map(|(_, e)| *e)
+    }
+
+    /// Per-source delivered energies `(name, joules)`.
+    pub fn energies(&self) -> &[(String, f64)] {
+        &self.energies
+    }
+
+    /// Total energy delivered by all independent sources (J).
+    pub fn total_source_energy(&self) -> f64 {
+        self.energies.iter().map(|(_, e)| e).sum()
+    }
+
+    /// Exports the selected signals as CSV text (`time` first column) for
+    /// external plotting. Unknown signal names are reported as an error.
+    ///
+    /// # Errors
+    ///
+    /// [`CktError::UnknownSignal`] if any requested signal is missing.
+    pub fn to_csv(&self, signals: &[&str]) -> Result<String> {
+        use std::fmt::Write as _;
+        let cols: Vec<&[f64]> = signals
+            .iter()
+            .map(|s| self.try_signal(s))
+            .collect::<Result<_>>()?;
+        let mut out = String::new();
+        let _ = write!(out, "time");
+        for s in signals {
+            let _ = write!(out, ",{s}");
+        }
+        out.push('\n');
+        for (k, t) in self.t.iter().enumerate() {
+            let _ = write!(out, "{t:.9e}");
+            for col in &cols {
+                let _ = write!(out, ",{:.9e}", col[k]);
+            }
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_trace() -> Trace {
+        // v(a) ramps 0..1 over 10 samples; i(E) = 2*t.
+        let mut tr = Trace::new(vec!["v(a)".into(), "i(E)".into()]);
+        for i in 0..=10 {
+            let t = i as f64 * 0.1;
+            tr.push_sample(t, &[t, 2.0 * t]);
+        }
+        tr.set_energies(vec![("V1".into(), 42.0)]);
+        tr
+    }
+
+    #[test]
+    fn signal_lookup() {
+        let tr = ramp_trace();
+        assert!(tr.signal("v(a)").is_some());
+        assert!(tr.signal("v(zz)").is_none());
+        assert!(tr.try_signal("v(zz)").is_err());
+        assert_eq!(tr.names().count(), 2);
+        assert_eq!(tr.last("i(E)"), Some(2.0));
+    }
+
+    #[test]
+    fn value_at_interpolates() {
+        let tr = ramp_trace();
+        assert!((tr.value_at("v(a)", 0.55).unwrap() - 0.55).abs() < 1e-12);
+        assert_eq!(tr.value_at("v(a)", -1.0), Some(0.0));
+        assert_eq!(tr.value_at("v(a)", 99.0), Some(1.0));
+        assert!((tr.value_at("v(a)", 0.3).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_time_rising() {
+        let tr = ramp_trace();
+        let tc = tr.cross_time("v(a)", 0.5, Edge::Rising, 0.0).unwrap();
+        assert!((tc - 0.5).abs() < 1e-12);
+        assert!(tr.cross_time("v(a)", 0.5, Edge::Falling, 0.0).is_none());
+        assert!(tr.cross_time("v(a)", 2.0, Edge::Any, 0.0).is_none());
+    }
+
+    #[test]
+    fn cross_time_respects_after() {
+        let mut tr = Trace::new(vec!["s".into()]);
+        // Triangle: up then down.
+        for (t, v) in [(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)] {
+            tr.push_sample(t, &[v]);
+        }
+        let up = tr.cross_time("s", 0.5, Edge::Any, 0.0).unwrap();
+        assert!((up - 0.5).abs() < 1e-12);
+        let down = tr.cross_time("s", 0.5, Edge::Any, 0.75).unwrap();
+        assert!((down - 1.5).abs() < 1e-12);
+        let down2 = tr.cross_time("s", 0.5, Edge::Falling, 0.0).unwrap();
+        assert!((down2 - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_and_windows() {
+        let tr = ramp_trace();
+        assert_eq!(tr.min("v(a)"), Some(0.0));
+        assert_eq!(tr.max("v(a)"), Some(1.0));
+        assert!((tr.window_max("v(a)", 0.0, 0.5).unwrap() - 0.5).abs() < 1e-12);
+        assert!((tr.window_min("v(a)", 0.5, 1.0).unwrap() - 0.5).abs() < 1e-12);
+        assert!(tr.window_min("v(a)", 5.0, 6.0).is_none());
+    }
+
+    #[test]
+    fn integral_of_ramp() {
+        let tr = ramp_trace();
+        // ∫ 2t dt over [0,1] = 1.
+        assert!((tr.integral("i(E)").unwrap() - 1.0).abs() < 1e-12);
+        assert!(tr.integral("nope").is_err());
+    }
+
+    #[test]
+    fn csv_export() {
+        let tr = ramp_trace();
+        let csv = tr.to_csv(&["v(a)", "i(E)"]).unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "time,v(a),i(E)");
+        assert_eq!(lines.count(), 11);
+        assert!(csv.contains("1.000000000e0,1.000000000e0,2.000000000e0"));
+        assert!(tr.to_csv(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn energies_accessible() {
+        let tr = ramp_trace();
+        assert_eq!(tr.energy("V1"), Some(42.0));
+        assert_eq!(tr.energy("V2"), None);
+        assert_eq!(tr.total_source_energy(), 42.0);
+        assert_eq!(tr.energies().len(), 1);
+    }
+}

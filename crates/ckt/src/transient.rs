@@ -1,0 +1,855 @@
+//! Transient analysis: implicit time stepping with per-step Newton,
+//! waveform breakpoint alignment, automatic step halving on convergence
+//! failure, signal recording, and per-source energy metering.
+
+use crate::circuit::Circuit;
+use crate::elements::{ElemState, Element, EvalCtx, Integration, Node};
+use crate::engine::{Assembly, SolverOptions};
+use crate::trace::Trace;
+use crate::{CktError, Result};
+use fefet_numerics::quad::RunningIntegral;
+
+/// How the initial condition at `t = 0` is established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StartMode {
+    /// Use the provided node initial conditions directly (SPICE `UIC`).
+    /// All unspecified nodes start at 0 V; dynamic elements take their
+    /// own initial state (capacitor voltage from the node ICs, FE
+    /// polarization from `p0`). This is the default: memory simulations
+    /// start from a quiescent, grounded array.
+    #[default]
+    UseIcs,
+    /// Solve a DC operating point at the `t = 0` stimulus values first.
+    DcOperatingPoint,
+}
+
+/// Local-truncation-error step control (SPICE-style): the second
+/// derivative of each node voltage is estimated from the last three
+/// accepted points and the step is grown or shrunk to hold the estimated
+/// LTE inside `atol + rtol·|v|`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LteControl {
+    /// Relative tolerance on node voltages.
+    pub rtol: f64,
+    /// Absolute tolerance on node voltages (V).
+    pub atol: f64,
+    /// Largest step the controller may grow to (s); `0.0` = 50× nominal.
+    pub dt_max: f64,
+}
+
+impl Default for LteControl {
+    fn default() -> Self {
+        LteControl {
+            rtol: 1e-3,
+            atol: 50e-6,
+            dt_max: 0.0,
+        }
+    }
+}
+
+/// Options for [`transient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientOptions {
+    /// Nominal time step; `0.0` selects `t_end / 2000`.
+    pub dt: f64,
+    /// Smallest step before giving up; `0.0` selects `dt / 1e7`.
+    pub dt_min: f64,
+    /// Integration method (backward Euler by default).
+    pub method: Integration,
+    /// Newton solver settings.
+    pub solver: SolverOptions,
+    /// Initial node voltages; unlisted nodes start at 0 V.
+    pub node_ics: Vec<(Node, f64)>,
+    /// Initial-condition mode.
+    pub start: StartMode,
+    /// Optional adaptive step control; `None` keeps fixed stepping.
+    pub lte: Option<LteControl>,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        TransientOptions {
+            dt: 0.0,
+            dt_min: 0.0,
+            method: Integration::BackwardEuler,
+            solver: SolverOptions::default(),
+            node_ics: Vec::new(),
+            start: StartMode::UseIcs,
+            lte: None,
+        }
+    }
+}
+
+/// Runs a transient analysis of `ckt` from 0 to `t_end`.
+///
+/// Records every node voltage (`v(<node>)`), every element current
+/// (`i(<element>)`), and every ferroelectric polarization
+/// (`p(<element>)`), plus delivered energy per independent source.
+///
+/// # Errors
+///
+/// [`CktError::Netlist`] for a non-positive `t_end`;
+/// [`CktError::Convergence`] if Newton fails even at the minimum step.
+#[allow(clippy::needless_range_loop)]
+pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Trace> {
+    if !(t_end > 0.0) {
+        return Err(CktError::Netlist("transient: t_end must be positive".into()));
+    }
+    let dt_nom = if opts.dt > 0.0 { opts.dt } else { t_end / 2000.0 };
+    let dt_min = if opts.dt_min > 0.0 {
+        opts.dt_min
+    } else {
+        dt_nom / 1e7
+    };
+    let asm = Assembly::new(ckt);
+
+    // Breakpoints from source waveforms.
+    let mut bps: Vec<f64> = Vec::new();
+    for (_, e) in ckt.elements() {
+        e.breakpoints(t_end, &mut bps);
+    }
+    bps.retain(|t| *t > 0.0 && *t < t_end);
+    bps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    bps.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+
+    // Initial solution vector.
+    let mut x = vec![0.0; asm.n_unknowns()];
+    for (node, v) in &opts.node_ics {
+        if node.index() > 0 {
+            x[node.index() - 1] = *v;
+        }
+    }
+    if opts.start == StartMode::DcOperatingPoint {
+        let states: Vec<ElemState> = ckt.elements().iter().map(|_| ElemState::None).collect();
+        x = asm.solve_point(
+            ckt,
+            0.0,
+            0.0,
+            opts.method,
+            true,
+            &opts.solver,
+            &x,
+            &states,
+        )?;
+    }
+
+    // Element states at t = 0.
+    let mut states: Vec<ElemState> = ckt
+        .elements()
+        .iter()
+        .map(|(_, e)| e.initial_state(&x))
+        .collect();
+
+    // Signal layout: node voltages, element currents, FE polarizations.
+    let mut names: Vec<String> = Vec::new();
+    for n in 1..ckt.n_nodes() {
+        names.push(format!("v({})", ckt.node_name(Node(n))));
+    }
+    for (name, _) in ckt.elements() {
+        names.push(format!("i({name})"));
+    }
+    for (name, e) in ckt.elements() {
+        if matches!(e, Element::FeCap { .. }) {
+            names.push(format!("p({name})"));
+        }
+    }
+    let mut trace = Trace::new(names);
+
+    // Energy meters per independent source.
+    let mut meters: Vec<(usize, String, RunningIntegral)> = ckt
+        .elements()
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, e))| matches!(e, Element::VSource { .. } | Element::ISource { .. }))
+        .map(|(i, (name, _))| (i, name.clone(), RunningIntegral::new()))
+        .collect();
+
+    let mut sample = vec![0.0; trace.names().count()];
+    let record =
+        |t: f64, x: &[f64], states: &[ElemState], trace: &mut Trace, sample: &mut [f64]| {
+            let n_nodes = ckt.n_nodes();
+            let mut k = 0;
+            for idx in 0..n_nodes - 1 {
+                sample[k] = x[idx];
+                k += 1;
+            }
+            for (i, (_, e)) in ckt.elements().iter().enumerate() {
+                let ctx = EvalCtx {
+                    t,
+                    h: dt_nom,
+                    method: opts.method,
+                    dc: false,
+                    x,
+                    state: states[i],
+                };
+                sample[k] = e.current(asm.branch0[i], &ctx, n_nodes).unwrap_or(0.0);
+                k += 1;
+            }
+            for (i, (_, e)) in ckt.elements().iter().enumerate() {
+                if matches!(e, Element::FeCap { .. }) {
+                    sample[k] = match states[i] {
+                        ElemState::Fe { p, .. } => p,
+                        _ => 0.0,
+                    };
+                    k += 1;
+                }
+            }
+            trace.push_sample(t, sample);
+        };
+
+    let meter_push = |t: f64,
+                      x: &[f64],
+                      meters: &mut Vec<(usize, String, RunningIntegral)>|
+     -> Result<()> {
+        for (idx, _, acc) in meters.iter_mut() {
+            let (name_i, e) = &ckt.elements()[*idx];
+            let _ = name_i;
+            let p_del = match e {
+                Element::VSource { a, b, .. } => {
+                    let i_br = x[asm.n_nodes - 1 + asm.branch0[*idx]];
+                    let va = if a.index() == 0 { 0.0 } else { x[a.index() - 1] };
+                    let vb = if b.index() == 0 { 0.0 } else { x[b.index() - 1] };
+                    -(va - vb) * i_br
+                }
+                Element::ISource { a, b, wave } => {
+                    let va = if a.index() == 0 { 0.0 } else { x[a.index() - 1] };
+                    let vb = if b.index() == 0 { 0.0 } else { x[b.index() - 1] };
+                    -(va - vb) * wave.eval(t)
+                }
+                _ => 0.0,
+            };
+            acc.push(t, p_del).map_err(CktError::from)?;
+        }
+        Ok(())
+    };
+
+    record(0.0, &x, &states, &mut trace, &mut sample);
+    meter_push(0.0, &x, &mut meters)?;
+
+    let mut t = 0.0;
+    let mut bp_cursor = 0usize;
+    // The step following t=0 or any waveform corner uses backward Euler:
+    // trapezoidal integration would otherwise propagate the (unknowable)
+    // pre-corner derivative into the new segment.
+    let mut at_corner = true;
+    // LTE history: the two previous accepted points (time and voltages).
+    let dt_max = opts.lte.map(|l| {
+        if l.dt_max > 0.0 {
+            l.dt_max
+        } else {
+            50.0 * dt_nom
+        }
+    });
+    let mut dt_ctrl = dt_nom;
+    let mut hist: Vec<(f64, Vec<f64>)> = vec![(0.0, x.clone())];
+    let nv = ckt.n_nodes() - 1;
+    while t < t_end * (1.0 - 1e-15) {
+        while bp_cursor < bps.len() && bps[bp_cursor] <= t * (1.0 + 1e-15) {
+            bp_cursor += 1;
+        }
+        let t_ceiling = if bp_cursor < bps.len() {
+            bps[bp_cursor].min(t_end)
+        } else {
+            t_end
+        };
+        let step_method = if at_corner {
+            Integration::BackwardEuler
+        } else {
+            opts.method
+        };
+        let mut dt_try = dt_ctrl.min(t_ceiling - t);
+        let (t_new, x_new) = loop {
+            let t_attempt = if (t + dt_try - t_ceiling).abs() < 1e-18 {
+                t_ceiling
+            } else {
+                t + dt_try
+            };
+            let solved = asm.solve_point(
+                ckt,
+                t_attempt,
+                t_attempt - t,
+                step_method,
+                false,
+                &opts.solver,
+                &x,
+                &states,
+            );
+            match solved {
+                Ok(xn) => {
+                    // LTE acceptance test (only with 2+ history points and
+                    // away from waveform corners, where the derivative is
+                    // legitimately discontinuous).
+                    if let (Some(lte), true, 2..) = (opts.lte, !at_corner, hist.len()) {
+                        let (t1, x1) = &hist[hist.len() - 1];
+                        let (t0, x0) = &hist[hist.len() - 2];
+                        let h1 = t_attempt - t1;
+                        let h0 = t1 - t0;
+                        if h0 > 0.0 && h1 > 0.0 {
+                            let mut err: f64 = 0.0;
+                            for i in 0..nv {
+                                let d1 = (xn[i] - x1[i]) / h1;
+                                let d0 = (x1[i] - x0[i]) / h0;
+                                let d2 = 2.0 * (d1 - d0) / (h1 + h0);
+                                let lte_est = 0.5 * h1 * h1 * d2;
+                                let scale = lte.atol + lte.rtol * xn[i].abs();
+                                err = err.max((lte_est / scale).abs());
+                            }
+                            if err > 1.0 && dt_try > dt_min * 4.0 {
+                                dt_try *= (0.9 / err.sqrt()).clamp(0.2, 0.9);
+                                continue;
+                            }
+                            // Accepted: plan the next step size.
+                            let grow = if err > 0.0 {
+                                (0.9 / err.sqrt()).clamp(0.3, 2.0)
+                            } else {
+                                2.0
+                            };
+                            dt_ctrl = (dt_try * grow)
+                                .min(dt_max.unwrap_or(f64::INFINITY))
+                                .max(dt_min);
+                        }
+                    }
+                    break (t_attempt, xn);
+                }
+                Err(e) => {
+                    dt_try *= 0.5;
+                    if dt_try < dt_min {
+                        return Err(CktError::Convergence {
+                            time: t,
+                            detail: format!(
+                                "step rejected below dt_min={dt_min:.3e}: {e}"
+                            ),
+                        });
+                    }
+                }
+            }
+        };
+        let h = t_new - t;
+        // Advance element states.
+        for (i, (_, e)) in ckt.elements().iter().enumerate() {
+            let ctx = EvalCtx {
+                t: t_new,
+                h,
+                method: step_method,
+                dc: false,
+                x: &x_new,
+                state: states[i],
+            };
+            states[i] = match e.next_state(asm.branch0[i], ckt.n_nodes(), &ctx) {
+                ElemState::None => states[i],
+                s => s,
+            };
+        }
+        x = x_new;
+        at_corner = bps.iter().any(|b| (b - t_new).abs() < 1e-18);
+        if at_corner {
+            // Restart the controller after a stimulus corner.
+            dt_ctrl = dt_nom;
+            hist.clear();
+        }
+        t = t_new;
+        hist.push((t, x.clone()));
+        if hist.len() > 3 {
+            hist.remove(0);
+        }
+        if opts.lte.is_none() {
+            dt_ctrl = dt_nom;
+        }
+        record(t, &x, &states, &mut trace, &mut sample);
+        meter_push(t, &x, &mut meters)?;
+    }
+
+    trace.set_energies(
+        meters
+            .into_iter()
+            .map(|(_, name, acc)| (name, acc.total()))
+            .collect(),
+    );
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{FeCapParams, MosParams};
+    use crate::trace::Edge;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn rc_step_matches_analytic() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.vsource("V1", vin, Circuit::GND, Waveform::dc(1.0));
+        c.resistor("R1", vin, vout, 1e3);
+        c.capacitor("C1", vout, Circuit::GND, 1e-9);
+        let tau = 1e-6;
+        let tr = transient(
+            &c,
+            5.0 * tau,
+            TransientOptions {
+                dt: tau / 400.0,
+                method: Integration::Trapezoidal,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        // Compare against 1 - e^{-t/tau} at several times.
+        for frac in [0.5, 1.0, 2.0, 4.0] {
+            let t = frac * tau;
+            let v = tr.value_at("v(out)", t).unwrap();
+            let exact = 1.0 - (-frac).exp();
+            assert!(
+                (v - exact).abs() < 2e-3,
+                "RC mismatch at {frac} tau: {v} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn rc_energy_balance() {
+        // Energy delivered by the source into an RC charge = C V² (half in
+        // the cap, half dissipated).
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.vsource("V1", vin, Circuit::GND, Waveform::dc(1.0));
+        c.resistor("R1", vin, vout, 1e3);
+        c.capacitor("C1", vout, Circuit::GND, 1e-9);
+        let tr = transient(
+            &c,
+            20e-6, // 20 tau: fully settled
+            TransientOptions {
+                dt: 10e-9,
+                method: Integration::Trapezoidal,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        let e = tr.energy("V1").unwrap();
+        assert!(
+            (e - 1e-9).abs() < 0.03e-9,
+            "source energy {e:.3e} J, expected C·V² = 1e-9 J"
+        );
+    }
+
+    #[test]
+    fn pulse_breakpoints_are_hit() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource(
+            "V1",
+            a,
+            Circuit::GND,
+            Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 1e-9),
+        );
+        c.resistor("R1", a, Circuit::GND, 1e3);
+        let tr = transient(
+            &c,
+            4e-9,
+            TransientOptions {
+                dt: 0.3e-9, // deliberately coarse and incommensurate
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        // The flat-top must be fully resolved: max exactly 1.0.
+        assert!((tr.max("v(a)").unwrap() - 1.0).abs() < 1e-9);
+        // Time axis must contain the pulse corners.
+        for corner in [1e-9, 1.1e-9, 2.1e-9, 2.2e-9] {
+            assert!(
+                tr.time().iter().any(|t| (t - corner).abs() < 1e-15),
+                "corner {corner} not sampled"
+            );
+        }
+    }
+
+    #[test]
+    fn uic_starts_at_zero_then_steps() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        c.resistor("R1", a, Circuit::GND, 1e3);
+        let tr = transient(&c, 1e-9, TransientOptions::default()).unwrap();
+        let v = tr.signal("v(a)").unwrap();
+        assert_eq!(v[0], 0.0); // UIC
+        assert!((v[1] - 1.0).abs() < 1e-6); // snapped to source
+    }
+
+    #[test]
+    fn dc_start_mode_begins_settled() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::GND, Waveform::dc(2.0));
+        c.resistor("R1", a, b, 1e3);
+        c.resistor("R2", b, Circuit::GND, 1e3);
+        let tr = transient(
+            &c,
+            1e-9,
+            TransientOptions {
+                start: StartMode::DcOperatingPoint,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        assert!((tr.signal("v(b)").unwrap()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_ics_respected() {
+        // Pre-charged capacitor discharging through a resistor.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.capacitor("C1", a, Circuit::GND, 1e-9);
+        c.resistor("R1", a, Circuit::GND, 1e3);
+        let tr = transient(
+            &c,
+            3e-6,
+            TransientOptions {
+                dt: 5e-9,
+                node_ics: vec![(a, 1.0)],
+                method: Integration::Trapezoidal,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        let v1 = tr.value_at("v(a)", 1e-6).unwrap();
+        assert!(((v1 - (-1.0f64).exp()).abs()) < 2e-3, "decay: {v1}");
+    }
+
+    #[test]
+    fn switch_gates_current() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        c.switch(
+            "S1",
+            a,
+            b,
+            Waveform::pulse(0.0, 1.0, 1e-9, 0.0, 0.0, 1e-9),
+            10.0,
+            1e12,
+        );
+        c.resistor("RL", b, Circuit::GND, 1e3);
+        let tr = transient(
+            &c,
+            3e-9,
+            TransientOptions {
+                dt: 0.05e-9,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        // Before the switch closes, v(b) ~ 0; during: ~ 1V.
+        assert!(tr.value_at("v(b)", 0.5e-9).unwrap().abs() < 1e-3);
+        assert!((tr.value_at("v(b)", 1.5e-9).unwrap() - 1e3 / 1010.0).abs() < 1e-3);
+        assert!(tr.value_at("v(b)", 2.5e-9).unwrap().abs() < 1e-3);
+    }
+
+    #[test]
+    fn nmos_inverter_switches() {
+        // Resistor-load inverter: out high when gate low, pulled low when
+        // gate high.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let out = c.node("out");
+        c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(1.0));
+        c.vsource(
+            "VG",
+            g,
+            Circuit::GND,
+            Waveform::pulse(0.0, 1.0, 2e-9, 0.1e-9, 0.1e-9, 4e-9),
+        );
+        c.resistor("RL", vdd, out, 100e3);
+        c.capacitor("CL", out, Circuit::GND, 0.2e-15);
+        c.mosfet("M1", out, g, Circuit::GND, MosParams::nmos_45nm());
+        let tr = transient(
+            &c,
+            8e-9,
+            TransientOptions {
+                dt: 0.02e-9,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        let v_before = tr.value_at("v(out)", 1.8e-9).unwrap();
+        let v_during = tr.value_at("v(out)", 5.5e-9).unwrap();
+        assert!(v_before > 0.9, "output should be high, got {v_before}");
+        assert!(v_during < 0.2, "output should be pulled low, got {v_during}");
+        // Falling edge measurable.
+        let tf = tr.cross_time("v(out)", 0.5, Edge::Falling, 1.9e-9).unwrap();
+        assert!(tf > 2e-9 && tf < 3.5e-9, "fall at {tf}");
+    }
+
+    #[test]
+    fn fecap_polarization_switches_under_field() {
+        // Drive a 1 nm FE cap well beyond its coercive voltage (±1.24 V)
+        // and watch the polarization flip sign.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let params = FeCapParams::new(1e-9, 65e-9 * 65e-9);
+        c.vsource(
+            "V1",
+            a,
+            Circuit::GND,
+            Waveform::pwl(vec![
+                (0.0, 0.0),
+                (2e-9, 2.0),
+                (4e-9, 2.0),
+                (6e-9, -2.0),
+                (8e-9, -2.0),
+            ]),
+        );
+        c.resistor("Rs", a, c.find_node("a").unwrap(), 1.0); // placeholder keeps node count stable
+        let f = c.node("f");
+        c.resistor("R1", a, f, 100.0);
+        c.fecap("F1", f, Circuit::GND, params, -0.4);
+        let tr = transient(
+            &c,
+            8e-9,
+            TransientOptions {
+                dt: 2e-12,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        let p = tr.signal("p(F1)").unwrap();
+        assert!(p[0] < 0.0);
+        let p_mid = tr.value_at("p(F1)", 4e-9).unwrap();
+        assert!(p_mid > 0.3, "P should have switched positive, got {p_mid}");
+        let p_end = tr.last("p(F1)").unwrap();
+        assert!(p_end < -0.3, "P should have switched back, got {p_end}");
+    }
+
+    #[test]
+    fn lte_adaptive_uses_fewer_steps_at_equal_accuracy() {
+        // RC step response: the adaptive controller takes big steps on the
+        // settled tail and still matches the analytic curve.
+        let build = || {
+            let mut c = Circuit::new();
+            let vin = c.node("in");
+            let vout = c.node("out");
+            c.vsource(
+                "V1",
+                vin,
+                Circuit::GND,
+                Waveform::pulse(0.0, 1.0, 0.1e-6, 10e-9, 10e-9, 100e-6),
+            );
+            c.resistor("R1", vin, vout, 1e3);
+            c.capacitor("C1", vout, Circuit::GND, 1e-9);
+            c
+        };
+        let fixed = transient(
+            &build(),
+            20e-6,
+            TransientOptions {
+                dt: 10e-9,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        let adaptive = transient(
+            &build(),
+            20e-6,
+            TransientOptions {
+                dt: 10e-9,
+                lte: Some(LteControl::default()),
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        // Accuracy: both match the analytic value at 1 tau after the edge.
+        let exact = 1.0 - (-1.0f64).exp();
+        let t_probe = 0.1e-6 + 10e-9 + 1e-6;
+        for tr in [&fixed, &adaptive] {
+            let v = tr.value_at("v(out)", t_probe).unwrap();
+            assert!((v - exact).abs() < 5e-3, "value {v} vs {exact}");
+        }
+        // Efficiency: adaptive takes far fewer samples.
+        assert!(
+            adaptive.time().len() * 3 < fixed.time().len(),
+            "adaptive {} vs fixed {} samples",
+            adaptive.time().len(),
+            fixed.time().len()
+        );
+    }
+
+    #[test]
+    fn lte_adaptive_resolves_fefet_switching() {
+        // The controller must shrink steps through the polarization jump:
+        // final state matches the fixed-step reference.
+        use crate::models::FeCapParams;
+        let build = || {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let f = c.node("f");
+            c.vsource(
+                "V1",
+                a,
+                Circuit::GND,
+                Waveform::pulse(0.0, 2.0, 1e-9, 0.1e-9, 0.1e-9, 3e-9),
+            );
+            c.resistor("R1", a, f, 100.0);
+            c.fecap("F1", f, Circuit::GND, FeCapParams::new(1e-9, 65e-9 * 65e-9), -0.46);
+            c
+        };
+        let fixed = transient(
+            &build(),
+            6e-9,
+            TransientOptions {
+                dt: 2e-12,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        let adaptive = transient(
+            &build(),
+            6e-9,
+            TransientOptions {
+                dt: 2e-12,
+                lte: Some(LteControl::default()),
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        let p_fixed = fixed.last("p(F1)").unwrap();
+        let p_adapt = adaptive.last("p(F1)").unwrap();
+        assert!(p_fixed > 0.4, "reference must switch");
+        assert!(
+            (p_adapt - p_fixed).abs() < 0.03,
+            "adaptive {p_adapt} vs fixed {p_fixed}"
+        );
+    }
+
+    #[test]
+    fn rl_current_rise_matches_analytic() {
+        // Series RL step: i(t) = (V/R)(1 - e^{-tR/L}).
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        c.vsource("V1", vin, Circuit::GND, Waveform::dc(1.0));
+        c.resistor("R1", vin, mid, 100.0);
+        c.inductor("L1", mid, Circuit::GND, 1e-6);
+        let tau = 1e-6 / 100.0; // 10 ns
+        let tr = transient(
+            &c,
+            5.0 * tau,
+            TransientOptions {
+                dt: tau / 200.0,
+                method: Integration::Trapezoidal,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        for frac in [1.0, 2.0, 4.0] {
+            let i = tr.value_at("i(L1)", frac * tau).unwrap();
+            let exact = 0.01 * (1.0 - (-frac).exp());
+            assert!(
+                (i - exact).abs() < 2e-4 * 0.01 + 2e-5,
+                "RL mismatch at {frac} tau: {i} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn lc_tank_oscillates_at_resonance() {
+        // Pre-charged C ringing into L: period = 2 pi sqrt(LC).
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.capacitor("C1", a, Circuit::GND, 1e-12);
+        c.inductor("L1", a, Circuit::GND, 1e-6);
+        // Small loss to keep the numerics honest.
+        c.resistor("Rp", a, Circuit::GND, 1e6);
+        let period = 2.0 * std::f64::consts::PI * (1e-6f64 * 1e-12).sqrt(); // ~6.28 ns
+        let tr = transient(
+            &c,
+            2.0 * period,
+            TransientOptions {
+                dt: period / 400.0,
+                method: Integration::Trapezoidal,
+                node_ics: vec![(a, 1.0)],
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        // First zero crossing at a quarter period.
+        let t_zero = tr
+            .cross_time("v(a)", 0.0, crate::trace::Edge::Falling, 0.0)
+            .unwrap();
+        assert!(
+            (t_zero - period / 4.0).abs() < 0.03 * period,
+            "quarter period {t_zero:.3e} vs {:.3e}",
+            period / 4.0
+        );
+        // Oscillation survives to the second period with modest decay.
+        let v_peak2 = tr.window_max("v(a)", 0.9 * period, 1.1 * period).unwrap();
+        assert!(v_peak2 > 0.8, "peak after one period {v_peak2}");
+    }
+
+    #[test]
+    fn inductor_is_short_in_dc_start() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        c.vsource("V1", vin, Circuit::GND, Waveform::dc(2.0));
+        c.resistor("R1", vin, mid, 1e3);
+        c.inductor("L1", mid, Circuit::GND, 1e-3);
+        let tr = transient(
+            &c,
+            1e-9,
+            TransientOptions {
+                start: StartMode::DcOperatingPoint,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        // DC: inductor shorts mid to ground, current = 2 mA.
+        assert!(tr.signal("v(mid)").unwrap()[0].abs() < 1e-6);
+        assert!((tr.signal("i(L1)").unwrap()[0] - 2e-3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_bad_t_end() {
+        let c = Circuit::new();
+        assert!(transient(&c, 0.0, TransientOptions::default()).is_err());
+    }
+
+    #[test]
+    fn trapezoidal_more_accurate_than_be_on_rc() {
+        // Discharging RC from a node IC: smooth exponential with no input
+        // discontinuity, so the trapezoidal rule's second order shows.
+        let build = || {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            c.capacitor("C1", a, Circuit::GND, 1e-9);
+            c.resistor("R1", a, Circuit::GND, 1e3);
+            c
+        };
+        let run = |method| {
+            let c = build();
+            let a = c.find_node("a").unwrap();
+            let tr = transient(
+                &c,
+                2e-6,
+                TransientOptions {
+                    dt: 50e-9,
+                    method,
+                    node_ics: vec![(a, 1.0)],
+                    ..TransientOptions::default()
+                },
+            )
+            .unwrap();
+            tr.value_at("v(a)", 1e-6).unwrap()
+        };
+        let exact = (-1.0f64).exp();
+        let err_be = (run(Integration::BackwardEuler) - exact).abs();
+        let err_tr = (run(Integration::Trapezoidal) - exact).abs();
+        assert!(
+            err_tr < err_be,
+            "trap ({err_tr:.2e}) should beat BE ({err_be:.2e})"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the circuit simulator.
+
+use fefet_ckt::circuit::Circuit;
+use fefet_ckt::dc::{dc_operating_point, DcOptions};
+use fefet_ckt::transient::{transient, TransientOptions};
+use fefet_ckt::waveform::Waveform;
+use proptest::prelude::*;
+
+/// Builds a random resistive ladder driven by one source.
+fn ladder(rs: &[f64], v: f64) -> Circuit {
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    c.vsource("V1", vin, Circuit::GND, Waveform::dc(v));
+    let mut prev = vin;
+    for (i, r) in rs.iter().enumerate() {
+        let n = c.node(&format!("n{i}"));
+        c.resistor(&format!("Rs{i}"), prev, n, *r);
+        c.resistor(&format!("Rg{i}"), n, Circuit::GND, r * 2.0);
+        prev = n;
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every node of a passive resistive divider lies between the rails.
+    #[test]
+    fn resistive_network_voltages_bounded(
+        rs in proptest::collection::vec(10.0f64..100e3, 1..6),
+        v in -5.0f64..5.0,
+    ) {
+        let c = ladder(&rs, v);
+        let op = dc_operating_point(&c, DcOptions::default()).unwrap();
+        let (lo, hi) = if v < 0.0 { (v, 0.0) } else { (0.0, v) };
+        for i in 0..rs.len() {
+            let n = c.find_node(&format!("n{i}")).unwrap();
+            let vn = op.v(n);
+            prop_assert!(vn >= lo - 1e-6 && vn <= hi + 1e-6, "v(n{i}) = {vn}");
+        }
+    }
+
+    /// Voltages decrease monotonically down the ladder (for positive v).
+    #[test]
+    fn ladder_voltages_monotone(
+        rs in proptest::collection::vec(100.0f64..10e3, 2..6),
+    ) {
+        let c = ladder(&rs, 1.0);
+        let op = dc_operating_point(&c, DcOptions::default()).unwrap();
+        let mut prev = 1.0;
+        for i in 0..rs.len() {
+            let n = c.find_node(&format!("n{i}")).unwrap();
+            let vn = op.v(n);
+            prop_assert!(vn <= prev + 1e-9, "not monotone at n{i}");
+            prop_assert!(vn >= 0.0);
+            prev = vn;
+        }
+    }
+
+    /// The source current equals the sum of ground-resistor currents
+    /// (global KCL).
+    #[test]
+    fn source_current_balances_loads(
+        rs in proptest::collection::vec(100.0f64..10e3, 1..5),
+    ) {
+        let c = ladder(&rs, 2.0);
+        let op = dc_operating_point(&c, DcOptions::default()).unwrap();
+        let i_src = -op.branch_current("V1").unwrap(); // sourced current
+        let mut i_loads = 0.0;
+        for (i, r) in rs.iter().enumerate() {
+            let n = c.find_node(&format!("n{i}")).unwrap();
+            i_loads += op.v(n) / (r * 2.0);
+        }
+        prop_assert!((i_src - i_loads).abs() < 1e-6 * i_src.abs().max(1e-9),
+            "src {i_src} vs loads {i_loads}");
+    }
+
+    /// A driven RC network's transient response stays within the source
+    /// range, and the source energy is non-negative (passivity).
+    #[test]
+    fn rc_transient_passive_and_bounded(
+        r in 100.0f64..10e3,
+        c_f in 0.1e-12f64..10e-12,
+        v in 0.1f64..2.0,
+    ) {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.vsource("V1", vin, Circuit::GND,
+            Waveform::pulse(0.0, v, 1e-9, 0.1e-9, 0.1e-9, 20e-9));
+        c.resistor("R1", vin, vout, r);
+        c.capacitor("C1", vout, Circuit::GND, c_f);
+        let tr = transient(&c, 40e-9, TransientOptions {
+            dt: 0.05e-9,
+            ..TransientOptions::default()
+        }).unwrap();
+        let vmax = tr.max("v(out)").unwrap();
+        let vmin = tr.min("v(out)").unwrap();
+        prop_assert!(vmax <= v + 1e-6, "overshoot {vmax} vs {v}");
+        prop_assert!(vmin >= -1e-6, "undershoot {vmin}");
+        prop_assert!(tr.energy("V1").unwrap() >= -1e-18, "active source in passive net");
+    }
+
+    /// Waveform evaluation is always finite and pulses stay within their
+    /// two levels.
+    #[test]
+    fn pulse_waveform_bounded(
+        v0 in -2.0f64..2.0,
+        v1 in -2.0f64..2.0,
+        t in 0.0f64..10e-9,
+    ) {
+        let w = Waveform::pulse(v0, v1, 1e-9, 0.2e-9, 0.3e-9, 2e-9);
+        let val = w.eval(t);
+        let (lo, hi) = if v0 < v1 { (v0, v1) } else { (v1, v0) };
+        prop_assert!(val.is_finite());
+        prop_assert!(val >= lo - 1e-12 && val <= hi + 1e-12);
+    }
+}

@@ -1,0 +1,436 @@
+//! The m×n FEFET memory array (Fig 7): shared write-select / read-select
+//! lines along rows, shared bit / sense lines along columns, Table 1
+//! biasing, and the §4 isolation guarantees:
+//!
+//! - unaccessed rows see −V_DD on their write select, keeping their
+//!   access transistors off for either bit-line polarity;
+//! - the virtual-ground sense line prevents sneak/reverse currents in
+//!   unaccessed cells during reads.
+
+use crate::bias::Operation;
+use crate::cell::FefetCell;
+use fefet_ckt::circuit::Circuit;
+use fefet_ckt::trace::Trace;
+use fefet_ckt::transient::{transient, TransientOptions};
+use fefet_ckt::waveform::Waveform;
+use fefet_ckt::{CktError, Result};
+
+/// Edge time for control ramps (s).
+const T_EDGE: f64 = 50e-12;
+/// Quiescent lead-in (s).
+const T_START: f64 = 0.2e-9;
+
+/// An m×n array of 2T FEFET cells with explicit stored polarization.
+#[derive(Debug, Clone)]
+pub struct FefetArray {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Cell/bias template (line capacitances are recomputed from the
+    /// array dimensions).
+    pub cell: FefetCell,
+    state: Vec<f64>,
+}
+
+/// Result of an array-level operation.
+#[derive(Debug, Clone)]
+pub struct ArrayOp {
+    /// Full waveform record.
+    pub trace: Trace,
+    /// Total driver energy (J).
+    pub energy: f64,
+    /// Largest polarization drift of any **unaccessed** cell (C/m²).
+    pub max_disturb: f64,
+}
+
+/// Result of an array read.
+#[derive(Debug, Clone)]
+pub struct ArrayRead {
+    /// The array-op record.
+    pub op: ArrayOp,
+    /// Sensed cell currents per column of the accessed row (A).
+    pub currents: Vec<f64>,
+    /// Digitized data (current above `i_threshold`).
+    pub bits: Vec<bool>,
+    /// Largest current through any unaccessed cell during the read (A) —
+    /// the sneak-path check.
+    pub max_sneak: f64,
+}
+
+impl FefetArray {
+    /// Creates an array with every cell initialized to logic '0'
+    /// (the low-polarization state).
+    pub fn new(rows: usize, cols: usize, mut cell: FefetCell) -> Self {
+        assert!(rows >= 1 && cols >= 1, "array: need at least 1x1");
+        // Scale the line parasitics to this array's physical extent.
+        let metal_per_m = 0.2e-15 / 1e-6;
+        let pitch_x = 20.0 * crate::layout::LAMBDA_45NM;
+        let pitch_y = 9.6 * crate::layout::LAMBDA_45NM;
+        cell.c_bit_line = metal_per_m * rows as f64 * pitch_y;
+        cell.c_sense_line = metal_per_m * rows as f64 * pitch_y;
+        cell.c_write_select = metal_per_m * cols as f64 * pitch_x;
+        cell.c_read_select = metal_per_m * cols as f64 * pitch_x;
+        let (p_lo, _) = cell.memory_states();
+        FefetArray {
+            rows,
+            cols,
+            cell,
+            state: vec![p_lo; rows * cols],
+        }
+    }
+
+    /// Stored polarization of cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn polarization(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "cell index out of range");
+        self.state[row * self.cols + col]
+    }
+
+    /// Logic value of cell `(row, col)` (nearest memory state).
+    pub fn bit(&self, row: usize, col: usize) -> bool {
+        let (p_lo, p_hi) = self.cell.memory_states();
+        let p = self.polarization(row, col);
+        (p - p_hi).abs() < (p - p_lo).abs()
+    }
+
+    /// Directly sets a stored polarization (test fixture / initialization).
+    pub fn set_polarization(&mut self, row: usize, col: usize, p: f64) {
+        assert!(row < self.rows && col < self.cols, "cell index out of range");
+        self.state[row * self.cols + col] = p;
+    }
+
+    fn build(
+        &self,
+        row_waves: &[(Waveform, Waveform)],  // (read_select, write_select) per row
+        col_waves: &[(Waveform, Waveform)],  // (bit_line, sense_line) per column
+    ) -> Circuit {
+        let mut c = Circuit::new();
+        let mut rs_nodes = Vec::new();
+        let mut ws_nodes = Vec::new();
+        let mut bl_nodes = Vec::new();
+        let mut sl_nodes = Vec::new();
+        for (i, (w_rs, w_ws)) in row_waves.iter().enumerate() {
+            let rs = c.node(&format!("rs{i}"));
+            let ws = c.node(&format!("ws{i}"));
+            let rsd = c.node(&format!("rs{i}_drv"));
+            let wsd = c.node(&format!("ws{i}_drv"));
+            c.vsource(&format!("Vrs{i}"), rsd, Circuit::GND, w_rs.clone());
+            c.resistor(&format!("Rrs{i}"), rsd, rs, self.cell.r_driver);
+            c.vsource(&format!("Vws{i}"), wsd, Circuit::GND, w_ws.clone());
+            c.resistor(&format!("Rws{i}"), wsd, ws, self.cell.r_driver);
+            c.capacitor(&format!("Crs{i}"), rs, Circuit::GND, self.cell.c_read_select);
+            c.capacitor(&format!("Cws{i}"), ws, Circuit::GND, self.cell.c_write_select);
+            rs_nodes.push(rs);
+            ws_nodes.push(ws);
+        }
+        for (j, (w_bl, w_sl)) in col_waves.iter().enumerate() {
+            let bl = c.node(&format!("bl{j}"));
+            let sl = c.node(&format!("sl{j}"));
+            let bld = c.node(&format!("bl{j}_drv"));
+            c.vsource(&format!("Vbl{j}"), bld, Circuit::GND, w_bl.clone());
+            c.resistor(&format!("Rbl{j}"), bld, bl, self.cell.r_driver);
+            // Sense lines are clamped at virtual ground directly.
+            c.vsource(&format!("Vsl{j}"), sl, Circuit::GND, w_sl.clone());
+            c.capacitor(&format!("Cbl{j}"), bl, Circuit::GND, self.cell.c_bit_line);
+            c.capacitor(&format!("Csl{j}"), sl, Circuit::GND, self.cell.c_sense_line);
+            bl_nodes.push(bl);
+            sl_nodes.push(sl);
+        }
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let g = c.node(&format!("g{i}_{j}"));
+                let gi = c.node(&format!("gi{i}_{j}"));
+                let p0 = self.state[i * self.cols + j];
+                c.mosfet(
+                    &format!("Macc{i}_{j}"),
+                    bl_nodes[j],
+                    ws_nodes[i],
+                    g,
+                    self.cell.access,
+                );
+                c.fecap(&format!("Ffe{i}_{j}"), g, gi, self.cell.fefet.fe, p0);
+                c.mosfet(
+                    &format!("Mfet{i}_{j}"),
+                    rs_nodes[i],
+                    gi,
+                    sl_nodes[j],
+                    self.cell.fefet.mos,
+                );
+            }
+        }
+        c
+    }
+
+    fn node_ics(&self, c: &Circuit) -> Vec<(fefet_ckt::elements::Node, f64)> {
+        let mut ics = Vec::new();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let p0 = self.state[i * self.cols + j];
+                if let Some(gi) = c.find_node(&format!("gi{i}_{j}")) {
+                    ics.push((gi, self.cell.fefet.v_mos_of(p0)));
+                }
+                if let Some(g) = c.find_node(&format!("g{i}_{j}")) {
+                    ics.push((g, self.cell.fefet.v_gate_static(p0)));
+                }
+            }
+        }
+        ics
+    }
+
+    fn run(&self, c: &Circuit, t_end: f64) -> Result<Trace> {
+        transient(
+            c,
+            t_end,
+            TransientOptions {
+                dt: self.cell.dt,
+                node_ics: self.node_ics(c),
+                ..TransientOptions::default()
+            },
+        )
+    }
+
+    fn collect_disturb(&self, trace: &Trace, accessed_row: Option<usize>) -> f64 {
+        let mut max_disturb: f64 = 0.0;
+        for i in 0..self.rows {
+            if Some(i) == accessed_row {
+                continue;
+            }
+            for j in 0..self.cols {
+                let before = self.state[i * self.cols + j];
+                let after = trace.last(&format!("p(Ffe{i}_{j})")).unwrap_or(before);
+                max_disturb = max_disturb.max((after - before).abs());
+            }
+        }
+        max_disturb
+    }
+
+    /// Writes `data` into `row` (Table 1 write biasing) with a pulse of
+    /// width `t_pulse`, updating the stored state from the simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`CktError::Netlist`] if `data.len() != cols`, or a simulator
+    /// convergence failure.
+    pub fn write_row(&mut self, row: usize, data: &[bool], t_pulse: f64) -> Result<ArrayOp> {
+        if data.len() != self.cols {
+            return Err(CktError::Netlist(format!(
+                "write_row: got {} bits for {} columns",
+                data.len(),
+                self.cols
+            )));
+        }
+        if row >= self.rows {
+            return Err(CktError::Netlist(format!("write_row: row {row} out of range")));
+        }
+        let b = &self.cell.bias;
+        let t_restore = 0.3e-9;
+        let mut row_waves = Vec::new();
+        for i in 0..self.rows {
+            let accessed = i == row;
+            let bias = b.row_bias(Operation::Write { data: true }, accessed);
+            let w_ws = if accessed {
+                Waveform::pulse(0.0, bias.write_select, T_START, T_EDGE, T_EDGE, t_pulse + t_restore)
+            } else {
+                // Negative select for the whole write window.
+                Waveform::pulse(
+                    0.0,
+                    bias.write_select,
+                    T_START - 0.1e-9,
+                    T_EDGE,
+                    T_EDGE,
+                    t_pulse + t_restore + 0.2e-9,
+                )
+            };
+            row_waves.push((Waveform::dc(0.0), w_ws));
+        }
+        let mut col_waves = Vec::new();
+        for &bit in data {
+            let v_bl = if bit { b.v_write } else { -b.v_write };
+            col_waves.push((
+                Waveform::pulse(0.0, v_bl, T_START, T_EDGE, T_EDGE, t_pulse),
+                Waveform::dc(0.0),
+            ));
+        }
+        let c = self.build(&row_waves, &col_waves);
+        let t_end = T_START + t_pulse + t_restore + 0.5e-9;
+        let trace = self.run(&c, t_end)?;
+        let max_disturb = self.collect_disturb(&trace, Some(row));
+        // Commit new states.
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if let Some(p) = trace.last(&format!("p(Ffe{i}_{j})")) {
+                    self.state[i * self.cols + j] = p;
+                }
+            }
+        }
+        Ok(ArrayOp {
+            energy: trace.total_source_energy(),
+            max_disturb,
+            trace,
+        })
+    }
+
+    /// Reads `row` (Table 1 read biasing) over a window `t_read`,
+    /// reporting per-column cell currents and the sneak-current maximum.
+    ///
+    /// # Errors
+    ///
+    /// Row range or convergence errors, as for [`FefetArray::write_row`].
+    pub fn read_row(&mut self, row: usize, t_read: f64) -> Result<ArrayRead> {
+        if row >= self.rows {
+            return Err(CktError::Netlist(format!("read_row: row {row} out of range")));
+        }
+        let b = &self.cell.bias;
+        let mut row_waves = Vec::new();
+        for i in 0..self.rows {
+            let accessed = i == row;
+            let bias = b.row_bias(Operation::Read, accessed);
+            let w_rs = Waveform::pulse(0.0, bias.read_select, T_START, T_EDGE, T_EDGE, t_read);
+            let w_ws = Waveform::pulse(0.0, bias.write_select, T_START, T_EDGE, T_EDGE, t_read);
+            row_waves.push((w_rs, w_ws));
+        }
+        let col_waves = vec![(Waveform::dc(0.0), Waveform::dc(0.0)); self.cols];
+        let c = self.build(&row_waves, &col_waves);
+        let t_end = T_START + t_read + 0.4e-9;
+        let trace = self.run(&c, t_end)?;
+
+        let t_sample = T_START + t_read - 2.0 * T_EDGE;
+        let mut currents = Vec::with_capacity(self.cols);
+        for j in 0..self.cols {
+            currents.push(
+                trace
+                    .value_at(&format!("i(Mfet{row}_{j})"), t_sample)
+                    .unwrap_or(0.0),
+            );
+        }
+        let mut max_sneak: f64 = 0.0;
+        for i in 0..self.rows {
+            if i == row {
+                continue;
+            }
+            for j in 0..self.cols {
+                let i_cell = trace
+                    .value_at(&format!("i(Mfet{i}_{j})"), t_sample)
+                    .unwrap_or(0.0);
+                max_sneak = max_sneak.max(i_cell.abs());
+            }
+        }
+        let max_disturb = self.collect_disturb(&trace, None); // read must disturb nobody
+        let i_threshold = 1e-7;
+        let bits = currents.iter().map(|i| *i > i_threshold).collect();
+        Ok(ArrayRead {
+            op: ArrayOp {
+                energy: trace.total_source_energy(),
+                max_disturb,
+                trace,
+            },
+            currents,
+            bits,
+            max_sneak,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_array() -> FefetArray {
+        // The paper's Fig 7 demonstration array.
+        FefetArray::new(2, 3, FefetCell::default())
+    }
+
+    #[test]
+    fn fig7_write_and_read_back_a_row() {
+        let mut a = small_array();
+        let data = [true, false, true];
+        let w = a.write_row(0, &data, 1.0e-9).unwrap();
+        assert!(w.energy > 0.0);
+        for (j, &bit) in data.iter().enumerate() {
+            assert_eq!(a.bit(0, j), bit, "column {j}");
+        }
+        let r = a.read_row(0, 3e-9).unwrap();
+        assert_eq!(r.bits, vec![true, false, true]);
+        // Distinguishability at the array level.
+        let i_on = r.currents[0];
+        let i_off = r.currents[1].max(1e-30);
+        assert!(i_on / i_off > 1e4, "array ratio {:.2e}", i_on / i_off);
+    }
+
+    #[test]
+    fn unaccessed_rows_undisturbed_by_write() {
+        let mut a = small_array();
+        // Park row 1 in a known pattern first.
+        a.write_row(1, &[true, true, false], 1.0e-9).unwrap();
+        let before: Vec<f64> = (0..3).map(|j| a.polarization(1, j)).collect();
+        // Hammer row 0 with both polarities.
+        let w1 = a.write_row(0, &[true, true, true], 1.0e-9).unwrap();
+        let w0 = a.write_row(0, &[false, false, false], 1.0e-9).unwrap();
+        assert!(
+            w1.max_disturb < 0.01 && w0.max_disturb < 0.01,
+            "unaccessed rows disturbed: {} / {}",
+            w1.max_disturb,
+            w0.max_disturb
+        );
+        for (j, b) in before.iter().enumerate() {
+            assert!((a.polarization(1, j) - b).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn read_disturbs_nothing_and_no_sneak_paths() {
+        let mut a = small_array();
+        a.write_row(0, &[true, false, true], 1.0e-9).unwrap();
+        a.write_row(1, &[false, true, false], 1.0e-9).unwrap();
+        let r = a.read_row(0, 3e-9).unwrap();
+        assert!(
+            r.op.max_disturb < 0.02,
+            "read disturbed cells by {}",
+            r.op.max_disturb
+        );
+        // §4.2: virtual-ground sense lines avert reverse currents in the
+        // unaccessed cells.
+        assert!(
+            r.max_sneak < 1e-8,
+            "sneak current {:.3e} A in unaccessed cells",
+            r.max_sneak
+        );
+    }
+
+    #[test]
+    fn both_rows_retain_independent_data() {
+        let mut a = small_array();
+        a.write_row(0, &[true, true, false], 1.0e-9).unwrap();
+        a.write_row(1, &[false, true, true], 1.0e-9).unwrap();
+        let r0 = a.read_row(0, 3e-9).unwrap();
+        let r1 = a.read_row(1, 3e-9).unwrap();
+        assert_eq!(r0.bits, vec![true, true, false]);
+        assert_eq!(r1.bits, vec![false, true, true]);
+    }
+
+    #[test]
+    fn write_row_validates_inputs() {
+        let mut a = small_array();
+        assert!(a.write_row(0, &[true], 1e-9).is_err());
+        assert!(a.write_row(9, &[true, true, true], 1e-9).is_err());
+        assert!(a.read_row(9, 1e-9).is_err());
+    }
+
+    #[test]
+    fn line_capacitance_scales_with_array_size() {
+        let small = FefetArray::new(2, 2, FefetCell::default());
+        let big = FefetArray::new(8, 2, FefetCell::default());
+        assert!(big.cell.c_bit_line > 3.0 * small.cell.c_bit_line);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn polarization_out_of_range_panics() {
+        let a = small_array();
+        a.polarization(5, 0);
+    }
+}

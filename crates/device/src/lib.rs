@@ -1,0 +1,38 @@
+//! Device-level models and analyses for the FEFET nonvolatile memory
+//! reproduction (paper §2, §3 and Fig 2-4).
+//!
+//! Builds on the compact models in [`fefet_ckt::models`]:
+//!
+//! - [`params`] — the paper's Table 2 simulation parameters as typed
+//!   constants, plus the calibrated device cards used everywhere else.
+//! - [`fefet`] — the composite FEFET device (LK ferroelectric in series
+//!   with the MOSFET gate): static equilibrium analysis, quasi-static
+//!   I_D-V_G hysteresis sweeps (Fig 2a / Fig 3a), transient polarization
+//!   dynamics and retention checks (Fig 2b / Fig 3b).
+//! - [`loadline`] — the Fig 4(a) load-line construction (ferroelectric
+//!   Q-V against MOSFET gate charge) and intersection counting.
+//! - [`fecap`] — stand-alone ferroelectric capacitor hysteresis loops for
+//!   the Fig 4(b) FEFET-vs-capacitor coercive-voltage comparison.
+//! - [`design`] — T_FE design-space exploration: non-volatility boundary,
+//!   hysteresis window extraction (§3).
+//! - [`retention`] — the §6.2.4 retention-time model
+//!   (`t_ret ∝ exp(k · V_c · P_r · A)`).
+//! - [`variability`] — Monte-Carlo process-variation analysis of the
+//!   memory margins (yield, worst-case distinguishability).
+//! - [`thermal`] — Landau temperature scaling: memory window and
+//!   retention vs temperature, and the design's thermal corner.
+//! - [`endurance`] — fatigue/imprint cycling model and cycles-to-failure.
+
+pub mod design;
+pub mod dynamics;
+pub mod endurance;
+pub mod fecap;
+pub mod fefet;
+pub mod loadline;
+pub mod params;
+pub mod retention;
+pub mod thermal;
+pub mod variability;
+
+pub use fefet::Fefet;
+pub use params::{paper_fefet, paper_lk, PaperParams};

@@ -1,0 +1,189 @@
+//! Retention-time model (paper §6.2.4).
+//!
+//! "For FE based memories, the retention time is expected to be
+//! exponentially proportional to the product of coercive voltage, remnant
+//! polarization, and area of the ferroelectric capacitor within single
+//! domain approximation."
+//!
+//! We model `t_ret = t0 · exp(V_c · P_r · A / (k_B · T · n_scale))` with a
+//! prefactor and scale chosen so the 1 nm / 65 nm FERAM reference point
+//! lands at ≈10 years — the absolute number is a normalization; the paper
+//! only argues *orderings* (FERAM ≫ FEFET at 65 nm; FEFET at 112.5 nm ≈
+//! FERAM), which this model reproduces because they depend only on the
+//! `V_c · P_r · A` product.
+
+use fefet_ckt::models::FeCapParams;
+
+/// Boltzmann constant (J/K).
+pub const K_B: f64 = 1.380_649e-23;
+
+/// Retention model: Arrhenius escape over the `V_c·P_r·A` barrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetentionModel {
+    /// Attempt-time prefactor (s).
+    pub t0: f64,
+    /// Temperature (K).
+    pub temperature: f64,
+    /// Dimensionless barrier scaling (captures the single-domain
+    /// nucleation volume fraction; calibrated at the FERAM reference).
+    pub barrier_scale: f64,
+}
+
+/// Reduction of the effective coercive voltage governing the retention
+/// barrier of a FEFET relative to its stand-alone film, caused by the
+/// series MOSFET capacitance (§6.2.4: "the coercive voltage is higher for
+/// FERAMs"). Calibrated so the paper's reported trade-off — a 112.5 nm
+/// wide FEFET matching the 65 nm FERAM's retention — is reproduced.
+pub const NC_COERCIVE_REDUCTION: f64 = 0.37;
+
+impl Default for RetentionModel {
+    /// Calibrated so a 1 nm-thick, 65 nm-wide FERAM capacitor retains for
+    /// ≈10 years at 300 K.
+    fn default() -> Self {
+        RetentionModel {
+            t0: 1e-9,
+            temperature: 300.0,
+            barrier_scale: 1.46e4,
+        }
+    }
+}
+
+impl RetentionModel {
+    /// Barrier energy `V_c · P_r · A / barrier_scale` (J) for a device, or
+    /// `None` for a paraelectric film.
+    pub fn barrier(&self, fe: &FeCapParams) -> Option<f64> {
+        let vc = fe.coercive_voltage()?;
+        let pr = fe.lk.remnant_polarization()?;
+        Some(vc * pr * fe.area / self.barrier_scale)
+    }
+
+    /// Barrier of a FEFET gate stack: the series MOSFET reduces the
+    /// effective coercive voltage by [`NC_COERCIVE_REDUCTION`].
+    pub fn fefet_barrier(&self, fe: &FeCapParams) -> Option<f64> {
+        Some(self.barrier(fe)? * NC_COERCIVE_REDUCTION)
+    }
+
+    /// Retention time (s) of a stand-alone film (FERAM case), or `None`
+    /// for a paraelectric film.
+    pub fn retention_time(&self, fe: &FeCapParams) -> Option<f64> {
+        let eb = self.barrier(fe)?;
+        Some(self.t0 * (eb / (K_B * self.temperature)).exp())
+    }
+
+    /// Retention time (s) of a FEFET gate stack (NC-reduced barrier).
+    pub fn fefet_retention_time(&self, fe: &FeCapParams) -> Option<f64> {
+        let eb = self.fefet_barrier(fe)?;
+        Some(self.t0 * (eb / (K_B * self.temperature)).exp())
+    }
+
+    /// The FEFET width (m) that matches a reference FERAM capacitor's
+    /// retention, holding gate length fixed — the §6.2.4 exercise showing
+    /// a 112.5 nm-wide FEFET matches the FERAM's retention.
+    ///
+    /// Returns `None` if either film is paraelectric.
+    pub fn width_matching_retention(
+        &self,
+        device: &FeCapParams,
+        device_length: f64,
+        reference: &FeCapParams,
+    ) -> Option<f64> {
+        let eb_ref = self.barrier(reference)?;
+        let vc = device.coercive_voltage()? * NC_COERCIVE_REDUCTION;
+        let pr = device.lk.remnant_polarization()?;
+        // eb = vc·pr·(w·l)/scale == eb_ref  =>  w = eb_ref·scale/(vc·pr·l)
+        Some(eb_ref * self.barrier_scale / (vc * pr * device_length))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+    fn feram_cap() -> FeCapParams {
+        FeCapParams::new(1e-9, 65e-9 * 65e-9)
+    }
+
+    fn fefet_cap() -> FeCapParams {
+        FeCapParams::new(2.25e-9, 65e-9 * 45e-9)
+    }
+
+    #[test]
+    fn feram_reference_is_about_ten_years() {
+        let m = RetentionModel::default();
+        let t = m.retention_time(&feram_cap()).unwrap();
+        let years = t / SECONDS_PER_YEAR;
+        assert!(
+            (1.0..100.0).contains(&years),
+            "FERAM retention {years:.2} years"
+        );
+    }
+
+    #[test]
+    fn paper_ordering_feram_beats_65nm_fefet() {
+        // §6.2.4: "The retention time of current FEFET design (FE layer
+        // thickness 2.25nm, width 65nm) is lesser than the FERAM design
+        // (FE layer thickness 1nm, width 65nm) as the coercive voltage is
+        // higher for FERAMs" — the FEFET's effective coercive voltage is
+        // NC-reduced and its gate area is smaller.
+        let m = RetentionModel::default();
+        let t_feram = m.retention_time(&feram_cap()).unwrap();
+        let t_fefet = m.fefet_retention_time(&fefet_cap()).unwrap();
+        assert!(
+            t_feram > 100.0 * t_fefet,
+            "expected FERAM ({t_feram:.3e}s) >> FEFET ({t_fefet:.3e}s)"
+        );
+        // The targeted applications tolerate the shorter FEFET retention:
+        // it still holds for much longer than an NVP power outage.
+        assert!(t_fefet > 1e-3, "FEFET retention {t_fefet:.3e}s");
+    }
+
+    #[test]
+    fn wider_fefet_matches_feram_retention() {
+        // §6.2.4: "increasing the width of the FEFET to 112.5 nm achieves
+        // similar retention time as that of FERAM."
+        let m = RetentionModel::default();
+        let w = m
+            .width_matching_retention(&fefet_cap(), 45e-9, &feram_cap())
+            .unwrap();
+        assert!(
+            (80e-9..160e-9).contains(&w),
+            "matching width {:.1} nm should be near 112.5 nm",
+            w * 1e9
+        );
+        // And the matched device indeed has equal retention (as a FEFET).
+        let matched = FeCapParams::new(2.25e-9, w * 45e-9);
+        let t_matched = m.fefet_retention_time(&matched).unwrap();
+        let t_ref = m.retention_time(&feram_cap()).unwrap();
+        assert!((t_matched / t_ref - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn retention_monotone_in_area_and_thickness() {
+        let m = RetentionModel::default();
+        let base = fefet_cap();
+        let wider = FeCapParams::new(2.25e-9, 2.0 * base.area);
+        let thicker = FeCapParams::new(2.5e-9, base.area);
+        let t0 = m.retention_time(&base).unwrap();
+        assert!(m.retention_time(&wider).unwrap() > t0);
+        assert!(m.retention_time(&thicker).unwrap() > t0);
+    }
+
+    #[test]
+    fn paraelectric_has_no_retention() {
+        use fefet_ckt::models::LkParams;
+        let para = FeCapParams {
+            lk: LkParams {
+                alpha: 1e9,
+                beta: 1e10,
+                gamma: 0.0,
+                rho: 0.1,
+            },
+            thickness: 2e-9,
+            area: 1e-15,
+        };
+        assert!(RetentionModel::default().retention_time(&para).is_none());
+        assert!(RetentionModel::default().barrier(&para).is_none());
+    }
+}

@@ -1,0 +1,348 @@
+//! Minimal complex arithmetic and dense complex linear solves, for the
+//! circuit simulator's AC (small-signal, frequency-domain) analysis.
+
+use crate::{Error, Result};
+
+/// A complex number (f64 components).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const J: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Builds from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Purely real value.
+    pub fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Purely imaginary value.
+    pub fn imag(im: f64) -> Self {
+        Complex { re: 0.0, im }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Reciprocal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by exact zero.
+    pub fn recip(self) -> Self {
+        let d = self.re * self.re + self.im * self.im;
+        assert!(d > 0.0, "complex reciprocal of zero");
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl std::ops::Div for Complex {
+    type Output = Complex;
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w^-1
+    fn div(self, o: Complex) -> Complex {
+        self * o.recip()
+    }
+}
+
+impl std::ops::Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl std::ops::AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl std::ops::Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl std::fmt::Display for Complex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+/// A dense, row-major complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates an `n x n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        CMatrix {
+            n,
+            data: vec![Complex::ZERO; n * n],
+        }
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Resets to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(Complex::ZERO);
+    }
+
+    /// Adds `v` to entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: Complex) {
+        assert!(r < self.n && c < self.n, "CMatrix index out of bounds");
+        self.data[r * self.n + c] += v;
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> Complex {
+        self.data[r * self.n + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: Complex) {
+        self.data[r * self.n + c] = v;
+    }
+
+    /// Solves `A x = b` in place via LU with partial pivoting (by
+    /// magnitude). The matrix is consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Singular`] for a numerically singular matrix,
+    /// [`Error::DimensionMismatch`] if `b.len() != order`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve(mut self, b: &[Complex]) -> Result<Vec<Complex>> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(Error::DimensionMismatch {
+                found: (b.len(), 1),
+                expected: (n, 1),
+            });
+        }
+        let mut x: Vec<Complex> = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot by magnitude.
+            let mut p = k;
+            let mut best = self.at(k, k).abs();
+            for i in (k + 1)..n {
+                let m = self.at(i, k).abs();
+                if m > best {
+                    best = m;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err(Error::Singular { column: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    let tmp = self.at(k, c);
+                    self.set(k, c, self.at(p, c));
+                    self.set(p, c, tmp);
+                }
+                perm.swap(k, p);
+                x.swap(k, p);
+            }
+            let pivot = self.at(k, k);
+            for i in (k + 1)..n {
+                let f = self.at(i, k) / pivot;
+                self.set(i, k, f);
+                for c in (k + 1)..n {
+                    let v = self.at(i, c) - f * self.at(k, c);
+                    self.set(i, c, v);
+                }
+                let xv = x[i] - f * x[k];
+                x[i] = xv;
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s = s - self.at(i, j) * x[j];
+            }
+            x[i] = s / self.at(i, i);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert!(close(a / b, Complex::new(0.1, 0.7), 1e-12));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn polar_quantities() {
+        let j = Complex::J;
+        assert!((j.abs() - 1.0).abs() < 1e-15);
+        assert!((j.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        let one: Complex = 1.0.into();
+        assert_eq!(one.arg(), 0.0);
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn recip_roundtrip() {
+        let a = Complex::new(2.0, -3.0);
+        let r = a.recip();
+        assert!(close(a * r, Complex::ONE, 1e-14));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_of_zero_panics() {
+        let _ = Complex::ZERO.recip();
+    }
+
+    #[test]
+    fn solve_identity() {
+        let mut m = CMatrix::zeros(2);
+        m.add(0, 0, Complex::ONE);
+        m.add(1, 1, Complex::ONE);
+        let b = [Complex::new(2.0, 1.0), Complex::new(-1.0, 3.0)];
+        let x = m.solve(&b).unwrap();
+        assert!(close(x[0], b[0], 1e-14));
+        assert!(close(x[1], b[1], 1e-14));
+    }
+
+    #[test]
+    fn solve_complex_system() {
+        // (1+j) x + y = 2 ; x - j y = 0  =>  x = j y.
+        let mut m = CMatrix::zeros(2);
+        m.add(0, 0, Complex::new(1.0, 1.0));
+        m.add(0, 1, Complex::ONE);
+        m.add(1, 0, Complex::ONE);
+        m.add(1, 1, Complex::new(0.0, -1.0));
+        let b = [Complex::real(2.0), Complex::ZERO];
+        let x = m.solve(&b).unwrap();
+        // Verify by substitution.
+        let r0 = Complex::new(1.0, 1.0) * x[0] + x[1];
+        let r1 = x[0] - Complex::J * x[1];
+        assert!(close(r0, Complex::real(2.0), 1e-12));
+        assert!(close(r1, Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        let mut m = CMatrix::zeros(2);
+        m.add(0, 1, Complex::ONE);
+        m.add(1, 0, Complex::ONE);
+        let b = [Complex::real(5.0), Complex::real(7.0)];
+        let x = m.solve(&b).unwrap();
+        assert!(close(x[0], Complex::real(7.0), 1e-14));
+        assert!(close(x[1], Complex::real(5.0), 1e-14));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let m = CMatrix::zeros(2);
+        assert!(matches!(
+            m.solve(&[Complex::ZERO, Complex::ZERO]),
+            Err(Error::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2j");
+    }
+}

@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Error type for every fallible operation in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Matrix/vector dimensions do not agree for the requested operation.
+    DimensionMismatch {
+        /// What the caller supplied.
+        found: (usize, usize),
+        /// What the operation required.
+        expected: (usize, usize),
+    },
+    /// A factorization or solve encountered a (numerically) singular matrix.
+    Singular {
+        /// Pivot column at which elimination broke down.
+        column: usize,
+    },
+    /// An iterative method exhausted its iteration budget without meeting
+    /// its tolerance.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual norm when iteration stopped.
+        residual: f64,
+    },
+    /// A root-bracketing method was given an interval that does not bracket
+    /// a sign change.
+    NoBracket,
+    /// An argument was out of the valid domain (empty grid, non-monotone
+    /// abscissae, non-positive step, ...).
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { found, expected } => write!(
+                f,
+                "dimension mismatch: found {}x{}, expected {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+            Error::Singular { column } => {
+                write!(f, "matrix is singular at pivot column {column}")
+            }
+            Error::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            Error::NoBracket => write!(f, "interval does not bracket a root"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Singular { column: 3 };
+        assert!(e.to_string().contains("column 3"));
+        let e = Error::DimensionMismatch {
+            found: (2, 3),
+            expected: (3, 3),
+        };
+        assert!(e.to_string().contains("2x3"));
+        let e = Error::NoConvergence {
+            iterations: 50,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("50"));
+        assert!(Error::NoBracket.to_string().contains("bracket"));
+        assert!(Error::InvalidArgument("empty grid")
+            .to_string()
+            .contains("empty grid"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

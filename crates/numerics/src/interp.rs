@@ -1,0 +1,268 @@
+//! Interpolation over tabulated data: piecewise-linear and monotone cubic
+//! (Fritsch-Carlson), plus a reusable piecewise-linear waveform type.
+
+use crate::{Error, Result};
+
+/// Validates that `xs` is strictly increasing and matches `ys` in length.
+fn check_grid(xs: &[f64], ys: &[f64]) -> Result<()> {
+    if xs.len() != ys.len() {
+        return Err(Error::InvalidArgument("interp: xs/ys length mismatch"));
+    }
+    if xs.len() < 2 {
+        return Err(Error::InvalidArgument("interp: need at least 2 points"));
+    }
+    if xs.windows(2).any(|w| !(w[1] > w[0])) {
+        return Err(Error::InvalidArgument("interp: xs must be strictly increasing"));
+    }
+    Ok(())
+}
+
+/// Index of the interval containing `x` (clamped to the end intervals).
+fn locate(xs: &[f64], x: f64) -> usize {
+    if x <= xs[0] {
+        return 0;
+    }
+    if x >= xs[xs.len() - 1] {
+        return xs.len() - 2;
+    }
+    // Binary search for the rightmost xs[i] <= x.
+    let mut lo = 0;
+    let mut hi = xs.len() - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if xs[mid] <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Piecewise-linear interpolant with constant extrapolation at the ends.
+///
+/// # Example
+///
+/// ```
+/// use fefet_numerics::interp::Linear;
+///
+/// # fn main() -> Result<(), fefet_numerics::Error> {
+/// let f = Linear::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 0.0])?;
+/// assert_eq!(f.eval(0.5), 5.0);
+/// assert_eq!(f.eval(-1.0), 0.0); // clamped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl Linear {
+    /// Builds the interpolant.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] if grids mismatch, are too short, or `xs`
+    /// is not strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        check_grid(&xs, &ys)?;
+        Ok(Linear { xs, ys })
+    }
+
+    /// Evaluates the interpolant at `x` (constant beyond the grid).
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        let n = self.xs.len();
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let i = locate(&self.xs, x);
+        let t = (x - self.xs[i]) / (self.xs[i + 1] - self.xs[i]);
+        self.ys[i] + t * (self.ys[i + 1] - self.ys[i])
+    }
+
+    /// The abscissae.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The ordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+}
+
+/// Monotone cubic interpolation (Fritsch-Carlson): C¹ smooth and free of
+/// the overshoot that plain cubic splines produce on monotone data — the
+/// right choice for interpolating measured I-V curves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonotoneCubic {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    slopes: Vec<f64>,
+}
+
+impl MonotoneCubic {
+    /// Builds the interpolant.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Linear::new`].
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        check_grid(&xs, &ys)?;
+        let n = xs.len();
+        let mut d = vec![0.0; n - 1]; // secant slopes
+        for i in 0..n - 1 {
+            d[i] = (ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i]);
+        }
+        let mut m = vec![0.0; n];
+        m[0] = d[0];
+        m[n - 1] = d[n - 2];
+        for i in 1..n - 1 {
+            m[i] = if d[i - 1] * d[i] <= 0.0 {
+                0.0
+            } else {
+                0.5 * (d[i - 1] + d[i])
+            };
+        }
+        // Fritsch-Carlson monotonicity limiter.
+        for i in 0..n - 1 {
+            if d[i] == 0.0 {
+                m[i] = 0.0;
+                m[i + 1] = 0.0;
+            } else {
+                let a = m[i] / d[i];
+                let b = m[i + 1] / d[i];
+                let s = a * a + b * b;
+                if s > 9.0 {
+                    let tau = 3.0 / s.sqrt();
+                    m[i] = tau * a * d[i];
+                    m[i + 1] = tau * b * d[i];
+                }
+            }
+        }
+        Ok(MonotoneCubic { xs, ys, slopes: m })
+    }
+
+    /// Evaluates the interpolant at `x` (constant beyond the grid).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let i = locate(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = (x - self.xs[i]) / h;
+        let t2 = t * t;
+        let t3 = t2 * t;
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.ys[i]
+            + h10 * h * self.slopes[i]
+            + h01 * self.ys[i + 1]
+            + h11 * h * self.slopes[i + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_basic() {
+        let f = Linear::new(vec![0.0, 1.0, 3.0], vec![0.0, 2.0, 6.0]).unwrap();
+        assert_eq!(f.eval(0.5), 1.0);
+        assert_eq!(f.eval(2.0), 4.0);
+        assert_eq!(f.eval(1.0), 2.0);
+    }
+
+    #[test]
+    fn linear_clamps_outside() {
+        let f = Linear::new(vec![0.0, 1.0], vec![5.0, 7.0]).unwrap();
+        assert_eq!(f.eval(-10.0), 5.0);
+        assert_eq!(f.eval(10.0), 7.0);
+    }
+
+    #[test]
+    fn linear_rejects_bad_grids() {
+        assert!(Linear::new(vec![0.0, 1.0], vec![1.0]).is_err());
+        assert!(Linear::new(vec![0.0], vec![1.0]).is_err());
+        assert!(Linear::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(Linear::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn locate_endpoints() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(locate(&xs, -1.0), 0);
+        assert_eq!(locate(&xs, 0.0), 0);
+        assert_eq!(locate(&xs, 3.0), 2);
+        assert_eq!(locate(&xs, 4.0), 2);
+        assert_eq!(locate(&xs, 1.5), 1);
+        assert_eq!(locate(&xs, 2.5), 2);
+    }
+
+    #[test]
+    fn monotone_cubic_interpolates_nodes() {
+        let xs = vec![0.0, 1.0, 2.0, 4.0];
+        let ys = vec![0.0, 1.0, 4.0, 16.0];
+        let f = MonotoneCubic::new(xs.clone(), ys.clone()).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((f.eval(*x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotone_cubic_no_overshoot() {
+        // Step-like data must stay within [0, 1].
+        let f = MonotoneCubic::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 0.0, 0.5, 1.0, 1.0],
+        )
+        .unwrap();
+        let mut x = 0.0;
+        while x <= 4.0 {
+            let y = f.eval(x);
+            assert!((-1e-12..=1.0 + 1e-12).contains(&y), "overshoot at {x}: {y}");
+            x += 0.01;
+        }
+    }
+
+    #[test]
+    fn monotone_cubic_monotone_output_on_monotone_data() {
+        let f = MonotoneCubic::new(
+            vec![0.0, 0.5, 1.0, 2.0, 5.0],
+            vec![0.0, 1.0, 1.5, 8.0, 9.0],
+        )
+        .unwrap();
+        let mut prev = f.eval(0.0);
+        let mut x = 0.01;
+        while x <= 5.0 {
+            let y = f.eval(x);
+            assert!(y >= prev - 1e-12, "non-monotone at {x}");
+            prev = y;
+            x += 0.01;
+        }
+    }
+
+    #[test]
+    fn monotone_cubic_smoother_than_linear() {
+        // On smooth data the cubic should beat linear interpolation.
+        let xs: Vec<f64> = (0..=10).map(|i| i as f64 * 0.3).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.sin()).collect();
+        let lin = Linear::new(xs.clone(), ys.clone()).unwrap();
+        let cub = MonotoneCubic::new(xs, ys).unwrap();
+        let x = 1.37f64;
+        let exact = x.sin();
+        assert!((cub.eval(x) - exact).abs() < (lin.eval(x) - exact).abs());
+    }
+}

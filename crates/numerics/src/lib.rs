@@ -1,0 +1,51 @@
+//! Numerical kernel for the FEFET nonvolatile-memory reproduction.
+//!
+//! Rust has no mature circuit-simulation ecosystem, so every numerical
+//! primitive the simulator needs is implemented here from scratch:
+//!
+//! - [`complex`] — complex arithmetic and dense complex solves for AC
+//!   (frequency-domain) analysis.
+//! - [`linalg`] — dense matrices, LU factorization with partial pivoting,
+//!   and linear solves (the inner kernel of modified nodal analysis).
+//! - [`roots`] — scalar and multidimensional Newton-Raphson (with damping),
+//!   bisection and Brent's method.
+//! - [`ode`] — explicit RK4, adaptive RKF45, and implicit (backward-Euler /
+//!   trapezoidal) integrators for stiff polarization dynamics.
+//! - [`interp`] — piecewise-linear and monotone-cubic interpolation for
+//!   waveforms and tabulated device data.
+//! - [`quad`] — quadrature (trapezoid, Simpson) and running integrals for
+//!   energy metering.
+//!
+//! # Example
+//!
+//! Solve a small linear system, as the circuit simulator does at every
+//! Newton iteration:
+//!
+//! ```
+//! use fefet_numerics::linalg::Matrix;
+//!
+//! # fn main() -> Result<(), fefet_numerics::Error> {
+//! let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+//! let x = a.solve(&[5.0, 10.0])?;
+//! assert!((x[0] - 1.0).abs() < 1e-12);
+//! assert!((x[1] - 3.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+// `!(b > a)` is used deliberately for NaN-safe argument validation.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod complex;
+pub mod interp;
+pub mod linalg;
+pub mod ode;
+pub mod quad;
+pub mod roots;
+
+mod error;
+
+pub use error::Error;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

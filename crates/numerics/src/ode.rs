@@ -1,0 +1,465 @@
+//! ODE integration: explicit RK4, adaptive RKF45, and implicit
+//! backward-Euler / trapezoidal steppers for stiff systems.
+//!
+//! Landau-Khalatnikov polarization dynamics (`rho dP/dt = E - E_static(P)`)
+//! are moderately stiff near the coercive field, so the device layer uses
+//! the implicit steppers; sweeps and behavioral models use RK4/RKF45.
+
+use crate::roots::{newton_system, NewtonOptions};
+use crate::{Error, Result};
+
+/// A dense solution sample `(t, y)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Time.
+    pub t: f64,
+    /// State vector at `t`.
+    pub y: Vec<f64>,
+}
+
+/// Integrates `dy/dt = f(t, y)` with classic fixed-step RK4.
+///
+/// Returns samples at every step boundary, including `t0` and `t1`.
+///
+/// # Errors
+///
+/// [`Error::InvalidArgument`] if `t1 <= t0` or `steps == 0`.
+///
+/// # Example
+///
+/// ```
+/// use fefet_numerics::ode::rk4;
+///
+/// # fn main() -> Result<(), fefet_numerics::Error> {
+/// // dy/dt = -y, y(0) = 1 -> y(1) = e^-1
+/// let sol = rk4(|_t, y, dy| dy[0] = -y[0], 0.0, &[1.0], 1.0, 100)?;
+/// let last = sol.last().unwrap();
+/// assert!((last.y[0] - (-1.0f64).exp()).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rk4<F>(mut f: F, t0: f64, y0: &[f64], t1: f64, steps: usize) -> Result<Vec<Sample>>
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    if !(t1 > t0) {
+        return Err(Error::InvalidArgument("rk4: need t1 > t0"));
+    }
+    if steps == 0 {
+        return Err(Error::InvalidArgument("rk4: need steps > 0"));
+    }
+    let n = y0.len();
+    let h = (t1 - t0) / steps as f64;
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let mut out = Vec::with_capacity(steps + 1);
+    out.push(Sample { t, y: y.clone() });
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+    for _ in 0..steps {
+        f(t, &y, &mut k1);
+        for i in 0..n {
+            tmp[i] = y[i] + 0.5 * h * k1[i];
+        }
+        f(t + 0.5 * h, &tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = y[i] + 0.5 * h * k2[i];
+        }
+        f(t + 0.5 * h, &tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = y[i] + h * k3[i];
+        }
+        f(t + h, &tmp, &mut k4);
+        for i in 0..n {
+            y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        t += h;
+        out.push(Sample { t, y: y.clone() });
+    }
+    Ok(out)
+}
+
+/// Options for the adaptive RKF45 integrator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveOptions {
+    /// Relative tolerance per step.
+    pub rtol: f64,
+    /// Absolute tolerance per step.
+    pub atol: f64,
+    /// Initial step size; if zero, `(t1-t0)/100` is used.
+    pub h_init: f64,
+    /// Smallest allowed step before giving up.
+    pub h_min: f64,
+    /// Largest allowed step.
+    pub h_max: f64,
+    /// Hard cap on accepted+rejected steps.
+    pub max_steps: usize,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            rtol: 1e-8,
+            atol: 1e-12,
+            h_init: 0.0,
+            h_min: 1e-18,
+            h_max: f64::INFINITY,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// Adaptive Runge-Kutta-Fehlberg 4(5) integration of `dy/dt = f(t, y)`.
+///
+/// # Errors
+///
+/// [`Error::InvalidArgument`] for a bad interval;
+/// [`Error::NoConvergence`] if the step controller stalls at `h_min` or
+/// exceeds `max_steps`.
+pub fn rkf45<F>(
+    mut f: F,
+    t0: f64,
+    y0: &[f64],
+    t1: f64,
+    opts: AdaptiveOptions,
+) -> Result<Vec<Sample>>
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    if !(t1 > t0) {
+        return Err(Error::InvalidArgument("rkf45: need t1 > t0"));
+    }
+    let n = y0.len();
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let mut h = if opts.h_init > 0.0 {
+        opts.h_init
+    } else {
+        (t1 - t0) / 100.0
+    };
+    let mut out = vec![Sample { t, y: y.clone() }];
+    let mut k = vec![vec![0.0; n]; 6];
+    let mut tmp = vec![0.0; n];
+
+    // Fehlberg coefficients.
+    const A: [f64; 6] = [0.0, 0.25, 3.0 / 8.0, 12.0 / 13.0, 1.0, 0.5];
+    const B: [[f64; 5]; 6] = [
+        [0.0, 0.0, 0.0, 0.0, 0.0],
+        [0.25, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+        [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+        [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+        [
+            -8.0 / 27.0,
+            2.0,
+            -3544.0 / 2565.0,
+            1859.0 / 4104.0,
+            -11.0 / 40.0,
+        ],
+    ];
+    const C4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -0.2, 0.0];
+    const C5: [f64; 6] = [
+        16.0 / 135.0,
+        0.0,
+        6656.0 / 12825.0,
+        28561.0 / 56430.0,
+        -9.0 / 50.0,
+        2.0 / 55.0,
+    ];
+
+    let mut nsteps = 0usize;
+    while t < t1 {
+        if nsteps >= opts.max_steps {
+            return Err(Error::NoConvergence {
+                iterations: nsteps,
+                residual: t1 - t,
+            });
+        }
+        nsteps += 1;
+        h = h.min(t1 - t).min(opts.h_max);
+        // Evaluate the six stages.
+        for s in 0..6 {
+            for i in 0..n {
+                let mut acc = y[i];
+                for (j, kj) in k.iter().enumerate().take(s) {
+                    acc += h * B[s][j] * kj[i];
+                }
+                tmp[i] = acc;
+            }
+            let (pre, post) = k.split_at_mut(s);
+            let _ = pre;
+            f(t + A[s] * h, &tmp, &mut post[0]);
+        }
+        // 4th and 5th order estimates and error.
+        let mut err: f64 = 0.0;
+        let mut y5 = vec![0.0; n];
+        for i in 0..n {
+            let mut d4 = y[i];
+            let mut d5 = y[i];
+            for s in 0..6 {
+                d4 += h * C4[s] * k[s][i];
+                d5 += h * C5[s] * k[s][i];
+            }
+            y5[i] = d5;
+            let scale = opts.atol + opts.rtol * y[i].abs().max(d5.abs());
+            err = err.max(((d5 - d4) / scale).abs());
+        }
+        if err <= 1.0 {
+            t += h;
+            y = y5;
+            out.push(Sample { t, y: y.clone() });
+        }
+        // PI-free step update with safety factor.
+        let factor = if err > 0.0 {
+            (0.9 * err.powf(-0.2)).clamp(0.2, 5.0)
+        } else {
+            5.0
+        };
+        h *= factor;
+        if h < opts.h_min {
+            return Err(Error::NoConvergence {
+                iterations: nsteps,
+                residual: err,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Implicit integration method selector for [`implicit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ImplicitMethod {
+    /// Backward Euler: L-stable, first order; heavily damps ringing.
+    BackwardEuler,
+    /// Trapezoidal rule: A-stable, second order; the SPICE default.
+    #[default]
+    Trapezoidal,
+}
+
+/// Integrates `dy/dt = f(t, y)` implicitly with fixed step `h`, using a
+/// Newton solve per step with a finite-difference Jacobian.
+///
+/// Suitable for stiff scalar/small systems such as LK polarization dynamics.
+///
+/// # Errors
+///
+/// [`Error::InvalidArgument`] for bad interval/steps;
+/// [`Error::NoConvergence`] if the per-step Newton fails.
+pub fn implicit<F>(
+    mut f: F,
+    t0: f64,
+    y0: &[f64],
+    t1: f64,
+    steps: usize,
+    method: ImplicitMethod,
+) -> Result<Vec<Sample>>
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    if !(t1 > t0) {
+        return Err(Error::InvalidArgument("implicit: need t1 > t0"));
+    }
+    if steps == 0 {
+        return Err(Error::InvalidArgument("implicit: need steps > 0"));
+    }
+    let n = y0.len();
+    let h = (t1 - t0) / steps as f64;
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let mut out = vec![Sample { t, y: y.clone() }];
+    let mut f_prev = vec![0.0; n];
+    f(t, &y, &mut f_prev);
+    let opts = NewtonOptions {
+        max_iter: 60,
+        tol_residual: 1e-11,
+        tol_step: 1e-13,
+        max_step: f64::INFINITY,
+    };
+    for _ in 0..steps {
+        let t_new = t + h;
+        let y_old = y.clone();
+        let f_old = f_prev.clone();
+        // Residual for the implicit step.
+        let sol = newton_system(
+            |yn, r, jac| {
+                let mut fn_new = vec![0.0; n];
+                f(t_new, yn, &mut fn_new);
+                for i in 0..n {
+                    r[i] = match method {
+                        ImplicitMethod::BackwardEuler => yn[i] - y_old[i] - h * fn_new[i],
+                        ImplicitMethod::Trapezoidal => {
+                            yn[i] - y_old[i] - 0.5 * h * (fn_new[i] + f_old[i])
+                        }
+                    };
+                }
+                // Finite-difference Jacobian of the residual.
+                let mut fp = vec![0.0; n];
+                let mut yp = yn.to_vec();
+                for jcol in 0..n {
+                    let dy = 1e-7 * (1.0 + yn[jcol].abs());
+                    yp[jcol] = yn[jcol] + dy;
+                    f(t_new, &yp, &mut fp);
+                    yp[jcol] = yn[jcol];
+                    for i in 0..n {
+                        let dfdy = (fp[i] - fn_new[i]) / dy;
+                        let coeff = match method {
+                            ImplicitMethod::BackwardEuler => h,
+                            ImplicitMethod::Trapezoidal => 0.5 * h,
+                        };
+                        jac[(i, jcol)] = if i == jcol { 1.0 } else { 0.0 } - coeff * dfdy;
+                    }
+                }
+            },
+            &y_old,
+            opts,
+        )?;
+        y = sol.x;
+        t = t_new;
+        f(t, &y, &mut f_prev);
+        out.push(Sample { t, y: y.clone() });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp_decay(_t: f64, y: &[f64], dy: &mut [f64]) {
+        dy[0] = -y[0];
+    }
+
+    #[test]
+    fn rk4_exp_decay_fourth_order() {
+        // Halving the step should cut the error ~16x.
+        let exact = (-1.0f64).exp();
+        let e1 = (rk4(exp_decay, 0.0, &[1.0], 1.0, 10).unwrap().last().unwrap().y[0] - exact)
+            .abs();
+        let e2 = (rk4(exp_decay, 0.0, &[1.0], 1.0, 20).unwrap().last().unwrap().y[0] - exact)
+            .abs();
+        assert!(e1 / e2 > 12.0, "order too low: ratio {}", e1 / e2);
+    }
+
+    #[test]
+    fn rk4_rejects_bad_args() {
+        assert!(rk4(exp_decay, 1.0, &[1.0], 0.0, 10).is_err());
+        assert!(rk4(exp_decay, 0.0, &[1.0], 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn rk4_harmonic_oscillator_energy() {
+        // y'' = -y as a system; energy should be nearly conserved over one period.
+        let f = |_t: f64, y: &[f64], dy: &mut [f64]| {
+            dy[0] = y[1];
+            dy[1] = -y[0];
+        };
+        let sol = rk4(f, 0.0, &[1.0, 0.0], 2.0 * std::f64::consts::PI, 1000).unwrap();
+        let last = sol.last().unwrap();
+        let energy = last.y[0] * last.y[0] + last.y[1] * last.y[1];
+        assert!((energy - 1.0).abs() < 1e-9);
+        assert!((last.y[0] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rkf45_exp_decay_meets_tolerance() {
+        let sol = rkf45(
+            exp_decay,
+            0.0,
+            &[1.0],
+            5.0,
+            AdaptiveOptions {
+                rtol: 1e-10,
+                ..AdaptiveOptions::default()
+            },
+        )
+        .unwrap();
+        let last = sol.last().unwrap();
+        assert!((last.t - 5.0).abs() < 1e-12);
+        assert!((last.y[0] - (-5.0f64).exp()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rkf45_adapts_step_on_stiff_spike() {
+        // y' = -1000 (y - sin t) + cos t has a fast transient; RKF45 should
+        // survive with small initial step.
+        let f = |t: f64, y: &[f64], dy: &mut [f64]| {
+            dy[0] = -1000.0 * (y[0] - t.sin()) + t.cos();
+        };
+        let sol = rkf45(
+            f,
+            0.0,
+            &[1.0],
+            1.0,
+            AdaptiveOptions {
+                rtol: 1e-6,
+                atol: 1e-9,
+                ..AdaptiveOptions::default()
+            },
+        )
+        .unwrap();
+        let last = sol.last().unwrap();
+        assert!((last.y[0] - 1.0f64.sin()).abs() < 1e-4);
+        // Step count should be far below the explicit-Euler stability bound
+        // requirement (which would need h < 2e-3 over the smooth region...
+        // the controller should take larger steps there).
+        assert!(sol.len() < 5000);
+    }
+
+    #[test]
+    fn rkf45_rejects_bad_interval() {
+        assert!(rkf45(exp_decay, 1.0, &[1.0], 1.0, AdaptiveOptions::default()).is_err());
+    }
+
+    #[test]
+    fn implicit_be_stable_on_very_stiff_problem() {
+        // lambda = -1e6 with h far beyond the explicit stability limit.
+        let f = |_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = -1e6 * y[0];
+        let sol = implicit(f, 0.0, &[1.0], 1e-3, 10, ImplicitMethod::BackwardEuler).unwrap();
+        let last = sol.last().unwrap();
+        assert!(last.y[0].abs() < 1e-2);
+        assert!(last.y[0] >= 0.0, "BE must not oscillate");
+    }
+
+    #[test]
+    fn implicit_trap_second_order() {
+        let exact = (-1.0f64).exp();
+        let run = |steps| {
+            implicit(exp_decay, 0.0, &[1.0], 1.0, steps, ImplicitMethod::Trapezoidal)
+                .unwrap()
+                .last()
+                .unwrap()
+                .y[0]
+        };
+        let e1 = (run(20) - exact).abs();
+        let e2 = (run(40) - exact).abs();
+        assert!(e1 / e2 > 3.5, "trap order too low: ratio {}", e1 / e2);
+    }
+
+    #[test]
+    fn implicit_rejects_bad_args() {
+        let f = |_t: f64, _y: &[f64], dy: &mut [f64]| dy[0] = 0.0;
+        assert!(implicit(f, 1.0, &[0.0], 0.0, 5, ImplicitMethod::Trapezoidal).is_err());
+        assert!(implicit(f, 0.0, &[0.0], 1.0, 0, ImplicitMethod::Trapezoidal).is_err());
+    }
+
+    #[test]
+    fn implicit_nonlinear_logistic() {
+        // y' = y (1 - y), y(0)=0.1; exact logistic solution.
+        let f = |_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = y[0] * (1.0 - y[0]);
+        let sol = implicit(f, 0.0, &[0.1], 5.0, 200, ImplicitMethod::Trapezoidal).unwrap();
+        let last = sol.last().unwrap();
+        let exact = 0.1 * (5.0f64).exp() / (1.0 + 0.1 * ((5.0f64).exp() - 1.0));
+        assert!((last.y[0] - exact).abs() < 1e-4);
+    }
+
+    #[test]
+    fn samples_are_monotone_in_time() {
+        let sol = rkf45(exp_decay, 0.0, &[1.0], 1.0, AdaptiveOptions::default()).unwrap();
+        for w in sol.windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Energy-harvesting nonvolatile-processor (NVP) simulator (paper §7).
+//!
+//! Models the non-pipelined, on-demand all-backup (ODAB) NVP of Fig 12
+//! (after Ma et al., HPCA'15): a core powered from a small storage
+//! capacitor charged by an ambient (Wi-Fi) harvester. When stored energy
+//! falls to the backup reserve, the nonvolatile controller saves the
+//! architectural state (PC + register file) into the NVM backup block;
+//! when power returns, the state is restored and execution resumes.
+//!
+//! The NVM backup block is parameterized by the Table 3 memory
+//! parameters ([`fefet_mem::NvmParams`]), so the same system model
+//! evaluates the proposed FEFET memory against the FERAM baseline
+//! (Fig 13: 22-38 % higher forward progress, average ≈27 %, with the
+//! largest gains on the weakest power traces).
+//!
+//! - [`harvester`] — stochastic Wi-Fi-harvester power traces (seeded,
+//!   reproducible) across strength scenarios.
+//! - [`workload`] — MiBench-like benchmark models (energy per cycle).
+//! - [`processor`] — the NVP state machine and forward-progress
+//!   accounting (event-driven, exact within trace segments).
+//! - [`study`] — the Fig 13 experiment: benchmarks × memories, plus the
+//!   harvested-power sweep behind the "lowest-power scenarios benefit
+//!   most" claim.
+
+pub mod harvester;
+pub mod processor;
+pub mod study;
+pub mod workload;
+
+pub use harvester::{HarvesterScenario, PowerTrace};
+pub use processor::{simulate, BackupPolicy, NvpConfig, NvpRun};
+pub use workload::{mibench_suite, Benchmark};

@@ -1,0 +1,116 @@
+//! The paper's headline claims, asserted end-to-end (the DESIGN.md
+//! "headline claims" checklist).
+
+use fefet::device::design::nonvolatility_boundary;
+use fefet::device::paper_fefet;
+use fefet::mem::compare::{iso_comparison, NvmParams};
+use fefet::mem::layout::area_ratio;
+use fefet::mem::cell::FefetCell;
+use fefet::mem::feram::FeramCell;
+use fefet::mem::sense::ReadTiming;
+use fefet::nvp::harvester::HarvesterScenario;
+use fefet::nvp::study::fig13;
+
+#[test]
+fn claim_1_thickness_boundary_and_window() {
+    // "T_FE > ~1.9 nm required for non-volatility; 2.25 nm gives a
+    // roughly half-volt hysteresis."
+    let t = nonvolatility_boundary(&paper_fefet(), 1.9e-9, 2.25e-9).unwrap();
+    assert!((1.9e-9..2.05e-9).contains(&t), "{:.3} nm", t * 1e9);
+    let sweep = paper_fefet().sweep_id_vg(-1.0, 1.0, 400, 0.05);
+    let (d, u) = sweep.window(0.05).unwrap();
+    assert!((0.25..0.75).contains(&(u - d)));
+    assert!(d < 0.0 && u > 0.0);
+}
+
+#[test]
+fn claim_2_nc_cuts_the_switching_voltage() {
+    // "the coercive voltage of FEFETs can be reduced in comparison to FE
+    // capacitors": at 2.5 nm the FEFET loop sits inside ±1 V while the
+    // bare film needs ≈±3 V.
+    use fefet::ckt::models::FeCapParams;
+    use fefet::device::fecap::sweep_fecap;
+    let dev = paper_fefet().with_thickness(2.5e-9);
+    let (v_dn, v_up) = dev.sweep_id_vg(-1.2, 1.2, 400, 0.05).window(0.05).unwrap();
+    assert!(v_up.abs() < 1.0 && v_dn.abs() < 1.0);
+    let cap = FeCapParams::new(2.5e-9, 65e-9 * 65e-9);
+    let lp = sweep_fecap(&cap, 4.0, 1e-6, 3000);
+    assert!(lp.v_switch_up().unwrap() > 2.0);
+    assert!(lp.v_switch_down().unwrap() < -2.0);
+}
+
+#[test]
+fn claim_3_six_orders_distinguishability() {
+    let dev = paper_fefet();
+    let states = dev.stable_states_at_zero();
+    let lo = states.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = states.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let ratio = dev.drain_current(hi, 0.4) / dev.drain_current(lo, 0.4);
+    assert!(ratio > 1e6, "ratio {ratio:.2e}");
+}
+
+#[test]
+fn claim_4_iso_write_time_wins() {
+    // Voltage and write energy strongly reduced at iso write time.
+    let cmp = iso_comparison(&FefetCell::default(), &FeramCell::default(), 0.8e-9, 32)
+        .expect("comparison");
+    assert!(cmp.voltage_reduction > 0.45, "{}", cmp.voltage_reduction);
+    assert!(cmp.write_energy_reduction > 0.5, "{}", cmp.write_energy_reduction);
+}
+
+#[test]
+fn claim_5_disturb_free_read_and_quiescent_hold() {
+    // Non-destructive, disturb-free read under the Table 1 bias, and the
+    // all-zero hold state.
+    use fefet::mem::array::FefetArray;
+    let mut a = FefetArray::new(2, 2, FefetCell::default());
+    a.write_row(0, &[true, false], 1.0e-9).unwrap();
+    a.write_row(1, &[false, true], 1.0e-9).unwrap();
+    let before: Vec<f64> = (0..2)
+        .flat_map(|i| (0..2).map(move |j| (i, j)))
+        .map(|(i, j)| a.polarization(i, j))
+        .collect();
+    let r = a.read_row(0, 3e-9).unwrap();
+    assert_eq!(r.bits, vec![true, false]);
+    assert!(r.max_sneak < 1e-8);
+    for (k, (i, j)) in (0..2)
+        .flat_map(|i| (0..2).map(move |j| (i, j)))
+        .enumerate()
+    {
+        assert!(
+            (a.polarization(i, j) - before[k]).abs() < 0.02,
+            "cell ({i},{j}) moved"
+        );
+    }
+    // Hold biasing is all-zero (zero standby).
+    let h = fefet::mem::BiasSpec::default().row_bias(fefet::mem::Operation::Hold, true);
+    assert_eq!(
+        (h.read_select, h.write_select, h.bit_line, h.sense_line),
+        (0.0, 0.0, 0.0, 0.0)
+    );
+}
+
+#[test]
+fn claim_6_area_ratio() {
+    let r = area_ratio();
+    assert!((2.2..2.6).contains(&r), "area ratio {r:.2}");
+}
+
+#[test]
+fn claim_7_read_time() {
+    let t = ReadTiming::default();
+    assert!((t.total_sequential() - 3.0e-9).abs() < 1e-15);
+}
+
+#[test]
+fn claim_8_nvp_forward_progress() {
+    let data = fig13(
+        HarvesterScenario::Weak,
+        0.5,
+        17,
+        NvmParams::paper_fefet(),
+        NvmParams::paper_feram(),
+    );
+    let mean = data.mean_improvement();
+    assert!((0.2..0.4).contains(&mean), "mean {:.3}", mean);
+}
