@@ -1,42 +1,40 @@
-//! Criterion benches over the figure-regeneration workloads themselves:
-//! how long each paper experiment takes to reproduce.
+//! Benches over the figure-regeneration workloads themselves: how long
+//! each paper experiment takes to reproduce.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fefet_bench::tinybench::bench;
 use fefet_device::paper_fefet;
 use fefet_mem::cell::FefetCell;
 use fefet_mem::NvmParams;
 use fefet_nvp::harvester::HarvesterScenario;
 use fefet_nvp::processor::{simulate, NvpConfig};
 use fefet_nvp::workload::mibench_suite;
-use std::hint::black_box;
 
-fn bench_fig2_sweep(c: &mut Criterion) {
+fn bench_fig2_sweep() {
     let dev = paper_fefet();
-    c.bench_function("fig2_idvg_sweep_100pts", |b| {
-        b.iter(|| black_box(dev.sweep_id_vg(-1.0, 1.0, 100, 0.4)))
+    bench("fig2_idvg_sweep_100pts", || {
+        dev.sweep_id_vg(-1.0, 1.0, 100, 0.4)
     });
 }
 
-fn bench_fig6_cell_write(c: &mut Criterion) {
+fn bench_fig6_cell_write() {
     let cell = FefetCell::default();
     let (p_lo, _) = cell.memory_states();
-    c.bench_function("fig6_cell_write_transient", |b| {
-        b.iter(|| black_box(cell.write(true, p_lo, 1.0e-9).unwrap()))
+    bench("fig6_cell_write_transient", || {
+        cell.write(true, p_lo, 1.0e-9).unwrap()
     });
 }
 
-fn bench_fig13_nvp(c: &mut Criterion) {
+fn bench_fig13_nvp() {
     let trace = HarvesterScenario::Weak.trace(0.5, 17);
     let cfg = NvpConfig::with_nvm(NvmParams::paper_fefet());
-    let bench = mibench_suite()[0];
-    c.bench_function("fig13_nvp_half_second_trace", |b| {
-        b.iter(|| black_box(simulate(&cfg, &trace, &bench)))
+    let bench_wl = mibench_suite()[0];
+    bench("fig13_nvp_half_second_trace", || {
+        simulate(&cfg, &trace, &bench_wl)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig2_sweep, bench_fig6_cell_write, bench_fig13_nvp
+fn main() {
+    bench_fig2_sweep();
+    bench_fig6_cell_write();
+    bench_fig13_nvp();
 }
-criterion_main!(benches);

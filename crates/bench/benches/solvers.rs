@@ -1,17 +1,15 @@
-//! Criterion performance benches for the numerical substrate: the LU
-//! kernel, the transient engine, and the LK polarization stepper.
+//! Performance benches for the numerical substrate: the LU kernel, the
+//! transient engine, and the LK polarization stepper.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fefet_bench::tinybench::{bench, opaque};
 use fefet_ckt::circuit::Circuit;
 use fefet_ckt::transient::{transient, TransientOptions};
 use fefet_ckt::waveform::Waveform;
 use fefet_device::dynamics::integrate;
 use fefet_device::paper_fefet;
 use fefet_numerics::linalg::{LuFactors, Matrix};
-use std::hint::black_box;
 
-fn bench_lu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lu_factor_solve");
+fn bench_lu() {
     for n in [8usize, 16, 32, 64] {
         // Diagonally dominant matrix like an MNA system.
         let mut m = Matrix::zeros(n, n);
@@ -25,17 +23,14 @@ fn bench_lu(c: &mut Criterion) {
             m[(i, i)] += 1.0;
         }
         let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| {
-                let lu = LuFactors::factor(black_box(m.clone())).unwrap();
-                black_box(lu.solve(&b).unwrap())
-            })
+        bench(&format!("lu_factor_solve/{n}"), || {
+            let lu = LuFactors::factor(opaque(m.clone())).unwrap();
+            lu.solve(&b).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_rc_transient(c: &mut Criterion) {
+fn bench_rc_transient() {
     let mut ckt = Circuit::new();
     let vin = ckt.node("in");
     let mut prev = vin;
@@ -52,39 +47,32 @@ fn bench_rc_transient(c: &mut Criterion) {
         Circuit::GND,
         Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 5e-9),
     );
-    c.bench_function("transient_rc_ladder_1000_steps", |b| {
-        b.iter(|| {
-            black_box(
-                transient(
-                    &ckt,
-                    10e-9,
-                    TransientOptions {
-                        dt: 10e-12,
-                        ..TransientOptions::default()
-                    },
-                )
-                .unwrap(),
-            )
-        })
+    bench("transient_rc_ladder_1000_steps", || {
+        transient(
+            &ckt,
+            10e-9,
+            TransientOptions {
+                dt: 10e-12,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap()
     });
 }
 
-fn bench_lk_stepper(c: &mut Criterion) {
+fn bench_lk_stepper() {
     let dev = paper_fefet();
-    c.bench_function("lk_write_transient_2000_steps", |b| {
-        b.iter(|| {
-            let rate = |_t: f64, p: f64| {
-                let v_fe = 0.68 - dev.mos.v_gate_of_density(p);
-                (v_fe - dev.fe.v_static(p)) / (dev.fe.thickness * dev.fe.lk.rho)
-            };
-            black_box(integrate(rate, black_box(-0.18), 2e-9, 2000))
-        })
+    bench("lk_write_transient_2000_steps", || {
+        let rate = |_t: f64, p: f64| {
+            let v_fe = 0.68 - dev.mos.v_gate_of_density(p);
+            (v_fe - dev.fe.v_static(p)) / (dev.fe.thickness * dev.fe.lk.rho)
+        };
+        integrate(rate, opaque(-0.18), 2e-9, 2000).unwrap()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_lu, bench_rc_transient, bench_lk_stepper
+fn main() {
+    bench_lu();
+    bench_rc_transient();
+    bench_lk_stepper();
 }
-criterion_main!(benches);

@@ -35,14 +35,21 @@ fn ablate_unaccessed_select() {
         let mut a = FefetArray::new(2, 2, cell);
         a.write_row(1, &[true, true], 1.0e-9).expect("park row 1");
         // Opposite-polarity write on row 0 stresses row 1's isolation.
-        let op = a.write_row(0, &[false, false], 1.0e-9).expect("write row 0");
+        let op = a
+            .write_row(0, &[false, false], 1.0e-9)
+            .expect("write row 0");
         (op.max_disturb, a.bit(1, 0) && a.bit(1, 1))
     };
     let (d_paper, intact_paper) = run(false);
     let (d_ablate, intact_ablate) = run(true);
     println!("paper bias (-V_DD): disturb {d_paper:.2e} C/m^2, row-1 data intact: {intact_paper}");
-    println!("ablated bias (0 V): disturb {d_ablate:.2e} C/m^2, row-1 data intact: {intact_ablate}");
-    println!("isolation degradation: {:.0}x", d_ablate / d_paper.max(1e-12));
+    println!(
+        "ablated bias (0 V): disturb {d_ablate:.2e} C/m^2, row-1 data intact: {intact_ablate}"
+    );
+    println!(
+        "isolation degradation: {:.0}x",
+        d_ablate / d_paper.max(1e-12)
+    );
 }
 
 /// §4.1: "we boost the select line voltage" — without the boost the
@@ -56,7 +63,9 @@ fn ablate_boost() {
         let w = cell.write(true, p_lo, 4e-9).expect("write");
         println!(
             "{label}: commit {} | final P {:+.3}",
-            w.switch_time.map(fmt_time).unwrap_or_else(|| "FAILED".into()),
+            w.switch_time
+                .map(fmt_time)
+                .unwrap_or_else(|| "FAILED".into()),
             w.p_final
         );
     }
@@ -80,7 +89,12 @@ fn ablate_clamp() {
             Waveform::pulse(0.0, 0.4, 0.2e-9, 50e-12, 50e-12, 3e-9),
         );
         // Gate stack held at the stored state (gate clamped per Table 1).
-        c.vsource("Vgi", gi, Circuit::GND, Waveform::dc(cell.fefet.v_mos_of(p_hi)));
+        c.vsource(
+            "Vgi",
+            gi,
+            Circuit::GND,
+            Waveform::dc(cell.fefet.v_mos_of(p_hi)),
+        );
         c.mosfet("Mfet", rs, gi, sl, cell.fefet.mos);
         c.capacitor("Csl", sl, Circuit::GND, cell.c_sense_line);
         c.resistor("Rload", sl, Circuit::GND, r_load);
@@ -95,7 +109,11 @@ fn ablate_clamp() {
         .expect("sim");
         let i = tr.value_at("i(Mfet)", 3.0e-9).unwrap_or(0.0);
         let v_sl = tr.value_at("v(sl)", 3.0e-9).unwrap_or(0.0);
-        println!("{label}: read current {} | sense line at {:.3} V", fmt_current(i), v_sl);
+        println!(
+            "{label}: read current {} | sense line at {:.3} V",
+            fmt_current(i),
+            v_sl
+        );
     }
 }
 
@@ -110,7 +128,10 @@ fn ablate_precharge() {
         t_precharge: 0.0,
         ..chain
     };
-    let fast_t = chain.read_bit(&cell, p_hi, 25e-9).expect("sense").t_decision;
+    let fast_t = chain
+        .read_bit(&cell, p_hi, 25e-9)
+        .expect("sense")
+        .t_decision;
     let slow_t = slow.read_bit(&cell, p_hi, 25e-9).expect("sense").t_decision;
     println!(
         "with pre-charge:    decision at {}",

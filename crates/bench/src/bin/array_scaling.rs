@@ -21,11 +21,7 @@ fn main() {
         let pattern: Vec<bool> = (0..n).map(|j| j % 2 == 0).collect();
         let w = a.write_row(0, &pattern, 1.0e-9).expect("write");
         let r = a.read_row(0, 3e-9).expect("read");
-        let i_on = r
-            .currents
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let i_on = r.currents.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let i_off = r
             .currents
             .iter()

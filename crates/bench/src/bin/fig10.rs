@@ -44,11 +44,15 @@ fn main() {
     let r_min = iso_write_voltage(&rp, t_target);
     println!(
         "FEFET: lowest voltage meeting 550 ps = {} (paper: fails below ~0.5 V)",
-        f_min.map(|p| format!("{:.2} V", p.voltage)).unwrap_or_else(|| "none".into())
+        f_min
+            .map(|p| format!("{:.2} V", p.voltage))
+            .unwrap_or_else(|| "none".into())
     );
     println!(
         "FERAM: lowest voltage meeting 550 ps = {} (paper: fails below ~1.5 V)",
-        r_min.map(|p| format!("{:.2} V", p.voltage)).unwrap_or_else(|| "none".into())
+        r_min
+            .map(|p| format!("{:.2} V", p.voltage))
+            .unwrap_or_else(|| "none".into())
     );
     if let (Some(f), Some(r)) = (f_min, r_min) {
         println!(

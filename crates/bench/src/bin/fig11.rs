@@ -30,7 +30,11 @@ fn main() {
             }
         }
         let tiled = cell.tile(2, 2);
-        println!("2x2 array: {} rects, footprint {:.0} λ²", tiled.len(), 4.0 * cell.area_lambda2());
+        println!(
+            "2x2 array: {} rects, footprint {:.0} λ²",
+            tiled.len(),
+            4.0 * cell.area_lambda2()
+        );
     }
 
     section("Area comparison (paper: 2.4x)");

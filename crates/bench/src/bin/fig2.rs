@@ -21,8 +21,13 @@ fn main() {
             fmt_current(d.i_d)
         );
     }
-    let (v_dn, v_up) = sweep.window(0.05).expect("2.25 nm device must be hysteretic");
-    println!("hysteresis window: [{v_dn:.3}, {v_up:.3}] V (width {:.3} V)", v_up - v_dn);
+    let (v_dn, v_up) = sweep
+        .window(0.05)
+        .expect("2.25 nm device must be hysteretic");
+    println!(
+        "hysteresis window: [{v_dn:.3}, {v_up:.3}] V (width {:.3} V)",
+        v_up - v_dn
+    );
 
     section("Fig 2(a): zero-bias memory states");
     let states = dev.stable_states_at_zero();
@@ -30,24 +35,24 @@ fn main() {
     let p_b = states.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let i_a = dev.drain_current(p_a, 0.4);
     let i_b = dev.drain_current(p_b, 0.4);
-    println!("state A (bit 0): P = {p_a:+.3} C/m^2, I_D = {}", fmt_current(i_a));
-    println!("state B (bit 1): P = {p_b:+.3} C/m^2, I_D = {}", fmt_current(i_b));
+    println!(
+        "state A (bit 0): P = {p_a:+.3} C/m^2, I_D = {}",
+        fmt_current(i_a)
+    );
+    println!(
+        "state B (bit 1): P = {p_b:+.3} C/m^2, I_D = {}",
+        fmt_current(i_b)
+    );
     println!("distinguishability I_B/I_A = {:.2e}", i_b / i_a);
 
     section("Fig 2(b): polarization retention after write pulses");
     println!("{:>9} {:>12} {:>12}", "t (ns)", "P after +W", "P after -W");
-    let pos = dev.transient(
-        |t| if t < 2e-9 { 0.68 } else { 0.0 },
-        p_a,
-        50e-9,
-        2000,
-    );
-    let neg = dev.transient(
-        |t| if t < 2e-9 { -0.68 } else { 0.0 },
-        p_b,
-        50e-9,
-        2000,
-    );
+    let pos = dev
+        .transient(|t| if t < 2e-9 { 0.68 } else { 0.0 }, p_a, 50e-9, 2000)
+        .expect("write-1 transient");
+    let neg = dev
+        .transient(|t| if t < 2e-9 { -0.68 } else { 0.0 }, p_b, 50e-9, 2000)
+        .expect("write-0 transient");
     for (a, b) in downsample(&pos, 11).iter().zip(downsample(&neg, 11).iter()) {
         println!("{:>9.2} {:>12.4} {:>12.4}", a.t * 1e9, a.p, b.p);
     }

@@ -31,12 +31,9 @@ fn main() {
     }
 
     section("Fig 3(b): polarization falls back after the write pulse");
-    let relax = dev.transient(
-        |t| if t < 2e-9 { -0.68 } else { 0.0 },
-        0.0,
-        50e-9,
-        2000,
-    );
+    let relax = dev
+        .transient(|t| if t < 2e-9 { -0.68 } else { 0.0 }, 0.0, 50e-9, 2000)
+        .expect("relaxation transient");
     println!("{:>9} {:>10}", "t (ns)", "P (C/m^2)");
     for s in downsample(&relax, 13) {
         println!("{:>9.2} {:>10.4}", s.t * 1e9, s.p);
@@ -46,8 +43,5 @@ fn main() {
         relax.last().unwrap().p,
         !dev.is_nonvolatile()
     );
-    println!(
-        "zero-bias stable states: {:?}",
-        dev.stable_states_at_zero()
-    );
+    println!("zero-bias stable states: {:?}", dev.stable_states_at_zero());
 }

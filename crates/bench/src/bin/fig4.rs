@@ -5,14 +5,17 @@
 //! reduction of the switching voltage.
 
 use fefet_bench::{downsample, section};
+use fefet_ckt::models::FeCapParams;
 use fefet_device::fecap::sweep_fecap;
 use fefet_device::loadline::{fe_s_curve, intersection_count, max_intersections, mos_load_line};
 use fefet_device::paper_fefet;
-use fefet_ckt::models::FeCapParams;
 
 fn main() {
     section("Fig 4(a): FE S-curve (Q vs V_FE) per thickness");
-    println!("{:>10} {:>12} {:>12} {:>12}", "P (C/m^2)", "V@1.0nm", "V@2.25nm", "V@2.5nm");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "P (C/m^2)", "V@1.0nm", "V@2.25nm", "V@2.5nm"
+    );
     let d1 = paper_fefet().with_thickness(1.0e-9);
     let d225 = paper_fefet();
     let d25 = paper_fefet().with_thickness(2.5e-9);
@@ -45,13 +48,17 @@ fn main() {
     section("Fig 4(b): FEFET loop vs stand-alone FE capacitor, T_FE = 2.5 nm");
     let fefet25 = d25.sweep_id_vg(-1.2, 1.2, 400, 0.05);
     let (v_dn, v_up) = fefet25.window(0.05).expect("2.5 nm FEFET loop");
-    println!("FEFET switching voltages: [{v_dn:+.3}, {v_up:+.3}] V (inside ±1 V: {})",
-        v_up.abs() < 1.0 && v_dn.abs() < 1.0);
+    println!(
+        "FEFET switching voltages: [{v_dn:+.3}, {v_up:+.3}] V (inside ±1 V: {})",
+        v_up.abs() < 1.0 && v_dn.abs() < 1.0
+    );
     let cap = FeCapParams::new(2.5e-9, 65e-9 * 65e-9);
-    let lp = sweep_fecap(&cap, 4.0, 1e-6, 4000);
+    let lp = sweep_fecap(&cap, 4.0, 1e-6, 4000).expect("capacitor sweep");
     let (cu, cd) = (lp.v_switch_up().unwrap(), lp.v_switch_down().unwrap());
-    println!("stand-alone FE cap switching voltages: [{cd:+.3}, {cu:+.3}] V (outside ±2 V: {})",
-        cu > 2.0 && cd < -2.0);
+    println!(
+        "stand-alone FE cap switching voltages: [{cd:+.3}, {cu:+.3}] V (outside ±2 V: {})",
+        cu > 2.0 && cd < -2.0
+    );
     println!(
         "NC switching-voltage reduction: {:.1}x",
         cu / v_up.max(1e-9)

@@ -14,7 +14,9 @@ fn main() {
     print_wave(&w1.trace, &["v(bl)", "v(ws)", "v(g)", "p(Ffe)"]);
     println!(
         "switch time {} | final P {:+.3} C/m^2 | driver energy {}",
-        w1.switch_time.map(fmt_time).unwrap_or_else(|| "FAILED".into()),
+        w1.switch_time
+            .map(fmt_time)
+            .unwrap_or_else(|| "FAILED".into()),
         w1.p_final,
         fmt_energy(w1.energy)
     );
@@ -32,7 +34,9 @@ fn main() {
     print_wave(&w0.trace, &["v(bl)", "v(ws)", "v(g)", "p(Ffe)"]);
     println!(
         "switch time {} | final P {:+.3} C/m^2 | driver energy {}",
-        w0.switch_time.map(fmt_time).unwrap_or_else(|| "FAILED".into()),
+        w0.switch_time
+            .map(fmt_time)
+            .unwrap_or_else(|| "FAILED".into()),
         w0.p_final,
         fmt_energy(w0.energy)
     );

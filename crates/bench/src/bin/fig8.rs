@@ -40,7 +40,10 @@ fn main() {
         fmt_time(t.t_sa),
         fmt_time(t.t_buffer)
     );
-    println!("eq. (2) total (overlapped decode):   {}", fmt_time(t.total()));
+    println!(
+        "eq. (2) total (overlapped decode):   {}",
+        fmt_time(t.total())
+    );
     println!(
         "paper's quoted total (sequential sum): {} — the paper's \"3.0 nS\" \
          matches the sum, not eq. (2)",
@@ -60,7 +63,10 @@ fn print_wave(trace: &fefet_ckt::trace::Trace) {
     for k in (0..t.len()).step_by(step) {
         print!("{:>9.3}", t[k] * 1e9);
         for s in signals {
-            print!(" {:>10.4}", trace.signal(s).map(|x| x[k]).unwrap_or(f64::NAN));
+            print!(
+                " {:>10.4}",
+                trace.signal(s).map(|x| x[k]).unwrap_or(f64::NAN)
+            );
         }
         println!();
     }

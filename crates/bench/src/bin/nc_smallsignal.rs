@@ -23,10 +23,7 @@ fn main() {
 
     section("NC voltage step-up across a series dielectric (AC, 1 MHz)");
     let c_fe = fe.capacitance_density(0.0) * fe.area; // negative
-    println!(
-        "{:>12} {:>10} {:>10}",
-        "C_load/|C_FE|", "|gain|", "theory"
-    );
+    println!("{:>12} {:>10} {:>10}", "C_load/|C_FE|", "|gain|", "theory");
     for frac in [0.2, 0.4, 0.6, 0.8] {
         let c_pos = frac * c_fe.abs();
         let mut c = Circuit::new();

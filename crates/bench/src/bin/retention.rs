@@ -3,7 +3,7 @@
 
 use fefet_bench::{fmt_time, section};
 use fefet_ckt::models::FeCapParams;
-use fefet_device::params::{paper_feram_cap, paper_fefet};
+use fefet_device::params::{paper_fefet, paper_feram_cap};
 use fefet_device::retention::RetentionModel;
 
 fn main() {
@@ -22,9 +22,7 @@ fn main() {
     );
 
     section("Width matching (paper: 112.5 nm FEFET ~ FERAM retention)");
-    let w = m
-        .width_matching_retention(&fefet, 45e-9, &feram)
-        .unwrap();
+    let w = m.width_matching_retention(&fefet, 45e-9, &feram).unwrap();
     println!("FEFET width matching the FERAM: {:.1} nm", w * 1e9);
     let matched = FeCapParams {
         area: w * 45e-9,

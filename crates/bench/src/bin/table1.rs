@@ -16,7 +16,11 @@ fn main() {
     );
     let rows = [
         ("accessed, write '1'", Operation::Write { data: true }, true),
-        ("accessed, write '0'", Operation::Write { data: false }, true),
+        (
+            "accessed, write '0'",
+            Operation::Write { data: false },
+            true,
+        ),
         ("unaccessed, write", Operation::Write { data: true }, false),
         ("accessed, read", Operation::Read, true),
         ("unaccessed, read", Operation::Read, false),
@@ -36,8 +40,12 @@ fn main() {
 
     section("Fig 7: operating the 2x3 array under Table 1 biasing");
     let mut a = FefetArray::new(2, 3, FefetCell::default());
-    let w0 = a.write_row(0, &[true, false, true], 1.0e-9).expect("write row 0");
-    let w1 = a.write_row(1, &[false, true, false], 1.0e-9).expect("write row 1");
+    let w0 = a
+        .write_row(0, &[true, false, true], 1.0e-9)
+        .expect("write row 0");
+    let w1 = a
+        .write_row(1, &[false, true, false], 1.0e-9)
+        .expect("write row 1");
     println!(
         "write row0 [1,0,1]: energy {}, worst unaccessed-cell disturb {:.2e} C/m^2",
         fmt_energy(w0.energy),

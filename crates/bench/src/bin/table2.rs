@@ -2,8 +2,8 @@
 //! models, plus the derived ferroelectric quantities they imply.
 
 use fefet_bench::section;
-use fefet_device::params::{paper_feram_cap, PaperParams, T_FE_FEFET, T_FE_FERAM};
 use fefet_device::paper_fefet;
+use fefet_device::params::{paper_feram_cap, PaperParams, T_FE_FEFET, T_FE_FERAM};
 
 fn main() {
     let p = PaperParams::default();
@@ -13,7 +13,10 @@ fn main() {
     println!("alpha                    : {:.1e} m/F", p.alpha);
     println!("beta                     : {:.1e} m^5/F/C^2", p.beta);
     println!("gamma                    : {:.1e} m^9/F/C^4", p.gamma);
-    println!("metal capacitance        : {:.1} fF/um", p.metal_cap_per_m * 1e15 / 1e6);
+    println!(
+        "metal capacitance        : {:.1} fF/um",
+        p.metal_cap_per_m * 1e15 / 1e6
+    );
     println!("write voltage            : {:.2} V", p.v_write);
     println!("read voltage             : {:.2} V", p.v_read);
 

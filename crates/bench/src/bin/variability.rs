@@ -33,12 +33,7 @@ fn main() {
     section("Yield vs thickness (margin to the 1.93 nm boundary)");
     println!("{:>8} {:>10}", "T_FE", "yield");
     for t_nm in [2.25, 2.15, 2.05, 2.0, 1.97, 1.95] {
-        let mc = monte_carlo(
-            &paper_fefet().with_thickness(t_nm * 1e-9),
-            &spec,
-            400,
-            42,
-        );
+        let mc = monte_carlo(&paper_fefet().with_thickness(t_nm * 1e-9), &spec, 400, 42);
         println!("{t_nm:>6.2}nm {:>9.1} %", mc.yield_fraction() * 100.0);
     }
 

@@ -19,7 +19,10 @@
 //! | `table3`    | Table 3 iso-write-time comparison (paper + simulated) |
 //! | `retention` | §6.2.4 retention ordering and width matching |
 //!
-//! Criterion performance benches live under `benches/`.
+//! Std-only performance benches live under `benches/`; they run on the
+//! [`tinybench`] harness (the offline build cannot fetch `criterion`).
+
+pub mod tinybench;
 
 /// Prints a labelled section header.
 pub fn section(title: &str) {

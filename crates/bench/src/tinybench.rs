@@ -1,0 +1,95 @@
+//! A tiny std-only timing harness standing in for `criterion`, which the
+//! offline build cannot fetch.
+//!
+//! Each bench target is a plain `fn main()` (`harness = false`) calling
+//! [`bench`] per workload. The harness warms up, picks an iteration
+//! count targeting a fixed measurement window, runs a few batches, and
+//! prints median/min per-iteration times. No statistics beyond that —
+//! these benches exist to catch order-of-magnitude regressions, not to
+//! resolve percent-level noise.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock per measurement batch.
+const BATCH_TARGET: Duration = Duration::from_millis(100);
+/// Number of measured batches.
+const BATCHES: usize = 5;
+
+/// Re-export so bench binaries keep optimizer barriers without pulling
+/// `std::hint` themselves.
+pub fn opaque<T>(v: T) -> T {
+    black_box(v)
+}
+
+/// Times `f`, printing `name` with median and min per-iteration times.
+///
+/// The closure's return value is passed through [`black_box`] so the
+/// workload cannot be optimized away.
+pub fn bench<T, F: FnMut() -> T>(name: &str, mut f: F) {
+    // Warm-up and calibration: find how many iterations fill the batch
+    // window (at least one).
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt >= BATCH_TARGET / 4 || iters >= 1 << 24 {
+            let scale = BATCH_TARGET.as_secs_f64() / dt.as_secs_f64().max(1e-9);
+            iters = ((iters as f64 * scale).ceil() as u64).clamp(1, 1 << 24);
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+
+    let mut per_iter: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    println!(
+        "{name:<44} {:>12}/iter (min {:>12}, {iters} iters x {BATCHES})",
+        fmt_duration(median),
+        fmt_duration(min),
+    );
+}
+
+/// Formats a duration in seconds with an engineering suffix.
+fn fmt_duration(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(2.5), "2.500 s");
+        assert_eq!(fmt_duration(1.5e-3), "1.500 ms");
+        assert_eq!(fmt_duration(2e-6), "2.000 us");
+        assert_eq!(fmt_duration(3.2e-9), "3.2 ns");
+    }
+
+    #[test]
+    fn opaque_is_identity() {
+        assert_eq!(opaque(42), 42);
+    }
+}

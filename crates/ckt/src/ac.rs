@@ -168,7 +168,12 @@ fn stamp_ac<F>(
             admittance(m, idx(a), idx(b), Complex::imag(w * farads))
         }
         Element::Switch {
-            a, b, ctrl, r_on, r_off, ..
+            a,
+            b,
+            ctrl,
+            r_on,
+            r_off,
+            ..
         } => {
             let r = if ctrl.eval(0.0) > 0.5 { *r_on } else { *r_off };
             admittance(m, idx(a), idx(b), Complex::real(1.0 / r));
@@ -249,7 +254,11 @@ fn stamp_ac<F>(
                 m.add(j, br, -Complex::ONE);
                 m.add(br, j, -Complex::ONE);
             }
-            rhs[br] = if is_ac_source { Complex::ONE } else { Complex::ZERO };
+            rhs[br] = if is_ac_source {
+                Complex::ONE
+            } else {
+                Complex::ZERO
+            };
         }
         Element::Vcvs { p, n, cp, cn, gain } => {
             let br = nv + branch0;
@@ -303,8 +312,13 @@ mod tests {
         c.resistor("R1", vin, vout, 1e3);
         c.capacitor("C1", vout, Circuit::GND, 1e-9);
         let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
-        let sweep = ac_analysis(&c, "V1", &[fc / 100.0, fc, fc * 100.0], AcOptions::default())
-            .unwrap();
+        let sweep = ac_analysis(
+            &c,
+            "V1",
+            &[fc / 100.0, fc, fc * 100.0],
+            AcOptions::default(),
+        )
+        .unwrap();
         let mag = sweep.magnitude("v(out)").unwrap();
         assert!((mag[0] - 1.0).abs() < 1e-3, "passband {}", mag[0]);
         assert!(

@@ -1,6 +1,7 @@
 //! Netlist construction with named nodes and named elements.
 
 use crate::elements::{Element, Node};
+use crate::error::CktError;
 use crate::models::{FeCapParams, MosParams};
 use crate::waveform::Waveform;
 use std::collections::HashMap;
@@ -104,36 +105,48 @@ impl Circuit {
     /// Replaces the waveform of an existing independent source, allowing
     /// one netlist to be re-simulated under different stimuli.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `name` does not exist or is not a V/I source or switch.
-    pub fn set_waveform(&mut self, name: &str, wave: Waveform) {
+    /// [`CktError::UnknownSignal`] if `name` does not exist,
+    /// [`CktError::Netlist`] if the element has no waveform.
+    pub fn set_waveform(&mut self, name: &str, wave: Waveform) -> Result<(), CktError> {
         let idx = *self
             .element_index
             .get(name)
-            .unwrap_or_else(|| panic!("no element named {name}"));
+            .ok_or_else(|| CktError::UnknownSignal(name.to_string()))?;
         match &mut self.elements[idx].1 {
             Element::VSource { wave: w, .. }
             | Element::ISource { wave: w, .. }
-            | Element::Switch { ctrl: w, .. } => *w = wave,
-            other => panic!("element {name} has no waveform: {other:?}"),
+            | Element::Switch { ctrl: w, .. } => {
+                *w = wave;
+                Ok(())
+            }
+            other => Err(CktError::Netlist(format!(
+                "element {name} has no waveform: {other:?}"
+            ))),
         }
     }
 
     /// Sets the initial polarization of an existing ferroelectric
     /// capacitor.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `name` does not exist or is not an FE capacitor.
-    pub fn set_fe_polarization(&mut self, name: &str, p: f64) {
+    /// [`CktError::UnknownSignal`] if `name` does not exist,
+    /// [`CktError::Netlist`] if the element is not an FE capacitor.
+    pub fn set_fe_polarization(&mut self, name: &str, p: f64) -> Result<(), CktError> {
         let idx = *self
             .element_index
             .get(name)
-            .unwrap_or_else(|| panic!("no element named {name}"));
+            .ok_or_else(|| CktError::UnknownSignal(name.to_string()))?;
         match &mut self.elements[idx].1 {
-            Element::FeCap { p0, .. } => *p0 = p,
-            other => panic!("element {name} is not an FE capacitor: {other:?}"),
+            Element::FeCap { p0, .. } => {
+                *p0 = p;
+                Ok(())
+            }
+            other => Err(CktError::Netlist(format!(
+                "element {name} is not an FE capacitor: {other:?}"
+            ))),
         }
     }
 
@@ -142,7 +155,8 @@ impl Circuit {
             !self.element_index.contains_key(name),
             "duplicate element name: {name}"
         );
-        self.element_index.insert(name.to_string(), self.elements.len());
+        self.element_index
+            .insert(name.to_string(), self.elements.len());
         self.elements.push((name.to_string(), e));
         self
     }
@@ -204,15 +218,7 @@ impl Circuit {
     }
 
     /// Adds a voltage-controlled current source.
-    pub fn vccs(
-        &mut self,
-        name: &str,
-        p: Node,
-        n: Node,
-        cp: Node,
-        cn: Node,
-        gm: f64,
-    ) -> &mut Self {
+    pub fn vccs(&mut self, name: &str, p: Node, n: Node, cp: Node, cn: Node, gm: f64) -> &mut Self {
         self.push(name, Element::Vccs { p, n, cp, cn, gm })
     }
 
@@ -251,7 +257,14 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics if `i_sat <= 0` or `n_ideality <= 0`.
-    pub fn diode(&mut self, name: &str, a: Node, b: Node, i_sat: f64, n_ideality: f64) -> &mut Self {
+    pub fn diode(
+        &mut self,
+        name: &str,
+        a: Node,
+        b: Node,
+        i_sat: f64,
+        n_ideality: f64,
+    ) -> &mut Self {
         assert!(i_sat > 0.0, "diode {name}: i_sat must be positive");
         assert!(n_ideality > 0.0, "diode {name}: ideality must be positive");
         self.push(
@@ -266,8 +279,18 @@ impl Circuit {
     }
 
     /// Adds a MOSFET (bulk tied to source).
-    pub fn mosfet(&mut self, name: &str, d: Node, g: Node, s: Node, params: MosParams) -> &mut Self {
-        assert!(params.w > 0.0 && params.l > 0.0, "mosfet {name}: bad geometry");
+    pub fn mosfet(
+        &mut self,
+        name: &str,
+        d: Node,
+        g: Node,
+        s: Node,
+        params: MosParams,
+    ) -> &mut Self {
+        assert!(
+            params.w > 0.0 && params.l > 0.0,
+            "mosfet {name}: bad geometry"
+        );
         self.push(name, Element::Mosfet { d, g, s, params })
     }
 
@@ -317,22 +340,10 @@ impl Circuit {
                     let _ = writeln!(out, "L{name} {} {} {henries:.6e}", node(a), node(b));
                 }
                 Element::VSource { a, b, wave } => {
-                    let _ = writeln!(
-                        out,
-                        "V{name} {} {} {}",
-                        node(a),
-                        node(b),
-                        spice_wave(wave)
-                    );
+                    let _ = writeln!(out, "V{name} {} {} {}", node(a), node(b), spice_wave(wave));
                 }
                 Element::ISource { a, b, wave } => {
-                    let _ = writeln!(
-                        out,
-                        "I{name} {} {} {}",
-                        node(a),
-                        node(b),
-                        spice_wave(wave)
-                    );
+                    let _ = writeln!(out, "I{name} {} {} {}", node(a), node(b), spice_wave(wave));
                 }
                 Element::Vcvs { p, n, cp, cn, gain } => {
                     let _ = writeln!(
@@ -355,11 +366,7 @@ impl Circuit {
                     );
                 }
                 Element::Switch {
-                    a,
-                    b,
-                    r_on,
-                    r_off,
-                    ..
+                    a, b, r_on, r_off, ..
                 } => {
                     let _ = writeln!(
                         out,
@@ -440,7 +447,10 @@ fn spice_wave(w: &Waveform) -> String {
             p.period.unwrap_or(0.0)
         ),
         Waveform::Pwl(pts) => {
-            let body: Vec<String> = pts.iter().map(|(t, v)| format!("{t:.6e} {v:.6e}")).collect();
+            let body: Vec<String> = pts
+                .iter()
+                .map(|(t, v)| format!("{t:.6e} {v:.6e}"))
+                .collect();
             format!("PWL({})", body.join(" "))
         }
         Waveform::Sin {
@@ -521,7 +531,7 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         c.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
-        c.set_waveform("V1", Waveform::dc(2.0));
+        c.set_waveform("V1", Waveform::dc(2.0)).unwrap();
         match c.find_element("V1").unwrap() {
             Element::VSource { wave, .. } => assert_eq!(wave.eval(0.0), 2.0),
             _ => panic!(),
@@ -529,10 +539,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no element named")]
-    fn set_waveform_unknown_name_panics() {
+    fn set_waveform_unknown_name_errors() {
         let mut c = Circuit::new();
-        c.set_waveform("nope", Waveform::dc(0.0));
+        let res = c.set_waveform("nope", Waveform::dc(0.0));
+        assert!(matches!(res, Err(CktError::UnknownSignal(_))));
+        // Wrong element kind is a netlist error.
+        let a = c.node("a");
+        c.resistor("R1", a, Circuit::GND, 1e3);
+        let res = c.set_waveform("R1", Waveform::dc(0.0));
+        assert!(matches!(res, Err(CktError::Netlist(_))));
     }
 
     #[test]
@@ -540,7 +555,11 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         c.fecap("F1", a, Circuit::GND, FeCapParams::new(2.25e-9, 1e-15), 0.0);
-        c.set_fe_polarization("F1", 0.4);
+        c.set_fe_polarization("F1", 0.4).unwrap();
+        assert!(matches!(
+            c.set_fe_polarization("ghost", 0.0),
+            Err(CktError::UnknownSignal(_))
+        ));
         match c.find_element("F1").unwrap() {
             Element::FeCap { p0, .. } => assert_eq!(*p0, 0.4),
             _ => panic!(),
@@ -568,7 +587,14 @@ mod tests {
             .mosfet("M1", b, a, Circuit::GND, MosParams::nmos_45nm());
         let spice = c.to_spice("test netlist");
         assert!(spice.starts_with("* test netlist"));
-        for token in ["RR1 a b", "CC1 b 0", "LL1 b 0", "VV1 a 0 DC", "MM1 b a 0 0 EKV", "LK alpha"] {
+        for token in [
+            "RR1 a b",
+            "CC1 b 0",
+            "LL1 b 0",
+            "VV1 a 0 DC",
+            "MM1 b a 0 0 EKV",
+            "LK alpha",
+        ] {
             assert!(spice.contains(token), "missing {token} in:\n{spice}");
         }
         assert!(spice.trim_end().ends_with(".end"));
@@ -578,8 +604,18 @@ mod tests {
     fn spice_export_waveforms() {
         let mut c = Circuit::new();
         let a = c.node("a");
-        c.vsource("Vp", a, Circuit::GND, Waveform::pulse(0.0, 1.0, 1e-9, 0.0, 0.0, 2e-9));
-        c.isource("Ip", a, Circuit::GND, Waveform::pwl(vec![(0.0, 0.0), (1e-9, 1e-3)]));
+        c.vsource(
+            "Vp",
+            a,
+            Circuit::GND,
+            Waveform::pulse(0.0, 1.0, 1e-9, 0.0, 0.0, 2e-9),
+        );
+        c.isource(
+            "Ip",
+            a,
+            Circuit::GND,
+            Waveform::pwl(vec![(0.0, 0.0), (1e-9, 1e-3)]),
+        );
         let spice = c.to_spice("waves");
         assert!(spice.contains("PULSE("));
         assert!(spice.contains("PWL(0"));

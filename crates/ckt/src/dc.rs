@@ -102,8 +102,17 @@ pub fn dc_operating_point(ckt: &Circuit, opts: DcOptions) -> Result<DcSolution> 
     );
     let x = match direct {
         Ok(x) => x,
+        // A non-finite iterate means the netlist feeds NaN/Inf into the
+        // solve; gmin stepping cannot repair that, so surface it as-is.
+        Err(e @ CktError::NonFinite { .. }) => return Err(e),
         Err(_) => gmin_stepping(ckt, &asm, &opts, &states)?,
     };
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(CktError::NonFinite {
+            context: "dc operating-point solution",
+            step: 0.0,
+        });
+    }
 
     let mut branch_names = Vec::new();
     for (i, (name, e)) in ckt.elements().iter().enumerate() {
@@ -159,7 +168,7 @@ pub fn dc_sweep(
     }
     let mut out = Vec::with_capacity(values.len());
     for &v in values {
-        ckt.set_waveform(source, crate::waveform::Waveform::dc(v));
+        ckt.set_waveform(source, crate::waveform::Waveform::dc(v))?;
         // Continuation: reuse the previous solution as the initial guess
         // by solving directly (the engine starts Newton from zero, but
         // gmin stepping handles hard cases; for swept nonlinear circuits
@@ -178,7 +187,11 @@ fn gmin_stepping(
     let mut x = vec![0.0; asm.n_unknowns()];
     let mut gmin = opts.gmin_start;
     let target = opts.solver.gmin;
-    loop {
+    // One decade per pass from gmin_start down to the target, so the
+    // pass count is bounded up front; the cap only bites on degenerate
+    // option values (target 1e-12 from 1e-3 is ten passes).
+    const MAX_PASSES: usize = 64;
+    for _ in 0..MAX_PASSES {
         let solver = SolverOptions {
             gmin,
             ..opts.solver
@@ -194,15 +207,24 @@ fn gmin_stepping(
                 &x,
                 states,
             )
-            .map_err(|e| CktError::Convergence {
-                time: 0.0,
-                detail: format!("gmin stepping failed at gmin={gmin:.1e}: {e}"),
+            .map_err(|e| match e {
+                CktError::NonFinite { .. } => e,
+                other => CktError::Convergence {
+                    time: 0.0,
+                    detail: format!("gmin stepping failed at gmin={gmin:.1e}: {other}"),
+                },
             })?;
         if gmin <= target {
             return Ok(x);
         }
         gmin = (gmin * 0.1).max(target);
     }
+    Err(CktError::Convergence {
+        time: 0.0,
+        detail: format!(
+            "gmin stepping did not reach gmin={target:.1e} within {MAX_PASSES} decades"
+        ),
+    })
 }
 
 #[cfg(test)]
@@ -210,6 +232,19 @@ mod tests {
     use super::*;
     use crate::models::MosParams;
     use crate::waveform::Waveform;
+
+    #[test]
+    fn nan_source_is_a_typed_nonfinite_error() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::GND, Waveform::dc(f64::NAN));
+        c.resistor("R1", a, Circuit::GND, 1e3);
+        let res = dc_operating_point(&c, DcOptions::default());
+        assert!(
+            matches!(res, Err(CktError::NonFinite { .. })),
+            "expected NonFinite, got {res:?}"
+        );
+    }
 
     #[test]
     fn divider() {
@@ -252,7 +287,11 @@ mod tests {
         c.resistor("RD", vdd, d, 50e3);
         c.mosfet("M1", d, g, Circuit::GND, MosParams::nmos_45nm());
         let op = dc_operating_point(&c, DcOptions::default()).unwrap();
-        assert!(op.v(d) < 0.95, "drain should be pulled down, got {}", op.v(d));
+        assert!(
+            op.v(d) < 0.95,
+            "drain should be pulled down, got {}",
+            op.v(d)
+        );
         assert!(op.v(d) > 0.0);
     }
 

@@ -283,10 +283,7 @@ impl Element {
                     i_g: 0.0,
                 }
             }
-            Element::FeCap { p0, .. } => ElemState::Fe {
-                p: *p0,
-                dp_dt: 0.0,
-            },
+            Element::FeCap { p0, .. } => ElemState::Fe { p: *p0, dp_dt: 0.0 },
             _ => ElemState::None,
         }
     }
@@ -341,13 +338,10 @@ impl Element {
                     // v = L di/dt discretized: BE: v = L (i - i_prev)/h;
                     // trapezoidal: (v + v_prev)/2 = L (i - i_prev)/h.
                     let (res, dv_coeff) = match ctx.method {
-                        Integration::BackwardEuler => {
-                            (v - henries * (i_br - i_prev) / ctx.h, 1.0)
+                        Integration::BackwardEuler => (v - henries * (i_br - i_prev) / ctx.h, 1.0),
+                        Integration::Trapezoidal => {
+                            (0.5 * (v + v_prev) - henries * (i_br - i_prev) / ctx.h, 0.5)
                         }
-                        Integration::Trapezoidal => (
-                            0.5 * (v + v_prev) - henries * (i_br - i_prev) / ctx.h,
-                            0.5,
-                        ),
                     };
                     sys.add_res_branch(branch0, res);
                     sys.add_jac_bn(branch0, *a, dv_coeff);
@@ -498,9 +492,7 @@ impl Element {
             let c = params.c_gate(sign * vgs); // dq/dvgs, same for both signs
             let (i_g, di_dvgs) = match ctx.method {
                 Integration::BackwardEuler => ((q - q_prev) / ctx.h, c / ctx.h),
-                Integration::Trapezoidal => {
-                    (2.0 * (q - q_prev) / ctx.h - ig_prev, 2.0 * c / ctx.h)
-                }
+                Integration::Trapezoidal => (2.0 * (q - q_prev) / ctx.h - ig_prev, 2.0 * c / ctx.h),
             };
             sys.add_res_node(g, i_g);
             sys.add_res_node(s, -i_g);
@@ -587,7 +579,11 @@ impl Element {
                 r_on,
                 r_off,
             } => {
-                let r = if ctrl.eval(ctx.t) > 0.5 { *r_on } else { *r_off };
+                let r = if ctrl.eval(ctx.t) > 0.5 {
+                    *r_on
+                } else {
+                    *r_off
+                };
                 Some((ctx.v(*a) - ctx.v(*b)) / r)
             }
             Element::Diode {
@@ -660,7 +656,11 @@ fn fe_inner_solve(
             converged = true;
             break;
         }
-        let mut dj = if dg.abs() > 1e-30 { -gval / dg } else { gval.signum() * -0.1 / h_eff };
+        let mut dj = if dg.abs() > 1e-30 {
+            -gval / dg
+        } else {
+            gval.signum() * -0.1 / h_eff
+        };
         // Limit polarization change per Newton iteration to 0.05 C/m².
         let dp_limit = 0.05 / h_eff;
         if dj.abs() > dp_limit {
@@ -994,15 +994,11 @@ mod tests {
         let params = FeCapParams::new(2.25e-9, 65e-9 * 45e-9);
         let pr = params.lk.remnant_polarization().unwrap();
         let v = params.v_static(pr); // ≈0 at remnant point
-        let (j, dj_dv) = fe_inner_solve(
-            &params,
-            pr,
-            0.0,
-            v,
-            1e-12,
-            Integration::BackwardEuler,
+        let (j, dj_dv) = fe_inner_solve(&params, pr, 0.0, v, 1e-12, Integration::BackwardEuler);
+        assert!(
+            j.abs() < 1e-3 / 1e-12 * 1e-9,
+            "remnant state should be stationary, j={j}"
         );
-        assert!(j.abs() < 1e-3 / 1e-12 * 1e-9, "remnant state should be stationary, j={j}");
         assert!(dj_dv.is_finite());
     }
 

@@ -161,6 +161,12 @@ impl Assembly {
             for (xi, di) in x.iter_mut().zip(&dx) {
                 *xi += di;
             }
+            if x.iter().any(|v| !v.is_finite()) {
+                return Err(CktError::NonFinite {
+                    context: "newton update",
+                    step: t,
+                });
+            }
             let dv = if nv > 0 { norm_inf(&dx[..nv]) } else { 0.0 };
             if dv < opts.tol_v && res_kcl < opts.tol_i && res_branch < opts.tol_v {
                 return Ok(x);

@@ -16,6 +16,13 @@ pub enum CktError {
     Netlist(String),
     /// A requested signal or element does not exist.
     UnknownSignal(String),
+    /// A solution vector or device evaluation went NaN/infinite.
+    NonFinite {
+        /// Which stage produced the non-finite value.
+        context: &'static str,
+        /// Simulation time (s) of the offending step (0 for DC).
+        step: f64,
+    },
     /// Underlying numerical failure (singular matrix etc.).
     Numerics(fefet_numerics::Error),
 }
@@ -28,6 +35,9 @@ impl fmt::Display for CktError {
             }
             CktError::Netlist(msg) => write!(f, "netlist error: {msg}"),
             CktError::UnknownSignal(name) => write!(f, "unknown signal: {name}"),
+            CktError::NonFinite { context, step } => {
+                write!(f, "non-finite value in {context} at t={step:.3e}s")
+            }
             CktError::Numerics(e) => write!(f, "numerical error: {e}"),
         }
     }
@@ -63,6 +73,11 @@ mod tests {
             detail: "newton stalled".into(),
         };
         assert!(c.to_string().contains("newton stalled"));
+        let n = CktError::NonFinite {
+            context: "transient accept",
+            step: 2e-9,
+        };
+        assert!(n.to_string().contains("transient accept"));
     }
 
     #[test]

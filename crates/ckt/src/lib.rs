@@ -48,11 +48,11 @@
 // `!(t > 0.0)` is used deliberately for NaN-safe argument validation.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
-mod engine;
 pub mod ac;
 pub mod circuit;
 pub mod dc;
 pub mod elements;
+mod engine;
 pub mod models;
 pub mod trace;
 pub mod transient;

@@ -241,7 +241,7 @@ mod tests {
         let lk = paper();
         let pc = lk.coercive_polarization().unwrap();
         assert!(lk.de_dp(pc).abs() < 1e3); // ≈0 at the knee
-        // Slightly inside/outside the knee the slope changes sign.
+                                           // Slightly inside/outside the knee the slope changes sign.
         assert!(lk.de_dp(pc * 0.9) < 0.0);
         assert!(lk.de_dp(pc * 1.1) > 0.0);
     }

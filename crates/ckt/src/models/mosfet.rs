@@ -290,11 +290,7 @@ mod tests {
         let (i1, _, _) = m.ids(0.25, 1.0);
         let (i2, _, _) = m.ids(0.35, 1.0);
         let ss = 0.1 / ((i2 - floor) / (i1 - floor)).log10();
-        assert!(
-            (0.070..0.100).contains(&ss),
-            "SS = {:.1} mV/dec",
-            ss * 1e3
-        );
+        assert!((0.070..0.100).contains(&ss), "SS = {:.1} mV/dec", ss * 1e3);
     }
 
     #[test]
@@ -305,10 +301,7 @@ mod tests {
         let (i_on, _, _) = m.ids(1.0, 0.4);
         let (i_off, _, _) = m.ids(0.0, 0.4);
         let ratio = i_on / i_off;
-        assert!(
-            (1e5..1e8).contains(&ratio),
-            "on/off ratio = {ratio:.2e}"
-        );
+        assert!((1e5..1e8).contains(&ratio), "on/off ratio = {ratio:.2e}");
     }
 
     #[test]

@@ -102,10 +102,7 @@ impl Trace {
         if t >= self.t[n - 1] {
             return Some(y[n - 1]);
         }
-        let i = match self
-            .t
-            .binary_search_by(|probe| probe.partial_cmp(&t).unwrap())
-        {
+        let i = match self.t.binary_search_by(|probe| probe.total_cmp(&t)) {
             Ok(i) => return Some(y[i]),
             Err(i) => i - 1,
         };
@@ -148,18 +145,12 @@ impl Trace {
 
     /// Minimum of the signal over the whole trace.
     pub fn min(&self, name: &str) -> Option<f64> {
-        self.signal(name)?
-            .iter()
-            .copied()
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
+        self.signal(name)?.iter().copied().min_by(f64::total_cmp)
     }
 
     /// Maximum of the signal over the whole trace.
     pub fn max(&self, name: &str) -> Option<f64> {
-        self.signal(name)?
-            .iter()
-            .copied()
-            .max_by(|a, b| a.partial_cmp(b).unwrap())
+        self.signal(name)?.iter().copied().max_by(f64::total_cmp)
     }
 
     /// Minimum of the signal restricted to `t in [t0, t1]`.

@@ -93,9 +93,15 @@ impl Default for TransientOptions {
 #[allow(clippy::needless_range_loop)]
 pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Trace> {
     if !(t_end > 0.0) {
-        return Err(CktError::Netlist("transient: t_end must be positive".into()));
+        return Err(CktError::Netlist(
+            "transient: t_end must be positive".into(),
+        ));
     }
-    let dt_nom = if opts.dt > 0.0 { opts.dt } else { t_end / 2000.0 };
+    let dt_nom = if opts.dt > 0.0 {
+        opts.dt
+    } else {
+        t_end / 2000.0
+    };
     let dt_min = if opts.dt_min > 0.0 {
         opts.dt_min
     } else {
@@ -109,7 +115,7 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
         e.breakpoints(t_end, &mut bps);
     }
     bps.retain(|t| *t > 0.0 && *t < t_end);
-    bps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    bps.sort_by(f64::total_cmp);
     bps.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
 
     // Initial solution vector.
@@ -121,16 +127,7 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
     }
     if opts.start == StartMode::DcOperatingPoint {
         let states: Vec<ElemState> = ckt.elements().iter().map(|_| ElemState::None).collect();
-        x = asm.solve_point(
-            ckt,
-            0.0,
-            0.0,
-            opts.method,
-            true,
-            &opts.solver,
-            &x,
-            &states,
-        )?;
+        x = asm.solve_point(ckt, 0.0, 0.0, opts.method, true, &opts.solver, &x, &states)?;
     }
 
     // Element states at t = 0.
@@ -197,31 +194,45 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
             trace.push_sample(t, sample);
         };
 
-    let meter_push = |t: f64,
-                      x: &[f64],
-                      meters: &mut Vec<(usize, String, RunningIntegral)>|
-     -> Result<()> {
-        for (idx, _, acc) in meters.iter_mut() {
-            let (name_i, e) = &ckt.elements()[*idx];
-            let _ = name_i;
-            let p_del = match e {
-                Element::VSource { a, b, .. } => {
-                    let i_br = x[asm.n_nodes - 1 + asm.branch0[*idx]];
-                    let va = if a.index() == 0 { 0.0 } else { x[a.index() - 1] };
-                    let vb = if b.index() == 0 { 0.0 } else { x[b.index() - 1] };
-                    -(va - vb) * i_br
-                }
-                Element::ISource { a, b, wave } => {
-                    let va = if a.index() == 0 { 0.0 } else { x[a.index() - 1] };
-                    let vb = if b.index() == 0 { 0.0 } else { x[b.index() - 1] };
-                    -(va - vb) * wave.eval(t)
-                }
-                _ => 0.0,
-            };
-            acc.push(t, p_del).map_err(CktError::from)?;
-        }
-        Ok(())
-    };
+    let meter_push =
+        |t: f64, x: &[f64], meters: &mut Vec<(usize, String, RunningIntegral)>| -> Result<()> {
+            for (idx, _, acc) in meters.iter_mut() {
+                let (name_i, e) = &ckt.elements()[*idx];
+                let _ = name_i;
+                let p_del = match e {
+                    Element::VSource { a, b, .. } => {
+                        let i_br = x[asm.n_nodes - 1 + asm.branch0[*idx]];
+                        let va = if a.index() == 0 {
+                            0.0
+                        } else {
+                            x[a.index() - 1]
+                        };
+                        let vb = if b.index() == 0 {
+                            0.0
+                        } else {
+                            x[b.index() - 1]
+                        };
+                        -(va - vb) * i_br
+                    }
+                    Element::ISource { a, b, wave } => {
+                        let va = if a.index() == 0 {
+                            0.0
+                        } else {
+                            x[a.index() - 1]
+                        };
+                        let vb = if b.index() == 0 {
+                            0.0
+                        } else {
+                            x[b.index() - 1]
+                        };
+                        -(va - vb) * wave.eval(t)
+                    }
+                    _ => 0.0,
+                };
+                acc.push(t, p_del).map_err(CktError::from)?;
+            }
+            Ok(())
+        };
 
     record(0.0, &x, &states, &mut trace, &mut sample);
     meter_push(0.0, &x, &mut meters)?;
@@ -258,7 +269,12 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
             opts.method
         };
         let mut dt_try = dt_ctrl.min(t_ceiling - t);
-        let (t_new, x_new) = loop {
+        // Halving from dt_nom to dt_min covers ~23 attempts at the
+        // default ratio; the cap turns a pathological reject cycle into
+        // a typed error instead of an unbounded retry loop.
+        const MAX_STEP_ATTEMPTS: usize = 256;
+        let mut accepted: Option<(f64, Vec<f64>)> = None;
+        for _attempt in 0..MAX_STEP_ATTEMPTS {
             let t_attempt = if (t + dt_try - t_ceiling).abs() < 1e-18 {
                 t_ceiling
             } else {
@@ -309,21 +325,34 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
                                 .max(dt_min);
                         }
                     }
-                    break (t_attempt, xn);
+                    accepted = Some((t_attempt, xn));
+                    break;
                 }
+                // A non-finite iterate comes from NaN/Inf in the stimulus
+                // or model, not from the step size; retrying smaller
+                // steps cannot converge it.
+                Err(e @ CktError::NonFinite { .. }) => return Err(e),
                 Err(e) => {
                     dt_try *= 0.5;
                     if dt_try < dt_min {
                         return Err(CktError::Convergence {
                             time: t,
-                            detail: format!(
-                                "step rejected below dt_min={dt_min:.3e}: {e}"
-                            ),
+                            detail: format!("step rejected below dt_min={dt_min:.3e}: {e}"),
                         });
                     }
                 }
             }
-        };
+        }
+        let (t_new, x_new) = accepted.ok_or_else(|| CktError::Convergence {
+            time: t,
+            detail: format!("no accepted step within {MAX_STEP_ATTEMPTS} attempts"),
+        })?;
+        if x_new.iter().any(|v| !v.is_finite()) {
+            return Err(CktError::NonFinite {
+                context: "transient accepted step",
+                step: t_new,
+            });
+        }
         let h = t_new - t;
         // Advance element states.
         for (i, (_, e)) in ckt.elements().iter().enumerate() {
@@ -374,6 +403,21 @@ mod tests {
     use crate::models::{FeCapParams, MosParams};
     use crate::trace::Edge;
     use crate::waveform::Waveform;
+
+    #[test]
+    fn nan_stimulus_is_a_typed_nonfinite_error() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.vsource("V1", vin, Circuit::GND, Waveform::dc(f64::NAN));
+        c.resistor("R1", vin, vout, 1e3);
+        c.capacitor("C1", vout, Circuit::GND, 1e-9);
+        let res = transient(&c, 1e-6, TransientOptions::default());
+        assert!(
+            matches!(res, Err(CktError::NonFinite { .. })),
+            "expected NonFinite, got {res:?}"
+        );
+    }
 
     #[test]
     fn rc_step_matches_analytic() {
@@ -578,7 +622,10 @@ mod tests {
         let v_before = tr.value_at("v(out)", 1.8e-9).unwrap();
         let v_during = tr.value_at("v(out)", 5.5e-9).unwrap();
         assert!(v_before > 0.9, "output should be high, got {v_before}");
-        assert!(v_during < 0.2, "output should be pulled low, got {v_during}");
+        assert!(
+            v_during < 0.2,
+            "output should be pulled low, got {v_during}"
+        );
         // Falling edge measurable.
         let tf = tr.cross_time("v(out)", 0.5, Edge::Falling, 1.9e-9).unwrap();
         assert!(tf > 2e-9 && tf < 3.5e-9, "fall at {tf}");
@@ -693,7 +740,13 @@ mod tests {
                 Waveform::pulse(0.0, 2.0, 1e-9, 0.1e-9, 0.1e-9, 3e-9),
             );
             c.resistor("R1", a, f, 100.0);
-            c.fecap("F1", f, Circuit::GND, FeCapParams::new(1e-9, 65e-9 * 65e-9), -0.46);
+            c.fecap(
+                "F1",
+                f,
+                Circuit::GND,
+                FeCapParams::new(1e-9, 65e-9 * 65e-9),
+                -0.46,
+            );
             c
         };
         let fixed = transient(

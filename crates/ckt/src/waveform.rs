@@ -158,12 +158,7 @@ impl Pulse {
 
     fn breakpoints(&self, t_end: f64, out: &mut Vec<f64>) {
         let (rise, fall) = self.edges();
-        let corners = [
-            0.0,
-            rise,
-            rise + self.width,
-            rise + self.width + fall,
-        ];
+        let corners = [0.0, rise, rise + self.width, rise + self.width + fall];
         let mut base = self.delay;
         loop {
             let mut any = false;

@@ -1,10 +1,15 @@
 //! Property-based tests for the circuit simulator.
+//!
+//! Std-only randomized sweeps (seeded via [`fefet_numerics::rng`]) stand
+//! in for `proptest`, which the offline build cannot fetch.
 
 use fefet_ckt::circuit::Circuit;
 use fefet_ckt::dc::{dc_operating_point, DcOptions};
 use fefet_ckt::transient::{transient, TransientOptions};
 use fefet_ckt::waveform::Waveform;
-use proptest::prelude::*;
+use fefet_numerics::rng::Rng;
+
+const CASES: usize = 32;
 
 /// Builds a random resistive ladder driven by one source.
 fn ladder(rs: &[f64], v: f64) -> Circuit {
@@ -21,48 +26,58 @@ fn ladder(rs: &[f64], v: f64) -> Circuit {
     c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn resistor_chain(rng: &mut Rng, lo: f64, hi: f64, n_lo: usize, n_hi: usize) -> Vec<f64> {
+    let n = n_lo + rng.below((n_hi - n_lo) as u64) as usize;
+    (0..n).map(|_| rng.uniform_in(lo, hi)).collect()
+}
 
-    /// Every node of a passive resistive divider lies between the rails.
-    #[test]
-    fn resistive_network_voltages_bounded(
-        rs in proptest::collection::vec(10.0f64..100e3, 1..6),
-        v in -5.0f64..5.0,
-    ) {
+/// Every node of a passive resistive divider lies between the rails.
+#[test]
+fn resistive_network_voltages_bounded() {
+    let mut rng = Rng::seed_from_u64(0x2001);
+    for case in 0..CASES {
+        let rs = resistor_chain(&mut rng, 10.0, 100e3, 1, 6);
+        let v = rng.uniform_in(-5.0, 5.0);
         let c = ladder(&rs, v);
         let op = dc_operating_point(&c, DcOptions::default()).unwrap();
         let (lo, hi) = if v < 0.0 { (v, 0.0) } else { (0.0, v) };
         for i in 0..rs.len() {
             let n = c.find_node(&format!("n{i}")).unwrap();
             let vn = op.v(n);
-            prop_assert!(vn >= lo - 1e-6 && vn <= hi + 1e-6, "v(n{i}) = {vn}");
+            assert!(
+                vn >= lo - 1e-6 && vn <= hi + 1e-6,
+                "case {case}: v(n{i}) = {vn}"
+            );
         }
     }
+}
 
-    /// Voltages decrease monotonically down the ladder (for positive v).
-    #[test]
-    fn ladder_voltages_monotone(
-        rs in proptest::collection::vec(100.0f64..10e3, 2..6),
-    ) {
+/// Voltages decrease monotonically down the ladder (for positive v).
+#[test]
+fn ladder_voltages_monotone() {
+    let mut rng = Rng::seed_from_u64(0x2002);
+    for case in 0..CASES {
+        let rs = resistor_chain(&mut rng, 100.0, 10e3, 2, 6);
         let c = ladder(&rs, 1.0);
         let op = dc_operating_point(&c, DcOptions::default()).unwrap();
         let mut prev = 1.0;
         for i in 0..rs.len() {
             let n = c.find_node(&format!("n{i}")).unwrap();
             let vn = op.v(n);
-            prop_assert!(vn <= prev + 1e-9, "not monotone at n{i}");
-            prop_assert!(vn >= 0.0);
+            assert!(vn <= prev + 1e-9, "case {case}: not monotone at n{i}");
+            assert!(vn >= 0.0, "case {case}: negative v(n{i})");
             prev = vn;
         }
     }
+}
 
-    /// The source current equals the sum of ground-resistor currents
-    /// (global KCL).
-    #[test]
-    fn source_current_balances_loads(
-        rs in proptest::collection::vec(100.0f64..10e3, 1..5),
-    ) {
+/// The source current equals the sum of ground-resistor currents
+/// (global KCL).
+#[test]
+fn source_current_balances_loads() {
+    let mut rng = Rng::seed_from_u64(0x2003);
+    for case in 0..CASES {
+        let rs = resistor_chain(&mut rng, 100.0, 10e3, 1, 5);
         let c = ladder(&rs, 2.0);
         let op = dc_operating_point(&c, DcOptions::default()).unwrap();
         let i_src = -op.branch_current("V1").unwrap(); // sourced current
@@ -71,48 +86,69 @@ proptest! {
             let n = c.find_node(&format!("n{i}")).unwrap();
             i_loads += op.v(n) / (r * 2.0);
         }
-        prop_assert!((i_src - i_loads).abs() < 1e-6 * i_src.abs().max(1e-9),
-            "src {i_src} vs loads {i_loads}");
+        assert!(
+            (i_src - i_loads).abs() < 1e-6 * i_src.abs().max(1e-9),
+            "case {case}: src {i_src} vs loads {i_loads}"
+        );
     }
+}
 
-    /// A driven RC network's transient response stays within the source
-    /// range, and the source energy is non-negative (passivity).
-    #[test]
-    fn rc_transient_passive_and_bounded(
-        r in 100.0f64..10e3,
-        c_f in 0.1e-12f64..10e-12,
-        v in 0.1f64..2.0,
-    ) {
+/// A driven RC network's transient response stays within the source
+/// range, and the source energy is non-negative (passivity).
+#[test]
+fn rc_transient_passive_and_bounded() {
+    let mut rng = Rng::seed_from_u64(0x2004);
+    for case in 0..CASES {
+        let r = rng.uniform_in(100.0, 10e3);
+        let c_f = rng.uniform_in(0.1e-12, 10e-12);
+        let v = rng.uniform_in(0.1, 2.0);
         let mut c = Circuit::new();
         let vin = c.node("in");
         let vout = c.node("out");
-        c.vsource("V1", vin, Circuit::GND,
-            Waveform::pulse(0.0, v, 1e-9, 0.1e-9, 0.1e-9, 20e-9));
+        c.vsource(
+            "V1",
+            vin,
+            Circuit::GND,
+            Waveform::pulse(0.0, v, 1e-9, 0.1e-9, 0.1e-9, 20e-9),
+        );
         c.resistor("R1", vin, vout, r);
         c.capacitor("C1", vout, Circuit::GND, c_f);
-        let tr = transient(&c, 40e-9, TransientOptions {
-            dt: 0.05e-9,
-            ..TransientOptions::default()
-        }).unwrap();
+        let tr = transient(
+            &c,
+            40e-9,
+            TransientOptions {
+                dt: 0.05e-9,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
         let vmax = tr.max("v(out)").unwrap();
         let vmin = tr.min("v(out)").unwrap();
-        prop_assert!(vmax <= v + 1e-6, "overshoot {vmax} vs {v}");
-        prop_assert!(vmin >= -1e-6, "undershoot {vmin}");
-        prop_assert!(tr.energy("V1").unwrap() >= -1e-18, "active source in passive net");
+        assert!(vmax <= v + 1e-6, "case {case}: overshoot {vmax} vs {v}");
+        assert!(vmin >= -1e-6, "case {case}: undershoot {vmin}");
+        assert!(
+            tr.energy("V1").unwrap() >= -1e-18,
+            "case {case}: active source in passive net"
+        );
     }
+}
 
-    /// Waveform evaluation is always finite and pulses stay within their
-    /// two levels.
-    #[test]
-    fn pulse_waveform_bounded(
-        v0 in -2.0f64..2.0,
-        v1 in -2.0f64..2.0,
-        t in 0.0f64..10e-9,
-    ) {
+/// Waveform evaluation is always finite and pulses stay within their
+/// two levels.
+#[test]
+fn pulse_waveform_bounded() {
+    let mut rng = Rng::seed_from_u64(0x2005);
+    for case in 0..CASES {
+        let v0 = rng.uniform_in(-2.0, 2.0);
+        let v1 = rng.uniform_in(-2.0, 2.0);
+        let t = rng.uniform_in(0.0, 10e-9);
         let w = Waveform::pulse(v0, v1, 1e-9, 0.2e-9, 0.3e-9, 2e-9);
         let val = w.eval(t);
         let (lo, hi) = if v0 < v1 { (v0, v1) } else { (v1, v0) };
-        prop_assert!(val.is_finite());
-        prop_assert!(val >= lo - 1e-12 && val <= hi + 1e-12);
+        assert!(val.is_finite(), "case {case}: non-finite waveform value");
+        assert!(
+            val >= lo - 1e-12 && val <= hi + 1e-12,
+            "case {case}: {val} outside [{lo}, {hi}]"
+        );
     }
 }

@@ -86,7 +86,10 @@ impl FefetArray {
     ///
     /// Panics if out of range.
     pub fn polarization(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "cell index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell index out of range"
+        );
         self.state[row * self.cols + col]
     }
 
@@ -99,14 +102,17 @@ impl FefetArray {
 
     /// Directly sets a stored polarization (test fixture / initialization).
     pub fn set_polarization(&mut self, row: usize, col: usize, p: f64) {
-        assert!(row < self.rows && col < self.cols, "cell index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell index out of range"
+        );
         self.state[row * self.cols + col] = p;
     }
 
     fn build(
         &self,
-        row_waves: &[(Waveform, Waveform)],  // (read_select, write_select) per row
-        col_waves: &[(Waveform, Waveform)],  // (bit_line, sense_line) per column
+        row_waves: &[(Waveform, Waveform)], // (read_select, write_select) per row
+        col_waves: &[(Waveform, Waveform)], // (bit_line, sense_line) per column
     ) -> Circuit {
         let mut c = Circuit::new();
         let mut rs_nodes = Vec::new();
@@ -122,8 +128,18 @@ impl FefetArray {
             c.resistor(&format!("Rrs{i}"), rsd, rs, self.cell.r_driver);
             c.vsource(&format!("Vws{i}"), wsd, Circuit::GND, w_ws.clone());
             c.resistor(&format!("Rws{i}"), wsd, ws, self.cell.r_driver);
-            c.capacitor(&format!("Crs{i}"), rs, Circuit::GND, self.cell.c_read_select);
-            c.capacitor(&format!("Cws{i}"), ws, Circuit::GND, self.cell.c_write_select);
+            c.capacitor(
+                &format!("Crs{i}"),
+                rs,
+                Circuit::GND,
+                self.cell.c_read_select,
+            );
+            c.capacitor(
+                &format!("Cws{i}"),
+                ws,
+                Circuit::GND,
+                self.cell.c_write_select,
+            );
             rs_nodes.push(rs);
             ws_nodes.push(ws);
         }
@@ -224,7 +240,9 @@ impl FefetArray {
             )));
         }
         if row >= self.rows {
-            return Err(CktError::Netlist(format!("write_row: row {row} out of range")));
+            return Err(CktError::Netlist(format!(
+                "write_row: row {row} out of range"
+            )));
         }
         let b = &self.cell.bias;
         let t_restore = 0.3e-9;
@@ -233,7 +251,14 @@ impl FefetArray {
             let accessed = i == row;
             let bias = b.row_bias(Operation::Write { data: true }, accessed);
             let w_ws = if accessed {
-                Waveform::pulse(0.0, bias.write_select, T_START, T_EDGE, T_EDGE, t_pulse + t_restore)
+                Waveform::pulse(
+                    0.0,
+                    bias.write_select,
+                    T_START,
+                    T_EDGE,
+                    T_EDGE,
+                    t_pulse + t_restore,
+                )
             } else {
                 // Negative select for the whole write window.
                 Waveform::pulse(
@@ -282,7 +307,9 @@ impl FefetArray {
     /// Row range or convergence errors, as for [`FefetArray::write_row`].
     pub fn read_row(&mut self, row: usize, t_read: f64) -> Result<ArrayRead> {
         if row >= self.rows {
-            return Err(CktError::Netlist(format!("read_row: row {row} out of range")));
+            return Err(CktError::Netlist(format!(
+                "read_row: row {row} out of range"
+            )));
         }
         let b = &self.cell.bias;
         let mut row_waves = Vec::new();

@@ -7,12 +7,12 @@
 
 use crate::bias::BiasSpec;
 use fefet_ckt::circuit::Circuit;
+use fefet_ckt::models::MosParams;
 use fefet_ckt::trace::Trace;
 use fefet_ckt::transient::{transient, TransientOptions};
 use fefet_ckt::waveform::Waveform;
 use fefet_ckt::Result;
 use fefet_device::Fefet;
-use fefet_ckt::models::MosParams;
 
 /// Edge time used for all control-line ramps (s).
 const T_EDGE: f64 = 50e-12;
@@ -207,14 +207,7 @@ impl FefetCell {
         // enough for the polarization to relax to its zero-bias state
         // before the storage gate is isolated.
         let t_restore = 1.5e-9;
-        let w_ws = Waveform::pulse(
-            0.0,
-            b.v_boost,
-            T_START,
-            T_EDGE,
-            T_EDGE,
-            t_pulse + t_restore,
-        );
+        let w_ws = Waveform::pulse(0.0, b.v_boost, T_START, T_EDGE, T_EDGE, t_pulse + t_restore);
         let w_bl = Waveform::pulse(0.0, v_bl, T_START, T_EDGE, T_EDGE, t_pulse);
         let (ckt, ics) = self.build(p_from, w_bl, w_ws, Waveform::dc(0.0));
         let t_end = T_START + t_pulse + t_restore + 0.5e-9;

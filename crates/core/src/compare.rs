@@ -134,7 +134,7 @@ pub fn iso_write_voltage(points: &[WritePoint], t_target: f64) -> Option<WritePo
     points
         .iter()
         .filter(|p| p.write_time.map(|t| t <= t_target).unwrap_or(false))
-        .min_by(|a, b| a.voltage.partial_cmp(&b.voltage).unwrap())
+        .min_by(|a, b| a.voltage.total_cmp(&b.voltage))
         .copied()
 }
 
@@ -183,8 +183,7 @@ pub fn iso_comparison(
     let (p_lo_f, p_hi_f) = fefet.memory_states();
     let mut fefet_rd = *fefet;
     fefet_rd.bias.v_write = f_op.voltage;
-    let fefet_read =
-        fefet_rd.read(p_hi_f, 1.5e-9)?.energy + fefet_rd.read(p_lo_f, 1.5e-9)?.energy;
+    let fefet_read = fefet_rd.read(p_hi_f, 1.5e-9)?.energy + fefet_rd.read(p_lo_f, 1.5e-9)?.energy;
     let fefet_read = 0.5 * fefet_read; // average over data values
 
     let mut feram_rd = *feram;
@@ -195,17 +194,25 @@ pub fn iso_comparison(
     let (_, _, e_read0) = feram_rd.read_with_writeback(p_lo_r, 2e-9, t_target * 2.0)?;
     let feram_read = 0.5 * (e_read1 + e_read0);
 
+    // `iso_write_voltage` only selects points with a measured write time,
+    // but keep the failure typed rather than trusting that invariant.
+    let f_time = f_op.write_time.ok_or_else(|| {
+        fefet_ckt::CktError::Netlist("FEFET operating point lost its write time".into())
+    })?;
+    let r_time = r_op.write_time.ok_or_else(|| {
+        fefet_ckt::CktError::Netlist("FERAM operating point lost its write time".into())
+    })?;
     let fefet_params = NvmParams {
         kind: MemoryKind::Fefet,
         bit_line_voltage: f_op.voltage,
-        write_time: f_op.write_time.unwrap(),
+        write_time: f_time,
         write_energy: n * f_op.energy,
         read_energy: n * fefet_read,
     };
     let feram_params = NvmParams {
         kind: MemoryKind::Feram,
         bit_line_voltage: r_op.voltage,
-        write_time: r_op.write_time.unwrap(),
+        write_time: r_time,
         write_energy: n * r_op.energy,
         read_energy: n * feram_read,
     };
@@ -267,10 +274,26 @@ mod tests {
     #[test]
     fn iso_write_voltage_selects_minimum() {
         let pts = vec![
-            WritePoint { voltage: 0.5, write_time: None, energy: 1.0 },
-            WritePoint { voltage: 0.6, write_time: Some(0.8e-9), energy: 2.0 },
-            WritePoint { voltage: 0.7, write_time: Some(0.5e-9), energy: 3.0 },
-            WritePoint { voltage: 0.8, write_time: Some(0.3e-9), energy: 4.0 },
+            WritePoint {
+                voltage: 0.5,
+                write_time: None,
+                energy: 1.0,
+            },
+            WritePoint {
+                voltage: 0.6,
+                write_time: Some(0.8e-9),
+                energy: 2.0,
+            },
+            WritePoint {
+                voltage: 0.7,
+                write_time: Some(0.5e-9),
+                energy: 3.0,
+            },
+            WritePoint {
+                voltage: 0.8,
+                write_time: Some(0.3e-9),
+                energy: 4.0,
+            },
         ];
         let op = iso_write_voltage(&pts, 0.55e-9).unwrap();
         assert_eq!(op.voltage, 0.7);
@@ -279,8 +302,7 @@ mod tests {
 
     #[test]
     fn table3_shape_reproduced_from_simulation() {
-        let cmp = iso_comparison(&FefetCell::default(), &FeramCell::default(), 0.8e-9, 32)
-            .unwrap();
+        let cmp = iso_comparison(&FefetCell::default(), &FeramCell::default(), 0.8e-9, 32).unwrap();
         // Who wins and by roughly what factor (shape, not absolutes):
         assert!(
             cmp.fefet.bit_line_voltage < 0.55 * cmp.feram.bit_line_voltage,

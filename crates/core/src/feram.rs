@@ -97,11 +97,17 @@ pub struct FeramReadResult {
 
 impl FeramCell {
     /// The two remnant storage states `(p_low, p_high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the film's Landau coefficients are paraelectric — a
+    /// `FeramCell` is only constructible with the ferroelectric defaults.
     pub fn memory_states(&self) -> (f64, f64) {
         let pr = self
             .cap
             .lk
             .remnant_polarization()
+            // fefet-lint: allow(panic) -- a paraelectric film in a FERAM cell is a construction bug, not a runtime condition
             .expect("FERAM film must be ferroelectric");
         (-pr, pr)
     }
@@ -208,7 +214,11 @@ impl FeramCell {
     /// Propagates simulator convergence failures.
     pub fn read(&self, p0: f64, t_dev: f64) -> Result<FeramReadResult> {
         // Switch closed (grounding bl) until just before the plate pulse.
-        let release = Waveform::pwl(vec![(0.0, 1.0), (T_START - 60e-12, 1.0), (T_START - 50e-12, 0.0)]);
+        let release = Waveform::pwl(vec![
+            (0.0, 1.0),
+            (T_START - 60e-12, 1.0),
+            (T_START - 50e-12, 0.0),
+        ]);
         let wl = Waveform::pulse(0.0, self.v_wordline, T_START, T_EDGE, T_EDGE, t_dev);
         let pl = Waveform::pulse(0.0, self.v_write, T_START, T_EDGE, T_EDGE, t_dev);
         let ckt = self.build(p0, None, wl, pl, Some(release));

@@ -71,7 +71,10 @@ impl FeramArray {
     ///
     /// Panics if out of range.
     pub fn polarization(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "cell index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell index out of range"
+        );
         self.state[row * self.cols + col]
     }
 
@@ -82,7 +85,12 @@ impl FeramArray {
         (p - p_hi).abs() < (p - p_lo).abs()
     }
 
-    fn build(&self, wl_waves: &[Waveform], pl_waves: &[Waveform], bl_waves: &[Option<Waveform>]) -> Circuit {
+    fn build(
+        &self,
+        wl_waves: &[Waveform],
+        pl_waves: &[Waveform],
+        bl_waves: &[Option<Waveform>],
+    ) -> Circuit {
         let mut c = Circuit::new();
         let mut wl_nodes = Vec::new();
         let mut pl_nodes = Vec::new();
@@ -174,7 +182,9 @@ impl FeramArray {
             )));
         }
         if row >= self.rows {
-            return Err(CktError::Netlist(format!("write_row: row {row} out of range")));
+            return Err(CktError::Netlist(format!(
+                "write_row: row {row} out of range"
+            )));
         }
         let v = self.cell.v_write;
         let t_restore = 0.5e-9;
@@ -235,7 +245,9 @@ impl FeramArray {
     /// Row range or convergence errors.
     pub fn read_row(&mut self, row: usize, t_dev: f64) -> Result<(FeramArrayOp, Vec<f64>)> {
         if row >= self.rows {
-            return Err(CktError::Netlist(format!("read_row: row {row} out of range")));
+            return Err(CktError::Netlist(format!(
+                "read_row: row {row} out of range"
+            )));
         }
         let mut wl_waves = vec![Waveform::dc(0.0); self.rows];
         let mut pl_waves = vec![Waveform::dc(0.0); self.rows];

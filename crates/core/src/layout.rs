@@ -139,7 +139,13 @@ fn transistor(rects: &mut Vec<Rect>, x: f64, y: f64, w_lambda: f64) {
     // Active: contact(3λ) + gate(2λ) + contact(3λ) wide, w_lambda tall.
     rects.push(Rect::new(Layer::Active, x, y, x + 8.0, y + w_lambda));
     // Poly gate with 2λ end-cap extension beyond active.
-    rects.push(Rect::new(Layer::Poly, x + 3.0, y - 2.0, x + 5.0, y + w_lambda + 2.0));
+    rects.push(Rect::new(
+        Layer::Poly,
+        x + 3.0,
+        y - 2.0,
+        x + 5.0,
+        y + w_lambda + 2.0,
+    ));
     // Source/drain contacts (2λ squares centred in the 3λ landing pads).
     rects.push(Rect::new(
         Layer::Contact,

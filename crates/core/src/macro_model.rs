@@ -166,8 +166,7 @@ impl MacroConfig {
                 // + SA bias per column.
                 let t_conduct = self.timing.t_pre.max(self.timing.t_dec) + self.timing.t_sa;
                 let e_line = self.c_row_line() * b.v_read * b.v_read;
-                let e_cells =
-                    0.5 * self.cols as f64 * self.i_read_on * b.v_read * t_conduct;
+                let e_cells = 0.5 * self.cols as f64 * self.i_read_on * b.v_read * t_conduct;
                 let e_sa = self.cols as f64 * 2e-15; // 2 fJ per CSA decision
                 e_line + e_cells + e_sa
             }
@@ -217,9 +216,15 @@ mod tests {
         let f = MacroConfig::fefet(256, 32);
         let r = MacroConfig::feram(256, 32);
         let array_ratio = f.array_area() / r.array_area();
-        assert!((array_ratio - 2.4).abs() < 0.1, "array ratio {array_ratio:.2}");
+        assert!(
+            (array_ratio - 2.4).abs() < 0.1,
+            "array ratio {array_ratio:.2}"
+        );
         let total_ratio = f.total_area() / r.total_area();
-        assert!(total_ratio > 1.5 && total_ratio < 2.4, "total ratio {total_ratio:.2}");
+        assert!(
+            total_ratio > 1.5 && total_ratio < 2.4,
+            "total ratio {total_ratio:.2}"
+        );
     }
 
     #[test]

@@ -221,14 +221,12 @@ impl SenseChain {
         );
         c.capacitor("Csense", vsense, Circuit::GND, self.c_sense);
         // Reference pull-down.
-        c.isource("Iref", vsense, Circuit::GND, Waveform::pulse(
-            0.0,
-            self.i_ref,
-            T_START,
-            T_EDGE,
-            T_EDGE,
-            t_eval,
-        ));
+        c.isource(
+            "Iref",
+            vsense,
+            Circuit::GND,
+            Waveform::pulse(0.0, self.i_ref, T_START, T_EDGE, T_EDGE, t_eval),
+        );
         // Pre-charge driver: V_PRE through a switch for t_precharge.
         c.vsource("Vpre", vpre, Circuit::GND, Waveform::dc(self.v_pre));
         c.switch(
@@ -243,7 +241,13 @@ impl SenseChain {
         c.vsource("Vddsa", vdd_sa, Circuit::GND, Waveform::dc(self.v_dd));
         c.resistor("Rsa", vdd_sa, vsa, 200e3);
         c.capacitor("Csa", vsa, Circuit::GND, 1e-15);
-        c.mosfet("Msa", vsa, vsense, Circuit::GND, MosParams::nmos_45nm().with_vt(0.35));
+        c.mosfet(
+            "Msa",
+            vsa,
+            vsense,
+            Circuit::GND,
+            MosParams::nmos_45nm().with_vt(0.35),
+        );
 
         let ics = vec![
             (gi, cell.fefet.v_mos_of(p0)),
@@ -270,7 +274,12 @@ impl SenseChain {
             .window_max("v(sl)", T_START, t_end)
             .unwrap_or(0.0)
             .abs()
-            .max(trace.window_min("v(sl)", T_START, t_end).unwrap_or(0.0).abs());
+            .max(
+                trace
+                    .window_min("v(sl)", T_START, t_end)
+                    .unwrap_or(0.0)
+                    .abs(),
+            );
         let t_decision = trace
             .cross_time(
                 "v(vsense)",
@@ -320,8 +329,16 @@ mod tests {
         let (p_lo, p_hi) = cell.memory_states();
         let r1 = chain.read_bit(&cell, p_hi, 2.5e-9).unwrap();
         let r0 = chain.read_bit(&cell, p_lo, 2.5e-9).unwrap();
-        assert!(r1.bit, "stored 1 must read as 1 (v_sense={})", r1.v_sense_end);
-        assert!(!r0.bit, "stored 0 must read as 0 (v_sense={})", r0.v_sense_end);
+        assert!(
+            r1.bit,
+            "stored 1 must read as 1 (v_sense={})",
+            r1.v_sense_end
+        );
+        assert!(
+            !r0.bit,
+            "stored 0 must read as 0 (v_sense={})",
+            r0.v_sense_end
+        );
     }
 
     #[test]

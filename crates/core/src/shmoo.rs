@@ -96,12 +96,7 @@ impl Shmoo {
 /// # Errors
 ///
 /// Propagates simulator convergence failures.
-pub fn write_shmoo(
-    cell: &FefetCell,
-    voltages: &[f64],
-    widths: &[f64],
-    tol: f64,
-) -> Result<Shmoo> {
+pub fn write_shmoo(cell: &FefetCell, voltages: &[f64], widths: &[f64], tol: f64) -> Result<Shmoo> {
     let (p_lo, p_hi) = cell.memory_states();
     let mut grid = Vec::with_capacity(voltages.len());
     for &v in voltages {
@@ -149,7 +144,11 @@ mod tests {
     fn operating_point_passes_and_corners_fail() {
         let s = small_shmoo();
         // 0.68 V with a generous pulse: pass.
-        assert!(s.grid[2][2].passes(), "0.68 V / 2 ns must pass:\n{}", s.render());
+        assert!(
+            s.grid[2][2].passes(),
+            "0.68 V / 2 ns must pass:\n{}",
+            s.render()
+        );
         assert!(s.grid[3][2].passes(), "0.9 V / 2 ns must pass");
         // 0.2 V never writes.
         assert!(!s.grid[0][2].passes(), "0.2 V must fail:\n{}", s.render());

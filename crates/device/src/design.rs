@@ -79,8 +79,7 @@ mod tests {
     #[test]
     fn boundary_is_just_above_1_9nm() {
         // §3: "T_FE > 1.9nm is required to retain the polarization".
-        let t = nonvolatility_boundary(&paper_fefet(), 1.9e-9, 2.25e-9)
-            .expect("bracket must hold");
+        let t = nonvolatility_boundary(&paper_fefet(), 1.9e-9, 2.25e-9).expect("bracket must hold");
         assert!(
             (1.9e-9..2.1e-9).contains(&t),
             "non-volatility boundary {:.3} nm",
@@ -129,7 +128,10 @@ mod tests {
         let (v_dn, v_up) = design_point(&paper_fefet(), 2.5e-9).window.unwrap();
         let v_cap = dev.fe.coercive_voltage().unwrap();
         assert!(v_cap > 2.0, "2.5nm film V_c = {v_cap:.2}");
-        assert!(v_up.abs() < 1.0 && v_dn.abs() < 1.0, "FEFET loop inside ±1V");
+        assert!(
+            v_up.abs() < 1.0 && v_dn.abs() < 1.0,
+            "FEFET loop inside ±1V"
+        );
         assert!(v_up < 0.5 * v_cap);
     }
 }

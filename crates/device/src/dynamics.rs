@@ -8,6 +8,8 @@
 //! the residual always changes sign because the quintic Landau term
 //! dominates at the bracket ends.
 
+use fefet_numerics::{Error, Result};
+
 /// Polarization bracket used by the bisection fallback (C/m²). With the
 /// paper's coefficients the physical trajectories stay below ~0.6 C/m²;
 /// the unstable outer Landau branch is near 3.1 C/m².
@@ -26,7 +28,12 @@ pub struct PSample {
 ///
 /// Solves `g(p) = p - p_old - h·rate(t_new, p) = 0`, preferring the root
 /// nearest `p_old` (branch continuity) and falling back to bisection.
-pub fn be_step<F>(rate: &F, t_new: f64, p_old: f64, h: f64) -> f64
+///
+/// # Errors
+///
+/// [`Error::NonFinite`] if the rate function produces a NaN/infinite
+/// residual at an iterate.
+pub fn be_step<F>(rate: &F, t_new: f64, p_old: f64, h: f64) -> Result<f64>
 where
     F: Fn(f64, f64) -> f64,
 {
@@ -35,8 +42,13 @@ where
     let mut p = p_old;
     for _ in 0..40 {
         let gp = g(p);
+        if !gp.is_finite() {
+            return Err(Error::NonFinite {
+                context: "be_step residual",
+            });
+        }
         if gp.abs() < 1e-12 * (1.0 + p.abs()) {
-            return p.clamp(-P_BOUND, P_BOUND);
+            return Ok(p.clamp(-P_BOUND, P_BOUND));
         }
         let dp_fd = 1e-8;
         let slope = (g(p + dp_fd) - gp) / dp_fd;
@@ -48,59 +60,86 @@ where
             step = step.signum() * 0.05;
         }
         let p_next = (p + step).clamp(-P_BOUND, P_BOUND);
+        if !p_next.is_finite() {
+            return Err(Error::NonFinite {
+                context: "be_step newton update",
+            });
+        }
         if (p_next - p).abs() < 1e-14 {
             p = p_next;
             if g(p).abs() < 1e-9 {
-                return p;
+                return Ok(p);
             }
             break;
         }
         p = p_next;
     }
     if g(p).abs() < 1e-9 {
-        return p;
+        return Ok(p);
     }
     // Bisection: the quintic term guarantees g(-P_BOUND) < 0 < g(P_BOUND)
     // for any LK material with a dominant stabilizing high-order term.
     let (mut lo, mut hi) = (-P_BOUND, P_BOUND);
     let glo = g(lo);
+    if !glo.is_finite() {
+        return Err(Error::NonFinite {
+            context: "be_step bisection bracket",
+        });
+    }
     if glo > 0.0 {
         // Pathological rate function; return the damped-Newton iterate.
-        return p;
+        return Ok(p);
     }
     for _ in 0..100 {
         let mid = 0.5 * (lo + hi);
-        if g(mid) < 0.0 {
+        let gm = g(mid);
+        if !gm.is_finite() {
+            return Err(Error::NonFinite {
+                context: "be_step bisection",
+            });
+        }
+        if gm < 0.0 {
             lo = mid;
         } else {
             hi = mid;
         }
     }
-    0.5 * (lo + hi)
+    Ok(0.5 * (lo + hi))
 }
 
 /// Integrates `dP/dt = rate(t, P)` from `p0` over `[0, t_end]` with
 /// `steps` fixed backward-Euler steps, returning all samples.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `t_end <= 0` or `steps == 0`.
-pub fn integrate<F>(rate: F, p0: f64, t_end: f64, steps: usize) -> Vec<PSample>
+/// [`Error::InvalidArgument`] if `t_end <= 0` or `steps == 0`;
+/// [`Error::NonFinite`] if the initial polarization is NaN/infinite or
+/// any step produces a non-finite value.
+pub fn integrate<F>(rate: F, p0: f64, t_end: f64, steps: usize) -> Result<Vec<PSample>>
 where
     F: Fn(f64, f64) -> f64,
 {
-    assert!(t_end > 0.0, "integrate: t_end must be positive");
-    assert!(steps > 0, "integrate: steps must be positive");
+    if !(t_end > 0.0) {
+        return Err(Error::InvalidArgument("integrate: t_end must be positive"));
+    }
+    if steps == 0 {
+        return Err(Error::InvalidArgument("integrate: steps must be positive"));
+    }
+    if !p0.is_finite() {
+        return Err(Error::NonFinite {
+            context: "integrate initial polarization",
+        });
+    }
     let h = t_end / steps as f64;
     let mut out = Vec::with_capacity(steps + 1);
     let mut p = p0;
     out.push(PSample { t: 0.0, p });
     for i in 1..=steps {
         let t = i as f64 * h;
-        p = be_step(&rate, t, p, h);
+        p = be_step(&rate, t, p, h)?;
         out.push(PSample { t, p });
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -109,7 +148,7 @@ mod tests {
 
     #[test]
     fn exponential_decay_matches_exact() {
-        let sol = integrate(|_t, p| -1e9 * p, 0.5, 5e-9, 500);
+        let sol = integrate(|_t, p| -1e9 * p, 0.5, 5e-9, 500).unwrap();
         let last = sol.last().unwrap();
         let exact = 0.5 * (-5.0f64).exp();
         assert!((last.p - exact).abs() < 2e-3);
@@ -122,7 +161,7 @@ mod tests {
         use fefet_ckt::models::LkParams;
         let lk = LkParams::default();
         let pr = lk.remnant_polarization().unwrap();
-        let sol = integrate(|_t, p| -lk.e_static(p) / lk.rho, 0.05, 50e-9, 2000);
+        let sol = integrate(|_t, p| -lk.e_static(p) / lk.rho, 0.05, 50e-9, 2000).unwrap();
         assert!((sol.last().unwrap().p - pr).abs() < 1e-3);
     }
 
@@ -134,7 +173,7 @@ mod tests {
         let lk = LkParams::default();
         let pr = lk.remnant_polarization().unwrap();
         let e_app = 3.0e9; // well above coercive field
-        let sol = integrate(|_t, p| (e_app - lk.e_static(p)) / lk.rho, -pr, 5e-9, 50);
+        let sol = integrate(|_t, p| (e_app - lk.e_static(p)) / lk.rho, -pr, 5e-9, 50).unwrap();
         assert!(sol.last().unwrap().p > pr, "must have switched positive");
         assert!(sol.iter().all(|s| s.p.is_finite()));
     }
@@ -144,21 +183,37 @@ mod tests {
         use fefet_ckt::models::LkParams;
         let lk = LkParams::default();
         let pr = lk.remnant_polarization().unwrap();
-        let sol = integrate(|_t, p| -lk.e_static(p) / lk.rho, pr, 10e-9, 100);
+        let sol = integrate(|_t, p| -lk.e_static(p) / lk.rho, pr, 10e-9, 100).unwrap();
         for s in &sol {
             assert!((s.p - pr).abs() < 1e-6);
         }
     }
 
     #[test]
-    #[should_panic(expected = "t_end must be positive")]
-    fn bad_args_panic() {
-        integrate(|_t, _p| 0.0, 0.0, 0.0, 10);
+    fn bad_args_are_typed_errors() {
+        assert!(matches!(
+            integrate(|_t, _p| 0.0, 0.0, 0.0, 10),
+            Err(Error::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            integrate(|_t, _p| 0.0, 0.0, 1e-9, 0),
+            Err(Error::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            integrate(|_t, _p| 0.0, f64::NAN, 1e-9, 10),
+            Err(Error::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_rate_is_a_typed_error() {
+        let res = integrate(|_t, _p| f64::NAN, 0.1, 1e-9, 10);
+        assert!(matches!(res, Err(Error::NonFinite { .. })), "{res:?}");
     }
 
     #[test]
     fn samples_cover_interval() {
-        let sol = integrate(|_t, _p| 0.0, 0.1, 1e-9, 10);
+        let sol = integrate(|_t, _p| 0.0, 0.1, 1e-9, 10).unwrap();
         assert_eq!(sol.len(), 11);
         assert_eq!(sol[0].t, 0.0);
         assert!((sol.last().unwrap().t - 1e-9).abs() < 1e-24);

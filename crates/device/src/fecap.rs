@@ -7,6 +7,7 @@
 
 use crate::dynamics;
 use fefet_ckt::models::FeCapParams;
+use fefet_numerics::{Error, Result};
 
 /// One traversal point of a P-V hysteresis loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,27 +72,39 @@ fn cross_zero(branch: &[LoopPoint]) -> Option<f64> {
 /// Use a `t_ramp` much longer than the intrinsic switching time for a
 /// quasi-static loop (the ramp rate only sharpens/rounds the corners).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `v_max <= 0`, `t_ramp <= 0`, or `steps_per_branch == 0`.
+/// [`Error::InvalidArgument`] if `v_max <= 0`, `t_ramp <= 0`, or
+/// `steps_per_branch == 0`; [`Error::NonFinite`] if the LK integration
+/// diverges.
 pub fn sweep_fecap(
     fe: &FeCapParams,
     v_max: f64,
     t_ramp: f64,
     steps_per_branch: usize,
-) -> HysteresisLoop {
-    assert!(v_max > 0.0, "sweep_fecap: v_max must be positive");
-    assert!(t_ramp > 0.0, "sweep_fecap: t_ramp must be positive");
-    assert!(steps_per_branch > 0, "sweep_fecap: need steps");
+) -> Result<HysteresisLoop> {
+    if !(v_max > 0.0) {
+        return Err(Error::InvalidArgument(
+            "sweep_fecap: v_max must be positive",
+        ));
+    }
+    if !(t_ramp > 0.0) {
+        return Err(Error::InvalidArgument(
+            "sweep_fecap: t_ramp must be positive",
+        ));
+    }
+    if steps_per_branch == 0 {
+        return Err(Error::InvalidArgument("sweep_fecap: need steps"));
+    }
     // Start from the negative remnant state (or 0 for paraelectric).
     let p_start = fe.lk.remnant_polarization().map(|p| -p).unwrap_or(0.0);
 
-    let run_branch = |p0: f64, v_of_t: &dyn Fn(f64) -> f64| -> (Vec<LoopPoint>, f64) {
+    let run_branch = |p0: f64, v_of_t: &dyn Fn(f64) -> f64| -> Result<(Vec<LoopPoint>, f64)> {
         let rate = |t: f64, p: f64| {
             let e_applied = v_of_t(t) / fe.thickness;
             (e_applied - fe.lk.e_static(p)) / fe.lk.rho
         };
-        let sol = dynamics::integrate(rate, p0, t_ramp, steps_per_branch);
+        let sol = dynamics::integrate(rate, p0, t_ramp, steps_per_branch)?;
         let pts: Vec<LoopPoint> = sol
             .iter()
             .map(|s| LoopPoint {
@@ -99,15 +112,17 @@ pub fn sweep_fecap(
                 p: s.p,
             })
             .collect();
-        let p_end = pts.last().unwrap().p;
-        (pts, p_end)
+        // `integrate` always yields the t=0 sample, so the branch is
+        // never empty; fall back to the start state defensively.
+        let p_end = pts.last().map_or(p0, |pt| pt.p);
+        Ok((pts, p_end))
     };
 
     let up_v = move |t: f64| -v_max + 2.0 * v_max * t / t_ramp;
-    let (up, p_top) = run_branch(p_start, &up_v);
+    let (up, p_top) = run_branch(p_start, &up_v)?;
     let down_v = move |t: f64| v_max - 2.0 * v_max * t / t_ramp;
-    let (down, _) = run_branch(p_top, &down_v);
-    HysteresisLoop { up, down }
+    let (down, _) = run_branch(p_top, &down_v)?;
+    Ok(HysteresisLoop { up, down })
 }
 
 #[cfg(test)]
@@ -122,7 +137,7 @@ mod tests {
     fn loop_switches_near_coercive_voltage() {
         let fe = cap(1e-9);
         let vc = fe.coercive_voltage().unwrap(); // ≈1.24 V
-        let lp = sweep_fecap(&fe, 2.5 * vc, 1e-6, 4000);
+        let lp = sweep_fecap(&fe, 2.5 * vc, 1e-6, 4000).unwrap();
         let vup = lp.v_switch_up().unwrap();
         let vdn = lp.v_switch_down().unwrap();
         assert!(
@@ -137,22 +152,22 @@ mod tests {
         // Paper Fig 4(b): "for stand-alone FE capacitor [2.5nm], the
         // hysteresis loop extends outside the +/- 2V range".
         let fe = cap(2.5e-9);
-        let lp = sweep_fecap(&fe, 4.0, 1e-6, 4000);
+        let lp = sweep_fecap(&fe, 4.0, 1e-6, 4000).unwrap();
         assert!(lp.v_switch_up().unwrap() > 2.0);
         assert!(lp.v_switch_down().unwrap() < -2.0);
     }
 
     #[test]
     fn thinner_film_switches_at_lower_voltage() {
-        let l1 = sweep_fecap(&cap(1e-9), 4.0, 1e-6, 3000);
-        let l2 = sweep_fecap(&cap(2e-9), 4.0, 1e-6, 3000);
+        let l1 = sweep_fecap(&cap(1e-9), 4.0, 1e-6, 3000).unwrap();
+        let l2 = sweep_fecap(&cap(2e-9), 4.0, 1e-6, 3000).unwrap();
         assert!(l2.v_switch_up().unwrap() > l1.v_switch_up().unwrap());
     }
 
     #[test]
     fn polarization_saturates_near_stable_branch() {
         let fe = cap(1e-9);
-        let lp = sweep_fecap(&fe, 3.0, 1e-6, 3000);
+        let lp = sweep_fecap(&fe, 3.0, 1e-6, 3000).unwrap();
         let pr = fe.lk.remnant_polarization().unwrap();
         // Loop maximum must exceed the remnant value but stay bounded.
         assert!(lp.p_max() > pr);
@@ -163,8 +178,11 @@ mod tests {
     fn insufficient_drive_does_not_switch() {
         let fe = cap(2.5e-9);
         // ±1V is far below the ≈2.8V coercive voltage at 2.5nm.
-        let lp = sweep_fecap(&fe, 1.0, 1e-6, 2000);
-        assert!(lp.v_switch_up().is_none(), "must stay on the negative branch");
+        let lp = sweep_fecap(&fe, 1.0, 1e-6, 2000).unwrap();
+        assert!(
+            lp.v_switch_up().is_none(),
+            "must stay on the negative branch"
+        );
     }
 
     #[test]
@@ -172,14 +190,18 @@ mod tests {
         // Kinetic broadening: a ramp comparable to the switching time
         // shifts the apparent switching voltage outward.
         let fe = cap(1e-9);
-        let slow = sweep_fecap(&fe, 3.0, 1e-6, 4000);
-        let fast = sweep_fecap(&fe, 3.0, 2e-9, 4000);
+        let slow = sweep_fecap(&fe, 3.0, 1e-6, 4000).unwrap();
+        let fast = sweep_fecap(&fe, 3.0, 2e-9, 4000).unwrap();
         assert!(fast.v_switch_up().unwrap() > slow.v_switch_up().unwrap());
     }
 
     #[test]
-    #[should_panic(expected = "v_max must be positive")]
-    fn bad_vmax_panics() {
-        sweep_fecap(&cap(1e-9), 0.0, 1e-6, 100);
+    fn bad_args_are_typed_errors() {
+        assert!(matches!(
+            sweep_fecap(&cap(1e-9), 0.0, 1e-6, 100),
+            Err(Error::InvalidArgument(_))
+        ));
+        assert!(sweep_fecap(&cap(1e-9), 1.0, 0.0, 100).is_err());
+        assert!(sweep_fecap(&cap(1e-9), 1.0, 1e-6, 0).is_err());
     }
 }

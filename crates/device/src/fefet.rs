@@ -14,6 +14,7 @@
 
 use crate::dynamics::{self, PSample};
 use fefet_ckt::models::{FeCapParams, MosParams};
+use fefet_numerics::Result;
 
 /// A composite ferroelectric transistor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,7 +92,11 @@ impl IdVgSweep {
     pub fn branch_ratio_at(&self, v_g: f64) -> Option<f64> {
         let i_up = interp_current(&self.up, v_g)?;
         let i_dn = interp_current(&self.down, v_g)?;
-        let (hi, lo) = if i_up > i_dn { (i_up, i_dn) } else { (i_dn, i_up) };
+        let (hi, lo) = if i_up > i_dn {
+            (i_up, i_dn)
+        } else {
+            (i_dn, i_up)
+        };
         Some(hi / lo.max(1e-300))
     }
 }
@@ -266,12 +271,7 @@ impl Fefet {
                 .collect();
             stables
                 .into_iter()
-                .min_by(|a, b| {
-                    (a - p_prev)
-                        .abs()
-                        .partial_cmp(&(b - p_prev).abs())
-                        .unwrap()
-                })
+                .min_by(|a, b| (a - p_prev).abs().total_cmp(&(b - p_prev).abs()))
                 .unwrap_or(p_prev)
         };
         let mut up = Vec::with_capacity(steps + 1);
@@ -320,7 +320,13 @@ impl Fefet {
     /// `dP/dt = (v_g(t) − V_MOS(P) − T_FE·E_static(P)) / (T_FE·ρ)`.
     ///
     /// Returns `(t, P)` samples.
-    pub fn transient<F>(&self, v_g: F, p0: f64, t_end: f64, steps: usize) -> Vec<PSample>
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`fefet_numerics::Error`] from the LK integration:
+    /// `InvalidArgument` for a non-positive horizon or zero steps,
+    /// `NonFinite` if the waveform or state diverges.
+    pub fn transient<F>(&self, v_g: F, p0: f64, t_end: f64, steps: usize) -> Result<Vec<PSample>>
     where
         F: Fn(f64) -> f64,
     {
@@ -337,6 +343,14 @@ impl Fefet {
     /// same effect Fig 10(a) exploits: shorter pulses need more voltage.
     ///
     /// `t_ramp` is the time for one `v_lo → v_hi` ramp.
+    ///
+    /// # Errors
+    ///
+    /// Propagates integration errors from [`Fefet::transient`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_lo >= v_hi`.
     pub fn dynamic_sweep(
         &self,
         v_lo: f64,
@@ -344,7 +358,7 @@ impl Fefet {
         t_ramp: f64,
         steps: usize,
         v_ds: f64,
-    ) -> IdVgSweep {
+    ) -> Result<IdVgSweep> {
         assert!(v_lo < v_hi, "dynamic_sweep: need v_lo < v_hi");
         // Start from the most negative stable state at v_lo.
         let p0 = self
@@ -356,10 +370,10 @@ impl Fefet {
         let p0 = if p0.is_finite() { p0 } else { 0.0 };
         let span = v_hi - v_lo;
         let up_wave = move |t: f64| v_lo + span * (t / t_ramp).min(1.0);
-        let up_traj = self.transient(up_wave, p0, t_ramp, steps);
+        let up_traj = self.transient(up_wave, p0, t_ramp, steps)?;
         let p_top = up_traj.last().map(|s| s.p).unwrap_or(p0);
         let down_wave = move |t: f64| v_hi - span * (t / t_ramp).min(1.0);
-        let down_traj = self.transient(down_wave, p_top, t_ramp, steps);
+        let down_traj = self.transient(down_wave, p_top, t_ramp, steps)?;
         let mk = |traj: &[crate::dynamics::PSample], wave: &dyn Fn(f64) -> f64| {
             traj.iter()
                 .map(|s| {
@@ -373,17 +387,27 @@ impl Fefet {
                 })
                 .collect()
         };
-        IdVgSweep {
+        Ok(IdVgSweep {
             up: mk(&up_traj, &up_wave),
             down: mk(&down_traj, &down_wave),
-        }
+        })
     }
 
     /// Time for a constant gate voltage `v_write` to switch the device
     /// from the stable state nearest `p_from` to within `tol` (C/m²) of
-    /// its destination stable state, or `None` if it has not switched by
-    /// `t_max`.
-    pub fn write_time(&self, v_write: f64, p_from: f64, t_max: f64, tol: f64) -> Option<f64> {
+    /// its destination stable state, or `Ok(None)` if it has not switched
+    /// by `t_max`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates integration errors from [`Fefet::transient`].
+    pub fn write_time(
+        &self,
+        v_write: f64,
+        p_from: f64,
+        t_max: f64,
+        tol: f64,
+    ) -> Result<Option<f64>> {
         // Destination: stable state at v_write nearest the drive direction.
         let dest = self
             .equilibria(v_write, 0.9, 3000)
@@ -399,28 +423,31 @@ impl Fefet {
                 if v_write > 0.0 { f64::max } else { f64::min },
             );
         if !dest.is_finite() {
-            return None;
+            return Ok(None);
         }
         let steps = 4000;
-        let sol = self.transient(|_| v_write, p_from, t_max, steps);
-        sol.iter()
-            .find(|s| (s.p - dest).abs() <= tol)
-            .map(|s| s.t)
+        let sol = self.transient(|_| v_write, p_from, t_max, steps)?;
+        Ok(sol.iter().find(|s| (s.p - dest).abs() <= tol).map(|s| s.t))
     }
 
     /// Retention check (Fig 2b / Fig 3b): after writing with `v_pulse`
     /// for `t_pulse`, hold `V_G = 0` for `t_hold` and return the final
     /// polarization.
-    pub fn write_then_hold(&self, v_pulse: f64, t_pulse: f64, p0: f64, t_hold: f64) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates integration errors from [`Fefet::transient`].
+    pub fn write_then_hold(&self, v_pulse: f64, t_pulse: f64, p0: f64, t_hold: f64) -> Result<f64> {
         let written = self
-            .transient(|_| v_pulse, p0, t_pulse, 2000)
+            .transient(|_| v_pulse, p0, t_pulse, 2000)?
             .last()
             .map(|s| s.p)
             .unwrap_or(p0);
-        self.transient(|_| 0.0, written, t_hold, 2000)
+        Ok(self
+            .transient(|_| 0.0, written, t_hold, 2000)?
             .last()
             .map(|s| s.p)
-            .unwrap_or(written)
+            .unwrap_or(written))
     }
 }
 
@@ -472,8 +499,14 @@ mod tests {
         let f = paper_fefet().with_thickness(1.9e-9);
         let sweep = f.sweep_id_vg(-1.0, 1.0, 800, 0.05);
         if let Some((v_dn, v_up)) = sweep.window(0.02) {
-            assert!(v_dn > 0.0, "1.9nm loop must sit at positive V_GS, got down-switch {v_dn}");
-            assert!(v_up > 0.0, "1.9nm loop must sit at positive V_GS, got up-switch {v_up}");
+            assert!(
+                v_dn > 0.0,
+                "1.9nm loop must sit at positive V_GS, got down-switch {v_dn}"
+            );
+            assert!(
+                v_up > 0.0,
+                "1.9nm loop must sit at positive V_GS, got up-switch {v_up}"
+            );
         }
         // Whether or not a small loop is resolved, the device is volatile.
         assert!(!f.is_nonvolatile());
@@ -528,13 +561,13 @@ mod tests {
         let p_lo = states.iter().cloned().fold(f64::INFINITY, f64::min);
         let p_hi = states.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         // Write '1' from the low state with +0.68 V.
-        let p_after = f.write_then_hold(0.68, 2e-9, p_lo, 20e-9);
+        let p_after = f.write_then_hold(0.68, 2e-9, p_lo, 20e-9).unwrap();
         assert!(
             (p_after - p_hi).abs() < 0.05,
             "retained {p_after} vs expected {p_hi}"
         );
         // Write '0' from the high state with −0.68 V.
-        let p_after = f.write_then_hold(-0.68, 2e-9, p_hi, 20e-9);
+        let p_after = f.write_then_hold(-0.68, 2e-9, p_hi, 20e-9).unwrap();
         assert!(
             (p_after - p_lo).abs() < 0.05,
             "retained {p_after} vs expected {p_lo}"
@@ -546,7 +579,7 @@ mod tests {
         // Fig 3b: at 1.9 nm the written polarization falls back once the
         // gate is released.
         let f = paper_fefet().with_thickness(1.9e-9);
-        let p_after = f.write_then_hold(-0.68, 2e-9, 0.0, 50e-9);
+        let p_after = f.write_then_hold(-0.68, 2e-9, 0.0, 50e-9).unwrap();
         assert!(
             p_after.abs() < 0.06,
             "1.9nm should not retain, got {p_after}"
@@ -564,6 +597,7 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         let t = f
             .write_time(0.68, p_lo, 10e-9, 0.02)
+            .unwrap()
             .expect("0.68 V must switch the device");
         assert!(
             (0.2e-9..1.2e-9).contains(&t),
@@ -583,11 +617,11 @@ mod tests {
             .into_iter()
             .fold(f64::NEG_INFINITY, f64::max);
         assert!(
-            f.write_time(-0.15, p_hi, 20e-9, 0.02).is_none(),
+            f.write_time(-0.15, p_hi, 20e-9, 0.02).unwrap().is_none(),
             "-0.15 V must NOT switch the high state"
         );
         assert!(
-            f.write_time(-0.68, p_hi, 20e-9, 0.02).is_some(),
+            f.write_time(-0.68, p_hi, 20e-9, 0.02).unwrap().is_some(),
             "-0.68 V must switch the high state"
         );
     }
@@ -599,8 +633,8 @@ mod tests {
             .stable_states_at_zero()
             .into_iter()
             .fold(f64::INFINITY, f64::min);
-        let t1 = f.write_time(0.6, p_lo, 20e-9, 0.02).unwrap();
-        let t2 = f.write_time(0.9, p_lo, 20e-9, 0.02).unwrap();
+        let t1 = f.write_time(0.6, p_lo, 20e-9, 0.02).unwrap().unwrap();
+        let t2 = f.write_time(0.9, p_lo, 20e-9, 0.02).unwrap().unwrap();
         assert!(t2 < t1, "faster at higher voltage: {t2} vs {t1}");
     }
 
@@ -612,13 +646,13 @@ mod tests {
         let d_qs = qs.v_cross_down().unwrap();
         // A 2 ns ramp is comparable to the switching time: kinetic
         // broadening pushes both switching voltages outward.
-        let dyn_fast = f.dynamic_sweep(-1.0, 1.0, 2e-9, 2000, 0.05);
+        let dyn_fast = f.dynamic_sweep(-1.0, 1.0, 2e-9, 2000, 0.05).unwrap();
         let u_dyn = dyn_fast.v_cross_up().unwrap();
         let d_dyn = dyn_fast.v_cross_down().unwrap();
         assert!(u_dyn > u_qs, "up: dynamic {u_dyn:.3} vs static {u_qs:.3}");
         assert!(d_dyn < d_qs, "down: dynamic {d_dyn:.3} vs static {d_qs:.3}");
         // A very slow ramp converges back to the quasi-static loop.
-        let dyn_slow = f.dynamic_sweep(-1.0, 1.0, 500e-9, 4000, 0.05);
+        let dyn_slow = f.dynamic_sweep(-1.0, 1.0, 500e-9, 4000, 0.05).unwrap();
         let u_slow = dyn_slow.v_cross_up().unwrap();
         assert!((u_slow - u_qs).abs() < 0.08, "{u_slow:.3} vs {u_qs:.3}");
     }

@@ -9,8 +9,7 @@
 //! margin and yield.
 
 use crate::fefet::Fefet;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use fefet_numerics::rng::Rng;
 
 /// 1-σ relative/absolute spreads of the varied parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,7 +65,7 @@ impl MonteCarlo {
         self.samples
             .iter()
             .filter_map(|s| s.current_ratio)
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .min_by(f64::total_cmp)
     }
 
     /// Mean and standard deviation of the high-state polarization over
@@ -87,21 +86,14 @@ impl MonteCarlo {
     }
 }
 
-/// Box-Muller standard normal from two uniforms.
-fn gauss(rng: &mut SmallRng) -> f64 {
-    let u1: f64 = rng.gen_range(1e-12..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
 /// Applies one sampled variation to a nominal device.
-pub fn sample_device(nominal: &Fefet, spec: &VariationSpec, rng: &mut SmallRng) -> Fefet {
+pub fn sample_device(nominal: &Fefet, spec: &VariationSpec, rng: &mut Rng) -> Fefet {
     let mut dev = *nominal;
-    dev.fe.thickness *= 1.0 + spec.t_fe_sigma_rel * gauss(rng);
-    let dw = 1.0 + spec.width_sigma_rel * gauss(rng);
+    dev.fe.thickness *= 1.0 + spec.t_fe_sigma_rel * rng.normal();
+    let dw = 1.0 + spec.width_sigma_rel * rng.normal();
     dev.mos.w *= dw;
     dev.fe.area *= dw; // gate and FE share the width
-    dev.mos.vt0 += spec.vt_sigma * gauss(rng);
+    dev.mos.vt0 += spec.vt_sigma * rng.normal();
     dev
 }
 
@@ -125,8 +117,10 @@ fn evaluate(dev: &Fefet) -> SampleResult {
 }
 
 fn draw_devices(nominal: &Fefet, spec: &VariationSpec, n: usize, seed: u64) -> Vec<Fefet> {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xfe0f_37a7);
-    (0..n).map(|_| sample_device(nominal, spec, &mut rng)).collect()
+    let mut rng = Rng::seed_from_u64(seed ^ 0xfe0f_37a7);
+    (0..n)
+        .map(|_| sample_device(nominal, spec, &mut rng))
+        .collect()
 }
 
 /// Runs an `n`-sample Monte Carlo, seeded for reproducibility.
@@ -146,7 +140,7 @@ pub fn monte_carlo(nominal: &Fefet, spec: &VariationSpec, n: usize, seed: u64) -
 /// The parallel variant of [`monte_carlo`]: the random draws are made
 /// serially (so the result is bit-identical to the serial version), then
 /// the per-sample equilibrium analyses are fanned out over `threads`
-/// worker threads with crossbeam's scoped threads.
+/// worker threads with `std::thread::scope`.
 ///
 /// # Panics
 ///
@@ -159,20 +153,27 @@ pub fn monte_carlo_parallel(
     threads: usize,
 ) -> MonteCarlo {
     assert!(n > 0, "monte_carlo_parallel: need at least one sample");
-    assert!(threads > 0, "monte_carlo_parallel: need at least one thread");
+    assert!(
+        threads > 0,
+        "monte_carlo_parallel: need at least one thread"
+    );
     let devices = draw_devices(nominal, spec, n, seed);
     let chunk = n.div_ceil(threads);
     let mut samples: Vec<SampleResult> = Vec::with_capacity(n);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = devices
             .chunks(chunk)
-            .map(|devs| scope.spawn(move |_| devs.iter().map(evaluate).collect::<Vec<_>>()))
+            .map(|devs| scope.spawn(move || devs.iter().map(evaluate).collect::<Vec<_>>()))
             .collect();
         for h in handles {
-            samples.extend(h.join().expect("MC worker panicked"));
+            match h.join() {
+                Ok(part) => samples.extend(part),
+                // A worker panic is a programming error in `evaluate`;
+                // re-raise it on the caller's thread.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     MonteCarlo { samples }
 }
 

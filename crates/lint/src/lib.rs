@@ -1,0 +1,1051 @@
+//! `fefet-lint`: a dependency-free static-analysis pass over the
+//! workspace's Rust sources, enforcing the solver-safety invariants the
+//! compiler cannot:
+//!
+//! - **R1 `panic`** — no `unwrap()` / `expect()` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in non-test library
+//!   code of the five core crates (`numerics`, `ckt`, `device`, `core`,
+//!   `nvp`). Solvers must return typed errors, not abort the process.
+//!   `assert!`-style argument validation is allowed — a violated
+//!   precondition is a caller bug, not a solver failure mode.
+//! - **R2 `unbounded-loop`** — no bare `loop {` and no `while` without
+//!   a comparison in its condition inside solver modules
+//!   ([`SOLVER_MODULES`]). Iteration must be lexically bounded or
+//!   guarded by a cap the reader can see.
+//! - **R3 `float-eq`** — no `==` / `!=` against a nonzero floating
+//!   literal anywhere in the workspace. Exact-zero sentinels are
+//!   allowed (they test "was this field ever set", not proximity).
+//! - **R4 `solver-result`** — top-level `pub fn` items in solver
+//!   modules must not return bare `f64` / `Vec<f64>`; solver entry
+//!   points report failure through `Result`.
+//!
+//! The analysis is lexical: a scrubber strips comments, strings and
+//! character literals (understanding raw strings and lifetimes), a
+//! tokenizer walks the rest, and `#[cfg(test)]`-gated items are skipped
+//! wholesale. That makes the pass fast, dependency-free and fail-safe —
+//! anything it cannot prove safe it flags, and intentional exceptions
+//! carry an escape hatch *with a mandatory reason*:
+//!
+//! ```text
+//! // fefet-lint: allow(panic) -- invariant: film is ferroelectric by construction
+//! ```
+//!
+//! A directive allows the named rule on its own line and the line
+//! below; a directive without a reason (or naming an unknown rule) is
+//! itself a finding.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Basenames of modules that implement iterative solvers; R2 and R4
+/// apply only here (in workspace mode).
+pub const SOLVER_MODULES: &[&str] = &[
+    "roots.rs",
+    "ode.rs",
+    "engine.rs",
+    "dc.rs",
+    "transient.rs",
+    "dynamics.rs",
+];
+
+/// Crate directory names whose library code must be panic-free (R1).
+pub const PANIC_FREE_CRATES: &[&str] = &["numerics", "ckt", "device", "core", "nvp"];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// The lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// R1: panicking constructs in library code.
+    Panic,
+    /// R2: lexically unbounded loops in solver modules.
+    UnboundedLoop,
+    /// R3: float equality against a nonzero literal.
+    FloatEq,
+    /// R4: solver entry points returning bare floats.
+    SolverResult,
+    /// A malformed `fefet-lint:` directive.
+    Directive,
+}
+
+impl Rule {
+    /// The rule's canonical name (used in `allow(...)` directives).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::UnboundedLoop => "unbounded-loop",
+            Rule::FloatEq => "float-eq",
+            Rule::SolverResult => "solver-result",
+            Rule::Directive => "directive",
+        }
+    }
+
+    /// Parses a rule name or its `r1`-`r4` alias.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "panic" | "r1" => Some(Rule::Panic),
+            "unbounded-loop" | "r2" => Some(Rule::UnboundedLoop),
+            "float-eq" | "r3" => Some(Rule::FloatEq),
+            "solver-result" | "r4" => Some(Rule::SolverResult),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path label the source was linted under.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// How rule scoping is decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Path-based scoping: R1 on the core crates, R2/R4 on solver
+    /// modules, R3 everywhere. Used for the workspace walk.
+    Workspace,
+    /// Every rule applies regardless of path. Used for explicit file
+    /// arguments and rule fixtures.
+    Strict,
+}
+
+// ---------------------------------------------------------------------
+// Scrubber: blank comments, strings and char literals; collect comments
+// ---------------------------------------------------------------------
+
+struct Scrubbed {
+    /// Source with comments/strings/chars replaced by spaces (newlines
+    /// kept, so byte offsets and line numbers survive).
+    text: String,
+    /// `(byte_offset, comment_text)` for every comment.
+    comments: Vec<(usize, String)>,
+}
+
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    let to = to.min(out.len());
+    for byte in &mut out[from..to] {
+        if *byte != b'\n' {
+            *byte = b' ';
+        }
+    }
+}
+
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_raw_string(b: &[u8], mut i: usize) -> usize {
+    // `i` is at the first `#` or the opening quote.
+    let mut hashes = 0;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        return i;
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..].len() >= hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|c| *c == b'#')
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+fn scrub(src: &str) -> Scrubbed {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            comments.push((start, src[start..i].to_string()));
+            blank(&mut out, start, i);
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            comments.push((start, src[start..i].to_string()));
+            blank(&mut out, start, i);
+        } else if c == b'"' {
+            let end = skip_string(b, i);
+            blank(&mut out, i, end);
+            i = end;
+        } else if c == b'_' || c.is_ascii_alphabetic() {
+            // Consume the identifier wholesale, then check for raw /
+            // byte string prefixes.
+            let start = i;
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            let ident = &src[start..i];
+            let next = b.get(i).copied();
+            if (ident == "r" || ident == "br") && matches!(next, Some(b'"') | Some(b'#')) {
+                let end = skip_raw_string(b, i);
+                blank(&mut out, i, end);
+                i = end;
+            } else if ident == "b" && next == Some(b'"') {
+                let end = skip_string(b, i);
+                blank(&mut out, i, end);
+                i = end;
+            } else if ident == "b" && next == Some(b'\'') {
+                i = scrub_char(b, &mut out, i);
+            }
+        } else if c == b'\'' {
+            i = scrub_char(b, &mut out, i);
+        } else {
+            i += 1;
+        }
+    }
+    // Blanking only writes ASCII spaces over existing bytes; multibyte
+    // characters are either fully blanked or untouched, so this cannot
+    // produce invalid UTF-8 at region boundaries (regions start/end at
+    // ASCII delimiters).
+    let text = String::from_utf8_lossy(&out).into_owned();
+    Scrubbed { text, comments }
+}
+
+/// Handles a `'` at `i`: blanks a char literal, steps over a lifetime.
+fn scrub_char(b: &[u8], out: &mut [u8], i: usize) -> usize {
+    let j = i + 1;
+    if j < b.len() && b[j] == b'\\' {
+        // Escaped char literal: skip the backslash and escape body.
+        let mut k = j + 2;
+        if b.get(j + 1) == Some(&b'u') {
+            while k < b.len() && b[k - 1] != b'}' {
+                k += 1;
+            }
+        }
+        if b.get(k) == Some(&b'\'') {
+            blank(out, i, k + 1);
+            return k + 1;
+        }
+        i + 1
+    } else if j + 1 < b.len() && b[j + 1] == b'\'' && b[j] != b'\'' {
+        blank(out, i, j + 2);
+        j + 2
+    } else {
+        // Lifetime (or something weird): leave it.
+        i + 1
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer over scrubbed text
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Ident,
+    Number,
+    Punct,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Tok {
+    kind: Kind,
+    start: usize,
+    end: usize,
+}
+
+const TWO_CHAR_PUNCT: &[&[u8; 2]] = &[
+    b"==", b"!=", b"<=", b">=", b"->", b"=>", b"::", b"&&", b"||", b"..", b"<<", b">>",
+];
+
+fn tokenize(s: &str) -> Vec<Tok> {
+    let b = s.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'_' || c.is_ascii_alphabetic() {
+            let start = i;
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: Kind::Ident,
+                start,
+                end: i,
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            let mut seen_dot = false;
+            while i < b.len() {
+                let d = b[i];
+                if d.is_ascii_digit() || d == b'_' {
+                    i += 1;
+                } else if (d == b'e' || d == b'E')
+                    && (b.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        || (matches!(b.get(i + 1), Some(b'+') | Some(b'-'))
+                            && b.get(i + 2).is_some_and(|n| n.is_ascii_digit())))
+                {
+                    i += if matches!(b.get(i + 1), Some(b'+') | Some(b'-')) {
+                        2
+                    } else {
+                        1
+                    };
+                } else if d.is_ascii_alphabetic() {
+                    i += 1; // type suffix or hex digits
+                } else if d == b'.'
+                    && !seen_dot
+                    && !matches!(b.get(i + 1), Some(b'.') | Some(b'_'))
+                    && !b.get(i + 1).is_some_and(|n| n.is_ascii_alphabetic())
+                {
+                    seen_dot = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: Kind::Number,
+                start,
+                end: i,
+            });
+        } else {
+            let start = i;
+            let end = if i + 1 < b.len() && TWO_CHAR_PUNCT.iter().any(|p| **p == [c, b[i + 1]]) {
+                i + 2
+            } else {
+                i + 1
+            };
+            toks.push(Tok {
+                kind: Kind::Punct,
+                start,
+                end,
+            });
+            i = end;
+        }
+    }
+    toks
+}
+
+// ---------------------------------------------------------------------
+// Directives
+// ---------------------------------------------------------------------
+
+struct Allow {
+    line: usize,
+    rule: Rule,
+}
+
+fn parse_directives(
+    file: &str,
+    comments: &[(usize, String)],
+    lines: &LineIndex,
+) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for (offset, text) in comments {
+        // Only comments *starting* with the marker (after the comment
+        // sigils) are directives; prose mentioning it is not.
+        let trimmed =
+            text.trim_start_matches(|c: char| matches!(c, '/' | '!' | '*') || c.is_whitespace());
+        let Some(marked) = trimmed.strip_prefix("fefet-lint:") else {
+            continue;
+        };
+        let line = lines.line_of(*offset);
+        let rest = marked.trim();
+        let bad = |msg: &str| Finding {
+            file: file.to_string(),
+            line,
+            rule: Rule::Directive,
+            message: msg.to_string(),
+        };
+        let Some(inner) = rest.strip_prefix("allow(") else {
+            findings.push(bad(
+                "malformed directive: expected `allow(<rule>) -- <reason>`",
+            ));
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            findings.push(bad("malformed directive: unclosed `allow(`"));
+            continue;
+        };
+        let rule_name = inner[..close].trim();
+        let Some(rule) = Rule::parse(rule_name) else {
+            findings.push(bad(&format!(
+                "unknown rule `{rule_name}` (expected panic, unbounded-loop, float-eq or solver-result)"
+            )));
+            continue;
+        };
+        let tail = inner[close + 1..].trim();
+        let reason_ok = tail
+            .strip_prefix("--")
+            .map(str::trim)
+            .is_some_and(|r| !r.is_empty());
+        if !reason_ok {
+            findings.push(bad(&format!(
+                "allow({rule_name}) needs a justification: `-- <reason>`"
+            )));
+            continue;
+        }
+        allows.push(Allow { line, rule });
+    }
+    (allows, findings)
+}
+
+// ---------------------------------------------------------------------
+// Line index and cfg(test) regions
+// ---------------------------------------------------------------------
+
+struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    fn new(src: &str) -> Self {
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    /// 1-based line containing byte `offset`.
+    fn line_of(&self, offset: usize) -> usize {
+        self.starts.partition_point(|s| *s <= offset)
+    }
+}
+
+/// Byte ranges covered by `#[cfg(test)]` items (attribute through the
+/// end of the item's body).
+fn test_regions(scrubbed: &str) -> Vec<(usize, usize)> {
+    let b = scrubbed.as_bytes();
+    let mut regions = Vec::new();
+    let mut search = 0;
+    while let Some(found) = scrubbed[search..].find("#[cfg(test)]") {
+        let start = search + found;
+        let mut i = start + "#[cfg(test)]".len();
+        // Skip whitespace and any further attributes.
+        loop {
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < b.len() && b[i] == b'#' {
+                // Balanced-bracket skip of the attribute.
+                while i < b.len() && b[i] != b'[' {
+                    i += 1;
+                }
+                let mut depth = 0usize;
+                while i < b.len() {
+                    match b[i] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // The item ends at the matching `}` of its first brace, or at a
+        // `;` that appears before any brace (e.g. `use` declarations).
+        let mut depth = 0usize;
+        let mut end = i;
+        while end < b.len() {
+            match b[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end += 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        regions.push((start, end));
+        search = end.max(start + 1);
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], offset: usize) -> bool {
+    regions.iter().any(|(a, b)| offset >= *a && offset < *b)
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+/// Is `text` a floating-point literal with a nonzero value?
+fn nonzero_float_literal(text: &str) -> bool {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let base = cleaned
+        .strip_suffix("f64")
+        .or_else(|| cleaned.strip_suffix("f32"))
+        .unwrap_or(&cleaned);
+    let floatish = cleaned.ends_with("f64")
+        || cleaned.ends_with("f32")
+        || base.contains('.')
+        || (base.contains(['e', 'E']) && !base.starts_with("0x") && !base.starts_with("0X"));
+    if !floatish {
+        return false;
+    }
+    match base.parse::<f64>() {
+        Ok(v) => v != 0.0,
+        Err(_) => false,
+    }
+}
+
+struct FileLint<'a> {
+    file: &'a str,
+    scrubbed: &'a str,
+    toks: &'a [Tok],
+    lines: &'a LineIndex,
+    findings: Vec<Finding>,
+}
+
+impl<'a> FileLint<'a> {
+    fn text(&self, t: &Tok) -> &'a str {
+        &self.scrubbed[t.start..t.end]
+    }
+
+    fn push(&mut self, offset: usize, rule: Rule, message: String) {
+        self.findings.push(Finding {
+            file: self.file.to_string(),
+            line: self.lines.line_of(offset),
+            rule,
+            message,
+        });
+    }
+
+    /// R1: `.unwrap()` / `.expect(` / panicking macros.
+    fn rule_panic(&mut self) {
+        for k in 0..self.toks.len() {
+            let t = self.toks[k];
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            let name = self.text(&t);
+            let prev = k.checked_sub(1).map(|p| self.text(&self.toks[p]));
+            let next = self.toks.get(k + 1).map(|n| self.text(n));
+            if (name == "unwrap" || name == "expect") && prev == Some(".") && next == Some("(") {
+                self.push(
+                    t.start,
+                    Rule::Panic,
+                    format!("`.{name}()` in library code; return a typed error instead"),
+                );
+            } else if PANIC_MACROS.contains(&name) && next == Some("!") {
+                self.push(
+                    t.start,
+                    Rule::Panic,
+                    format!("`{name}!` in library code; return a typed error instead"),
+                );
+            }
+        }
+    }
+
+    /// R2: bare `loop` and condition-free `while` in solver modules.
+    fn rule_unbounded_loop(&mut self) {
+        for k in 0..self.toks.len() {
+            let t = self.toks[k];
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            match self.text(&t) {
+                "loop" => {
+                    if self.toks.get(k + 1).map(|n| self.text(n)) == Some("{") {
+                        self.push(
+                            t.start,
+                            Rule::UnboundedLoop,
+                            "bare `loop` in a solver module; bound it with an \
+                             iteration cap and a typed convergence error"
+                                .to_string(),
+                        );
+                    }
+                }
+                "while" => {
+                    if self.toks.get(k + 1).map(|n| self.text(n)) == Some("let") {
+                        continue;
+                    }
+                    // Scan the condition (tokens up to the body `{` at
+                    // bracket depth zero) for a comparison operator.
+                    let mut depth = 0i32;
+                    let mut bounded = false;
+                    for n in &self.toks[k + 1..] {
+                        let s = self.text(n);
+                        match s {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth -= 1,
+                            "{" if depth == 0 => break,
+                            "<" | ">" | "<=" | ">=" | "!=" | "==" => bounded = true,
+                            _ => {}
+                        }
+                    }
+                    if !bounded {
+                        self.push(
+                            t.start,
+                            Rule::UnboundedLoop,
+                            "`while` without a comparison in its condition in a \
+                             solver module; make the bound explicit"
+                                .to_string(),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// R3: `==` / `!=` against a nonzero float literal.
+    fn rule_float_eq(&mut self) {
+        for k in 0..self.toks.len() {
+            let t = self.toks[k];
+            if t.kind != Kind::Punct {
+                continue;
+            }
+            let op = self.text(&t);
+            if op != "==" && op != "!=" {
+                continue;
+            }
+            let float_side = [k.checked_sub(1), Some(k + 1)]
+                .into_iter()
+                .flatten()
+                .filter_map(|idx| self.toks.get(idx))
+                .find(|n| n.kind == Kind::Number && nonzero_float_literal(self.text(n)));
+            if let Some(lit) = float_side {
+                let lit_text = self.text(lit).to_string();
+                self.push(
+                    t.start,
+                    Rule::FloatEq,
+                    format!(
+                        "`{op} {lit_text}` compares floats exactly; use a tolerance \
+                         (only literal-zero sentinels are exempt)"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// R4: top-level `pub fn` returning bare `f64` / `Vec<f64>`.
+    fn rule_solver_result(&mut self) {
+        let mut depth = 0i32;
+        let mut k = 0;
+        while k < self.toks.len() {
+            let t = self.toks[k];
+            let s = self.text(&t);
+            match s {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                "pub" if depth == 0 && t.kind == Kind::Ident => {
+                    // Plain `pub` only: `pub(crate)` etc. is not public API.
+                    if self.toks.get(k + 1).map(|n| self.text(n)) == Some("fn") {
+                        if let Some(f) = self.check_pub_fn(k) {
+                            self.findings.push(f);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+
+    /// Checks the `pub fn` starting at token index `k` (`pub`).
+    fn check_pub_fn(&self, k: usize) -> Option<Finding> {
+        let name_tok = self.toks.get(k + 2)?;
+        let name = self.text(name_tok).to_string();
+        // Find the parameter list's closing paren.
+        let mut i = k + 3;
+        while i < self.toks.len() && self.text(&self.toks[i]) != "(" {
+            i += 1; // skip generics
+        }
+        let mut depth = 0i32;
+        while i < self.toks.len() {
+            match self.text(&self.toks[i]) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let arrow = self.toks.get(i + 1)?;
+        if self.text(arrow) != "->" {
+            return None;
+        }
+        // Return type runs to the body `{`, a `;`, or a `where` clause.
+        let ret_start = arrow.end;
+        let mut ret_end = ret_start;
+        for n in &self.toks[i + 2..] {
+            let s = self.text(n);
+            if s == "{" || s == ";" || s == "where" {
+                break;
+            }
+            ret_end = n.end;
+        }
+        let ret: String = self.scrubbed[ret_start..ret_end]
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        if ret == "f64" || ret == "Vec<f64>" {
+            Some(Finding {
+                file: self.file.to_string(),
+                line: self.lines.line_of(self.toks[k].start),
+                rule: Rule::SolverResult,
+                message: format!(
+                    "public solver fn `{name}` returns bare `{ret}`; solver entry \
+                     points must return `Result` so failures are typed"
+                ),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scoping and entry points
+// ---------------------------------------------------------------------
+
+fn norm_path(p: &str) -> String {
+    p.replace('\\', "/")
+}
+
+fn is_solver_module(path: &str) -> bool {
+    let base = norm_path(path);
+    let base = base.rsplit('/').next().unwrap_or(&base);
+    SOLVER_MODULES.contains(&base)
+}
+
+fn in_panic_free_crate(path: &str) -> bool {
+    let p = norm_path(path);
+    PANIC_FREE_CRATES
+        .iter()
+        .any(|c| p.contains(&format!("crates/{c}/src/")))
+}
+
+/// Lints one file's source text under `mode`; `file` is the label used
+/// in findings and (in [`Mode::Workspace`]) for rule scoping.
+pub fn lint_source(file: &str, src: &str, mode: Mode) -> Vec<Finding> {
+    let Scrubbed { text, comments } = scrub(src);
+    let lines = LineIndex::new(src);
+    let (allows, mut directive_findings) = parse_directives(file, &comments, &lines);
+    let toks = tokenize(&text);
+    let regions = test_regions(&text);
+
+    let mut fl = FileLint {
+        file,
+        scrubbed: &text,
+        toks: &toks,
+        lines: &lines,
+        findings: Vec::new(),
+    };
+    let strict = mode == Mode::Strict;
+    if strict || in_panic_free_crate(file) {
+        fl.rule_panic();
+    }
+    if strict || is_solver_module(file) {
+        fl.rule_unbounded_loop();
+        fl.rule_solver_result();
+    }
+    fl.rule_float_eq();
+
+    // Offset-based filters: findings inside #[cfg(test)] items are
+    // dropped; findings with a matching allow on their own line or the
+    // line above are dropped.
+    let mut findings: Vec<Finding> = fl
+        .findings
+        .into_iter()
+        .filter(|f| {
+            let offset = lines.starts[f.line - 1];
+            !in_regions(&regions, offset)
+        })
+        .filter(|f| {
+            !allows
+                .iter()
+                .any(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line))
+        })
+        .collect();
+    findings.append(&mut directive_findings);
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// All library source files the workspace walk covers: `src/` of the
+/// root package and of every crate under `crates/`.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .map(|e| Ok(e?.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        for entry in entries {
+            collect_rs(&entry.join("src"), &mut files)?;
+        }
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| Ok(e?.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks the workspace at `root` and lints every library source file in
+/// [`Mode::Workspace`]. Findings carry root-relative path labels.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in workspace_files(root)? {
+        let label = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .into_owned();
+        let src = fs::read_to_string(&path)?;
+        findings.extend(lint_source(&norm_path(&label), &src, Mode::Workspace));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict(src: &str) -> Vec<Finding> {
+        lint_source("test.rs", src, Mode::Strict)
+    }
+
+    #[test]
+    fn scrubber_blanks_comments_and_strings() {
+        let s = scrub("let x = \"a // not a comment\"; // real\nlet y = 1;");
+        assert!(!s.text.contains("not a comment"));
+        assert!(!s.text.contains("real"));
+        assert!(s.text.contains("let y = 1;"));
+        assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn scrubber_handles_raw_strings_and_chars() {
+        let s = scrub("let r = r#\"unwrap() \"quoted\" \"#; let c = '\\''; let l: &'static str;");
+        assert!(!s.text.contains("unwrap"));
+        assert!(s.text.contains("'static"));
+    }
+
+    #[test]
+    fn scrubber_preserves_offsets() {
+        let src = "let a = \"xx\";\nlet b = 2;";
+        let s = scrub(src);
+        assert_eq!(s.text.len(), src.len());
+        assert_eq!(s.text.find("let b"), src.find("let b"));
+    }
+
+    #[test]
+    fn unwrap_in_code_is_flagged_but_not_in_comment() {
+        let f = strict("fn f() { x.unwrap(); }\n// x.unwrap() here is fine\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Panic);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_variants_pass() {
+        assert!(strict("fn f() { x.unwrap_or(0).unwrap_or_else(|| 1); }").is_empty());
+    }
+
+    #[test]
+    fn panic_macros_flagged() {
+        let f = strict("fn f() { panic!(\"boom\"); unreachable!(); }");
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn asserts_are_allowed() {
+        assert!(strict("fn f() { assert!(x > 0); debug_assert_eq!(a, b); }").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n fn g() { x.unwrap(); }\n}\nfn f() {}\n";
+        assert!(strict(src).is_empty());
+    }
+
+    #[test]
+    fn bare_loop_flagged_while_bounded_passes() {
+        let f = strict("fn f() { loop { step(); } }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::UnboundedLoop);
+        assert!(strict("fn f() { for i in 0..10 { } while i < cap { } }").is_empty());
+        assert!(strict("fn f() { while let Some(x) = it.next() { } }").is_empty());
+    }
+
+    #[test]
+    fn while_without_comparison_flagged() {
+        let f = strict("fn f() { while go { step(); } }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::UnboundedLoop);
+    }
+
+    #[test]
+    fn float_eq_flagged_zero_sentinel_passes() {
+        let f = strict("fn f() { if x == 1.5 { } }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::FloatEq);
+        assert!(strict("fn f() { if x == 0.0 { } if n == 3 { } }").is_empty());
+    }
+
+    #[test]
+    fn pub_fn_returning_bare_f64_flagged() {
+        let f = strict("pub fn solve(x: f64) -> f64 { x }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::SolverResult);
+        assert!(strict("pub fn solve(x: f64) -> Result<f64, E> { Ok(x) }").is_empty());
+        // Methods inside impl blocks are accessors, not entry points.
+        assert!(strict("impl S { pub fn v(&self) -> f64 { self.0 } }").is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses_with_reason() {
+        let src = "fn f() {\n // fefet-lint: allow(panic) -- checked by caller\n x.unwrap();\n}";
+        assert!(strict(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let src = "fn f() {\n // fefet-lint: allow(panic)\n x.unwrap();\n}";
+        let f = strict(src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.rule == Rule::Directive));
+        assert!(f.iter().any(|x| x.rule == Rule::Panic));
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_a_finding() {
+        let f = strict("// fefet-lint: allow(everything) -- please\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Directive);
+    }
+
+    #[test]
+    fn allow_only_suppresses_named_rule() {
+        let src = "fn f() {\n // fefet-lint: allow(float-eq) -- sentinel\n x.unwrap();\n}";
+        let f = strict(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Panic);
+    }
+
+    #[test]
+    fn workspace_mode_scopes_rules_by_path() {
+        let src = "pub fn step() -> f64 { loop { } }";
+        // Non-solver path in a non-core crate: only R3 applies.
+        assert!(lint_source("crates/bench/src/lib.rs", src, Mode::Workspace).is_empty());
+        // Solver module: R2 + R4 fire.
+        let f = lint_source("crates/ckt/src/dc.rs", src, Mode::Workspace);
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn nonzero_float_literal_classification() {
+        assert!(nonzero_float_literal("1.5"));
+        assert!(nonzero_float_literal("2.25e-9"));
+        assert!(nonzero_float_literal("1e6"));
+        assert!(nonzero_float_literal("3f64"));
+        assert!(!nonzero_float_literal("0.0"));
+        assert!(!nonzero_float_literal("0.0e0"));
+        assert!(!nonzero_float_literal("3"));
+        assert!(!nonzero_float_literal("0x1f"));
+    }
+
+    #[test]
+    fn rule_aliases_parse() {
+        assert_eq!(Rule::parse("r1"), Some(Rule::Panic));
+        assert_eq!(Rule::parse("unbounded-loop"), Some(Rule::UnboundedLoop));
+        assert_eq!(Rule::parse("r3"), Some(Rule::FloatEq));
+        assert_eq!(Rule::parse("solver-result"), Some(Rule::SolverResult));
+        assert_eq!(Rule::parse("bogus"), None);
+    }
+}

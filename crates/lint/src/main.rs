@@ -1,0 +1,98 @@
+//! CLI for `fefet-lint`.
+//!
+//! - `fefet-lint` (no args): walks the workspace's library sources and
+//!   applies path-scoped rules. Exit code 0 when clean, 1 on findings.
+//! - `fefet-lint FILE...`: lints the named files in strict mode (every
+//!   rule applies regardless of path) — the mode fixtures are checked
+//!   under.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fefet_lint::{lint_source, lint_workspace, workspace_files, Mode};
+
+const USAGE: &str = "\
+usage: fefet-lint [FILE...]
+
+With no arguments, lints every library source file of the enclosing
+workspace (src/ and crates/*/src/) with path-scoped rules. With file
+arguments, lints those files in strict mode (all rules apply).
+
+Rules: panic (r1), unbounded-loop (r2), float-eq (r3), solver-result (r4).
+Suppress a finding with a justified directive on the line above it:
+    // fefet-lint: allow(<rule>) -- <reason>";
+
+fn find_workspace_root() -> PathBuf {
+    // Ascend from the current directory to the first Cargo.toml that
+    // declares a [workspace]; fall back to this crate's grandparent
+    // (crates/lint -> workspace root) for out-of-tree invocations.
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let (findings, checked) = if args.is_empty() {
+        let root = find_workspace_root();
+        let n = match workspace_files(&root) {
+            Ok(files) => files.len(),
+            Err(e) => {
+                eprintln!("fefet-lint: cannot walk {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match lint_workspace(&root) {
+            Ok(f) => (f, n),
+            Err(e) => {
+                eprintln!("fefet-lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let mut findings = Vec::new();
+        for arg in &args {
+            match std::fs::read_to_string(arg) {
+                Ok(src) => findings.extend(lint_source(arg, &src, Mode::Strict)),
+                Err(e) => {
+                    eprintln!("fefet-lint: cannot read {arg}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (findings, args.len())
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("fefet-lint: clean ({checked} files)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "fefet-lint: {} finding(s) in {checked} files",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: panicking constructs inside #[cfg(test)] are exempt from R1.
+
+pub fn double(x: f64) -> (f64, bool) {
+    (x * 2.0, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles() {
+        let v: Option<f64> = Some(2.0);
+        assert_eq!(double(v.unwrap()), 4.0);
+        if double(1.0) != 2.0 {
+            panic!("arithmetic is broken");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: panic-looking text in comments and strings must NOT fire.
+// A doc mention of .unwrap() or panic!("boom") is not a violation.
+
+/// Never call `.unwrap()` here; `panic!` in a comment is fine.
+/// And `loop {` in a doc comment is also fine, as is `x == 1.5`.
+pub fn describe() -> &'static str {
+    // .unwrap() and panic!("text") inside this comment are ignored.
+    /* block comment: loop { } while true { } x == 2.5 */
+    "call .unwrap() or panic!(\"boom\") — just a string, x == 1.5 too"
+}
+
+pub fn raw() -> &'static str {
+    r#"raw string with .expect("msg") and unreachable!() and 3.5 == y"#
+}

@@ -1,0 +1,11 @@
+// Fixture: R1 violations suppressed by the escape hatch.
+
+pub fn constant_table(idx: usize) -> (f64, usize) {
+    const TABLE: [f64; 3] = [1.0, 2.0, 3.0];
+    // fefet-lint: allow(panic) -- index is masked to the table length above
+    (TABLE.get(idx % 3).copied().unwrap(), idx)
+}
+
+pub fn startup_invariant(config: Option<&str>) -> &str {
+    config.expect("config is set by main before any call") // fefet-lint: allow(panic) -- construction-time invariant
+}

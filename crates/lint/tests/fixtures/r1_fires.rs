@@ -1,0 +1,28 @@
+// Fixture: R1 (panic) violations in non-test library code.
+
+pub fn lookup(values: &[f64], idx: usize) -> (f64, usize) {
+    let v = values.get(idx).unwrap();
+    (*v, idx)
+}
+
+pub fn describe(code: u8) -> &'static str {
+    match code {
+        0 => "ok",
+        1 => "warn",
+        _ => panic!("unknown code"),
+    }
+}
+
+pub fn classify(x: f64) -> u8 {
+    if x < 0.0 {
+        0
+    } else if x >= 0.0 {
+        1
+    } else {
+        unreachable!()
+    }
+}
+
+pub fn pick(opt: Option<f64>) -> (f64, bool) {
+    (opt.expect("value must be present"), true)
+}

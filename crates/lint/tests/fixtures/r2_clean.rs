@@ -1,0 +1,26 @@
+// Fixture: bounded iteration that must NOT trip R2.
+
+pub fn converge(mut x: f64) -> (f64, usize) {
+    const MAX_ITERS: usize = 100;
+    for _ in 0..MAX_ITERS {
+        x = 0.5 * (x + 2.0 / x);
+    }
+    (x, MAX_ITERS)
+}
+
+pub fn countdown(mut budget: i32) -> i32 {
+    let mut spent = 0;
+    while budget > 0 {
+        budget -= 1;
+        spent += 1;
+    }
+    spent
+}
+
+pub fn drain(items: &mut Vec<u32>) -> u32 {
+    let mut sum = 0;
+    while let Some(v) = items.pop() {
+        sum += v;
+    }
+    sum
+}

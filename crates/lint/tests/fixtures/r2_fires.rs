@@ -1,0 +1,21 @@
+// Fixture: R2 (unbounded-loop) violations.
+
+pub fn spin_forever() -> u64 {
+    let mut n = 0u64;
+    loop {
+        n = n.wrapping_add(1);
+        if n == 0 {
+            break;
+        }
+    }
+    n
+}
+
+pub fn drain(mut ready: bool) -> u32 {
+    let mut count = 0;
+    while ready {
+        count += 1;
+        ready = count % 7 != 0;
+    }
+    count
+}

@@ -1,0 +1,27 @@
+// Fixture: solver entry points with typed results — must NOT trip R4.
+
+pub struct Solution {
+    pub x: Vec<f64>,
+    pub iterations: usize,
+}
+
+pub fn solve_residual(x0: f64) -> Result<f64, String> {
+    Ok(x0 * 0.5)
+}
+
+pub fn solve_system(n: usize) -> Result<Solution, String> {
+    Ok(Solution {
+        x: vec![0.0; n],
+        iterations: 1,
+    })
+}
+
+pub(crate) fn helper_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+impl Solution {
+    pub fn residual(&self) -> f64 {
+        0.0
+    }
+}

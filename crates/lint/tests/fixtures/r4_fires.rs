@@ -1,0 +1,9 @@
+// Fixture: R4 (bare-float solver return) violations.
+
+pub fn solve_residual(x0: f64) -> f64 {
+    x0 * 0.5
+}
+
+pub fn solve_system(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}

@@ -1,0 +1,125 @@
+//! Fixture-driven integration tests: every rule must fire on its
+//! violation fixture, stay silent on its clean twin, and honour the
+//! `fefet-lint: allow(...)` escape hatch. The binary's exit codes are
+//! exercised the same way.
+
+use fefet_lint::{lint_source, Mode, Rule};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint_fixture(name: &str) -> Vec<(Rule, usize)> {
+    let path = fixture_path(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    lint_source(name, &src, Mode::Strict)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+fn rules_of(name: &str) -> Vec<Rule> {
+    lint_fixture(name).into_iter().map(|(r, _)| r).collect()
+}
+
+#[test]
+fn r1_fires_on_panicking_constructs() {
+    let rules = rules_of("r1_fires.rs");
+    // unwrap, panic!, unreachable!, expect — four distinct sites.
+    assert_eq!(rules.len(), 4, "{rules:?}");
+    assert!(rules.iter().all(|r| *r == Rule::Panic), "{rules:?}");
+}
+
+#[test]
+fn r1_clean_is_silent() {
+    assert_eq!(lint_fixture("r1_clean.rs"), vec![]);
+}
+
+#[test]
+fn r1_allow_directive_suppresses() {
+    assert_eq!(lint_fixture("r1_allowed.rs"), vec![]);
+}
+
+#[test]
+fn r2_fires_on_unbounded_loops() {
+    let rules = rules_of("r2_fires.rs");
+    assert_eq!(rules.len(), 2, "{rules:?}");
+    assert!(rules.iter().all(|r| *r == Rule::UnboundedLoop), "{rules:?}");
+}
+
+#[test]
+fn r2_clean_is_silent() {
+    assert_eq!(lint_fixture("r2_clean.rs"), vec![]);
+}
+
+#[test]
+fn r3_fires_on_nonzero_float_equality() {
+    let rules = rules_of("r3_fires.rs");
+    assert_eq!(rules.len(), 3, "{rules:?}");
+    assert!(rules.iter().all(|r| *r == Rule::FloatEq), "{rules:?}");
+}
+
+#[test]
+fn r3_clean_is_silent() {
+    assert_eq!(lint_fixture("r3_clean.rs"), vec![]);
+}
+
+#[test]
+fn r4_fires_on_bare_float_solver_returns() {
+    let rules = rules_of("r4_fires.rs");
+    assert_eq!(rules.len(), 2, "{rules:?}");
+    assert!(rules.iter().all(|r| *r == Rule::SolverResult), "{rules:?}");
+}
+
+#[test]
+fn r4_clean_is_silent() {
+    assert_eq!(lint_fixture("r4_clean.rs"), vec![]);
+}
+
+#[test]
+fn cfg_test_code_is_exempt() {
+    assert_eq!(lint_fixture("cfg_test_skipped.rs"), vec![]);
+}
+
+#[test]
+fn comments_and_strings_never_fire() {
+    assert_eq!(lint_fixture("comments_strings.rs"), vec![]);
+}
+
+#[test]
+fn binary_exits_nonzero_on_violations() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fefet-lint"))
+        .arg(fixture_path("r1_fires.rs"))
+        .output()
+        .expect("spawn fefet-lint");
+    assert!(!out.status.success(), "must flag the violation fixture");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[panic]"), "stdout: {stdout}");
+}
+
+#[test]
+fn binary_exits_zero_on_clean_file() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fefet-lint"))
+        .arg(fixture_path("r1_clean.rs"))
+        .output()
+        .expect("spawn fefet-lint");
+    assert!(out.status.success(), "clean fixture must pass");
+}
+
+#[test]
+fn binary_exits_zero_on_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fefet-lint"))
+        .output()
+        .expect("spawn fefet-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "workspace must lint clean\nstdout: {stdout}\nstderr: {stderr}"
+    );
+}

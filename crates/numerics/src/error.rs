@@ -30,6 +30,12 @@ pub enum Error {
     /// An argument was out of the valid domain (empty grid, non-monotone
     /// abscissae, non-positive step, ...).
     InvalidArgument(&'static str),
+    /// A computation produced a NaN or infinity where a finite value was
+    /// required (diverging iteration, overflowing model evaluation, ...).
+    NonFinite {
+        /// Where the non-finite value appeared.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -52,6 +58,9 @@ impl fmt::Display for Error {
             ),
             Error::NoBracket => write!(f, "interval does not bracket a root"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::NonFinite { context } => {
+                write!(f, "non-finite value encountered in {context}")
+            }
         }
     }
 }
@@ -80,6 +89,11 @@ mod tests {
         assert!(Error::InvalidArgument("empty grid")
             .to_string()
             .contains("empty grid"));
+        assert!(Error::NonFinite {
+            context: "newton update"
+        }
+        .to_string()
+        .contains("newton update"));
     }
 
     #[test]

@@ -12,7 +12,9 @@ fn check_grid(xs: &[f64], ys: &[f64]) -> Result<()> {
         return Err(Error::InvalidArgument("interp: need at least 2 points"));
     }
     if xs.windows(2).any(|w| !(w[1] > w[0])) {
-        return Err(Error::InvalidArgument("interp: xs must be strictly increasing"));
+        return Err(Error::InvalidArgument(
+            "interp: xs must be strictly increasing",
+        ));
     }
     Ok(())
 }
@@ -224,11 +226,8 @@ mod tests {
     #[test]
     fn monotone_cubic_no_overshoot() {
         // Step-like data must stay within [0, 1].
-        let f = MonotoneCubic::new(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 0.0, 0.5, 1.0, 1.0],
-        )
-        .unwrap();
+        let f = MonotoneCubic::new(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 0.0, 0.5, 1.0, 1.0])
+            .unwrap();
         let mut x = 0.0;
         while x <= 4.0 {
             let y = f.eval(x);
@@ -239,11 +238,8 @@ mod tests {
 
     #[test]
     fn monotone_cubic_monotone_output_on_monotone_data() {
-        let f = MonotoneCubic::new(
-            vec![0.0, 0.5, 1.0, 2.0, 5.0],
-            vec![0.0, 1.0, 1.5, 8.0, 9.0],
-        )
-        .unwrap();
+        let f = MonotoneCubic::new(vec![0.0, 0.5, 1.0, 2.0, 5.0], vec![0.0, 1.0, 1.5, 8.0, 9.0])
+            .unwrap();
         let mut prev = f.eval(0.0);
         let mut x = 0.01;
         while x <= 5.0 {

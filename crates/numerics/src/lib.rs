@@ -15,6 +15,8 @@
 //!   waveforms and tabulated device data.
 //! - [`quad`] — quadrature (trapezoid, Simpson) and running integrals for
 //!   energy metering.
+//! - [`rng`] — seedable, dependency-free pseudo-random numbers for the
+//!   Monte-Carlo and harvester-trace machinery.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@ pub mod interp;
 pub mod linalg;
 pub mod ode;
 pub mod quad;
+pub mod rng;
 pub mod roots;
 
 mod error;

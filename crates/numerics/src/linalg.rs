@@ -245,11 +245,7 @@ impl LuFactors {
                 }
             }
         }
-        Ok(LuFactors {
-            lu: a,
-            perm,
-            sign,
-        })
+        Ok(LuFactors { lu: a, perm, sign })
     }
 
     /// Order of the factored matrix.
@@ -370,8 +366,7 @@ mod tests {
     #[test]
     fn solve_requires_pivoting() {
         // Zero on the diagonal forces a row swap.
-        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]).unwrap();
         let x = a.solve(&[5.0, 1.0, 2.0]).unwrap();
         // x = [1, 2, 1]
         assert_close(x[0], 1.0, 1e-12);

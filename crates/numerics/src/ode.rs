@@ -160,7 +160,14 @@ where
             -11.0 / 40.0,
         ],
     ];
-    const C4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -0.2, 0.0];
+    const C4: [f64; 6] = [
+        25.0 / 216.0,
+        0.0,
+        1408.0 / 2565.0,
+        2197.0 / 4104.0,
+        -0.2,
+        0.0,
+    ];
     const C5: [f64; 6] = [
         16.0 / 135.0,
         0.0,
@@ -336,9 +343,19 @@ mod tests {
     fn rk4_exp_decay_fourth_order() {
         // Halving the step should cut the error ~16x.
         let exact = (-1.0f64).exp();
-        let e1 = (rk4(exp_decay, 0.0, &[1.0], 1.0, 10).unwrap().last().unwrap().y[0] - exact)
+        let e1 = (rk4(exp_decay, 0.0, &[1.0], 1.0, 10)
+            .unwrap()
+            .last()
+            .unwrap()
+            .y[0]
+            - exact)
             .abs();
-        let e2 = (rk4(exp_decay, 0.0, &[1.0], 1.0, 20).unwrap().last().unwrap().y[0] - exact)
+        let e2 = (rk4(exp_decay, 0.0, &[1.0], 1.0, 20)
+            .unwrap()
+            .last()
+            .unwrap()
+            .y[0]
+            - exact)
             .abs();
         assert!(e1 / e2 > 12.0, "order too low: ratio {}", e1 / e2);
     }
@@ -427,11 +444,18 @@ mod tests {
     fn implicit_trap_second_order() {
         let exact = (-1.0f64).exp();
         let run = |steps| {
-            implicit(exp_decay, 0.0, &[1.0], 1.0, steps, ImplicitMethod::Trapezoidal)
-                .unwrap()
-                .last()
-                .unwrap()
-                .y[0]
+            implicit(
+                exp_decay,
+                0.0,
+                &[1.0],
+                1.0,
+                steps,
+                ImplicitMethod::Trapezoidal,
+            )
+            .unwrap()
+            .last()
+            .unwrap()
+            .y[0]
         };
         let e1 = (run(20) - exact).abs();
         let e2 = (run(40) - exact).abs();

@@ -64,7 +64,9 @@ pub fn trapezoid_samples(ts: &[f64], ys: &[f64]) -> Result<f64> {
         return Err(Error::InvalidArgument("trapezoid_samples: length mismatch"));
     }
     if ts.len() < 2 {
-        return Err(Error::InvalidArgument("trapezoid_samples: need >= 2 samples"));
+        return Err(Error::InvalidArgument(
+            "trapezoid_samples: need >= 2 samples",
+        ));
     }
     let mut s = 0.0;
     for i in 1..ts.len() {
@@ -80,7 +82,9 @@ pub fn trapezoid_samples(ts: &[f64], ys: &[f64]) -> Result<f64> {
 /// Same contract as [`trapezoid_samples`].
 pub fn cumulative_trapezoid(ts: &[f64], ys: &[f64]) -> Result<Vec<f64>> {
     if ts.len() != ys.len() {
-        return Err(Error::InvalidArgument("cumulative_trapezoid: length mismatch"));
+        return Err(Error::InvalidArgument(
+            "cumulative_trapezoid: length mismatch",
+        ));
     }
     if ts.len() < 2 {
         return Err(Error::InvalidArgument(
@@ -121,7 +125,9 @@ impl RunningIntegral {
     pub fn push(&mut self, t: f64, y: f64) -> Result<()> {
         if let Some((t0, y0)) = self.last {
             if t < t0 {
-                return Err(Error::InvalidArgument("RunningIntegral: time went backwards"));
+                return Err(Error::InvalidArgument(
+                    "RunningIntegral: time went backwards",
+                ));
             }
             self.total += 0.5 * (y + y0) * (t - t0);
         }

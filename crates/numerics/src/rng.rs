@@ -1,0 +1,188 @@
+//! Small, dependency-free pseudo-random number generation.
+//!
+//! The workspace builds in offline environments where external crates
+//! cannot be fetched, so the Monte-Carlo and harvester-trace machinery
+//! uses this module instead of the `rand` ecosystem. The generator is
+//! xoshiro256++ seeded through SplitMix64: fast, high quality for
+//! simulation workloads, and — critically for the paper's experiments —
+//! fully reproducible per seed.
+//!
+//! This is *not* a cryptographic generator.
+
+/// A seedable xoshiro256++ pseudo-random number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// One SplitMix64 step, used for seed expansion.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams; different seeds yield (for practical purposes)
+    /// independent streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "uniform_in: need finite lo < hi"
+        );
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)` by rejection (no modulo bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below: n must be positive");
+        let zone = u64::MAX - u64::MAX % n;
+        // Rejection terminates with probability 1; the acceptance zone is
+        // always at least half the range, so 128 draws reaching this
+        // fallback has probability below 2^-128.
+        for _ in 0..128 {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+        self.next_u64() % n
+    }
+
+    /// `true` with probability 1/2.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Standard normal sample (Box-Muller).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.uniform_in(1e-300, 1.0);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_in_respects_bounds() {
+        let mut r = Rng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let u = r.uniform_in(-2.5, 4.0);
+            assert!((-2.5..4.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut r = Rng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Rng::seed_from_u64(13);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn below_is_unbiased_enough_and_in_range() {
+        let mut r = Rng::seed_from_u64(17);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            let k = r.below(5) as usize;
+            assert!(k < 5);
+            counts[k] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / 50_000.0;
+            assert!((frac - 0.2).abs() < 0.02, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn bool_is_balanced() {
+        let mut r = Rng::seed_from_u64(19);
+        let heads = (0..10_000).filter(|_| r.bool()).count();
+        assert!((4_500..5_500).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need finite lo < hi")]
+    fn uniform_in_rejects_bad_bounds() {
+        Rng::seed_from_u64(0).uniform_in(1.0, 1.0);
+    }
+}

@@ -71,8 +71,10 @@ where
     F: FnMut(f64) -> (f64, f64),
 {
     let mut x = x0;
-    for it in 0..opts.max_iter {
+    let mut last_residual = f64::INFINITY;
+    for _ in 0..opts.max_iter {
         let (fx, dfx) = f(x);
+        last_residual = fx.abs();
         if fx.abs() <= opts.tol_residual {
             return Ok(x);
         }
@@ -84,20 +86,22 @@ where
             dx = dx.signum() * opts.max_step;
         }
         x += dx;
+        if !x.is_finite() {
+            return Err(Error::NonFinite {
+                context: "newton_scalar update",
+            });
+        }
         if dx.abs() <= opts.tol_step {
             let (fx2, _) = f(x);
             if fx2.abs() <= opts.tol_residual.max(1e-9 * (1.0 + x.abs())) {
                 return Ok(x);
             }
         }
-        if it == opts.max_iter - 1 {
-            return Err(Error::NoConvergence {
-                iterations: opts.max_iter,
-                residual: fx.abs(),
-            });
-        }
     }
-    unreachable!("loop always returns")
+    Err(Error::NoConvergence {
+        iterations: opts.max_iter,
+        residual: last_residual,
+    })
 }
 
 /// Multidimensional Newton-Raphson with a user-supplied residual+Jacobian.
@@ -122,6 +126,11 @@ where
         j.clear();
         f(&x, &mut r, &mut j);
         let res = norm_inf(&r);
+        if !res.is_finite() {
+            return Err(Error::NonFinite {
+                context: "newton_system residual",
+            });
+        }
         last_res = res;
         if res <= opts.tol_residual {
             return Ok(NewtonSolution {
@@ -142,6 +151,11 @@ where
         }
         for (xi, di) in x.iter_mut().zip(&dx) {
             *xi += di;
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(Error::NonFinite {
+                context: "newton_system update",
+            });
         }
         if norm_inf(&dx) <= opts.tol_step && res <= opts.tol_residual.max(1e-9) {
             return Ok(NewtonSolution {
@@ -321,12 +335,7 @@ mod tests {
             max_iter: 200,
             ..NewtonOptions::default()
         };
-        let r = newton_scalar(
-            |x: f64| (x.tanh(), 1.0 / x.cosh().powi(2)),
-            3.0,
-            opts,
-        )
-        .unwrap();
+        let r = newton_scalar(|x: f64| (x.tanh(), 1.0 / x.cosh().powi(2)), 3.0, opts).unwrap();
         assert!(r.abs() < 1e-9);
     }
 

@@ -1,16 +1,27 @@
 //! Property-based tests for the numerics kernel.
+//!
+//! The workspace is std-only (no `proptest` in the offline registry), so
+//! each property is exercised over a seeded sweep of random inputs from
+//! [`fefet_numerics::rng`] — reproducible, and failures print the case
+//! index so a shrunk reproduction is one seed away.
 
 use fefet_numerics::complex::{CMatrix, Complex};
 use fefet_numerics::interp::{Linear, MonotoneCubic};
 use fefet_numerics::linalg::{norm_inf, LuFactors, Matrix};
 use fefet_numerics::ode::{implicit, rk4, ImplicitMethod};
 use fefet_numerics::quad::{cumulative_trapezoid, trapezoid_samples, RunningIntegral};
+use fefet_numerics::rng::Rng;
 use fefet_numerics::roots::{brent, newton_scalar, NewtonOptions};
-use proptest::prelude::*;
+
+const CASES: usize = 64;
+
+fn vec_in(rng: &mut Rng, lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.uniform_in(lo, hi)).collect()
+}
 
 /// A diagonally dominant matrix is well conditioned enough for tight
 /// round-trip bounds.
-fn diag_dominant(n: usize, entries: Vec<f64>) -> Matrix {
+fn diag_dominant(n: usize, entries: &[f64]) -> Matrix {
     let mut m = Matrix::zeros(n, n);
     for r in 0..n {
         let mut row_sum = 0.0;
@@ -26,86 +37,124 @@ fn diag_dominant(n: usize, entries: Vec<f64>) -> Matrix {
     m
 }
 
-proptest! {
-    #[test]
-    fn lu_solves_diag_dominant_systems(
-        n in 1usize..8,
-        seed in proptest::collection::vec(-10.0f64..10.0, 64),
-        xs in proptest::collection::vec(-5.0f64..5.0, 8),
-    ) {
-        let m = diag_dominant(n, seed);
+#[test]
+fn lu_solves_diag_dominant_systems() {
+    let mut rng = Rng::seed_from_u64(0x1001);
+    for case in 0..CASES {
+        let n = 1 + rng.below(7) as usize;
+        let seed = vec_in(&mut rng, -10.0, 10.0, 64);
+        let xs = vec_in(&mut rng, -5.0, 5.0, 8);
+        let m = diag_dominant(n, &seed);
         let x_true = &xs[..n];
         let b = m.mul_vec(x_true).unwrap();
         let lu = LuFactors::factor(m.clone()).unwrap();
         let x = lu.solve(&b).unwrap();
-        let err: f64 = x.iter().zip(x_true).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
-        prop_assert!(err < 1e-8, "round-trip error {err}");
+        let err: f64 = x
+            .iter()
+            .zip(x_true)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-8, "case {case}: round-trip error {err}");
     }
+}
 
-    #[test]
-    fn lu_determinant_sign_consistent_with_solvability(
-        n in 1usize..6,
-        seed in proptest::collection::vec(-10.0f64..10.0, 36),
-    ) {
-        let m = diag_dominant(n, seed);
+#[test]
+fn lu_determinant_sign_consistent_with_solvability() {
+    let mut rng = Rng::seed_from_u64(0x1002);
+    for case in 0..CASES {
+        let n = 1 + rng.below(5) as usize;
+        let seed = vec_in(&mut rng, -10.0, 10.0, 36);
+        let m = diag_dominant(n, &seed);
         let lu = LuFactors::factor(m).unwrap();
         // Diagonally dominant with positive diagonal => det > 0.
-        prop_assert!(lu.det() > 0.0);
+        assert!(lu.det() > 0.0, "case {case}: det {}", lu.det());
     }
+}
 
-    #[test]
-    fn newton_scalar_finds_cubic_roots(a in 0.5f64..5.0) {
+#[test]
+fn newton_scalar_finds_cubic_roots() {
+    let mut rng = Rng::seed_from_u64(0x1003);
+    for case in 0..CASES {
+        let a = rng.uniform_in(0.5, 5.0);
         // x^3 = a^3 has the single real root x = a.
         let r = newton_scalar(
             |x| (x * x * x - a * a * a, 3.0 * x * x),
             a * 2.0,
             NewtonOptions::default(),
-        ).unwrap();
-        prop_assert!((r - a).abs() < 1e-6);
+        )
+        .unwrap();
+        assert!((r - a).abs() < 1e-6, "case {case}: root {r} vs {a}");
     }
+}
 
-    #[test]
-    fn brent_always_finds_bracketed_root(shift in -0.9f64..0.9) {
+#[test]
+fn brent_always_finds_bracketed_root() {
+    let mut rng = Rng::seed_from_u64(0x1004);
+    for case in 0..CASES {
+        let shift = rng.uniform_in(-0.9, 0.9);
         let r = brent(|x| x - shift, -1.0, 1.0, 1e-13, 200).unwrap();
-        prop_assert!((r - shift).abs() < 1e-10);
+        assert!((r - shift).abs() < 1e-10, "case {case}: root {r}");
     }
+}
 
-    #[test]
-    fn rk4_matches_exact_linear_decay(lambda in 0.1f64..5.0, y0 in 0.1f64..10.0) {
+#[test]
+fn rk4_matches_exact_linear_decay() {
+    let mut rng = Rng::seed_from_u64(0x1005);
+    for case in 0..CASES {
+        let lambda = rng.uniform_in(0.1, 5.0);
+        let y0 = rng.uniform_in(0.1, 10.0);
         let sol = rk4(|_t, y, dy| dy[0] = -lambda * y[0], 0.0, &[y0], 1.0, 200).unwrap();
         let exact = y0 * (-lambda).exp();
-        prop_assert!((sol.last().unwrap().y[0] - exact).abs() < 1e-6 * y0);
+        let got = sol.last().unwrap().y[0];
+        assert!(
+            (got - exact).abs() < 1e-6 * y0,
+            "case {case}: {got} vs {exact}"
+        );
     }
+}
 
-    #[test]
-    fn implicit_trap_matches_exact_linear_decay(lambda in 0.1f64..5.0) {
+#[test]
+fn implicit_trap_matches_exact_linear_decay() {
+    let mut rng = Rng::seed_from_u64(0x1006);
+    for case in 0..CASES {
+        let lambda = rng.uniform_in(0.1, 5.0);
         let sol = implicit(
             |_t, y, dy| dy[0] = -lambda * y[0],
-            0.0, &[1.0], 1.0, 100, ImplicitMethod::Trapezoidal,
-        ).unwrap();
+            0.0,
+            &[1.0],
+            1.0,
+            100,
+            ImplicitMethod::Trapezoidal,
+        )
+        .unwrap();
         let exact = (-lambda).exp();
-        prop_assert!((sol.last().unwrap().y[0] - exact).abs() < 1e-3);
+        let got = sol.last().unwrap().y[0];
+        assert!((got - exact).abs() < 1e-3, "case {case}: {got} vs {exact}");
     }
+}
 
-    #[test]
-    fn linear_interp_is_bounded_by_data(
-        ys in proptest::collection::vec(-10.0f64..10.0, 5),
-        x in 0.0f64..4.0,
-    ) {
+#[test]
+fn linear_interp_is_bounded_by_data() {
+    let mut rng = Rng::seed_from_u64(0x1007);
+    for case in 0..CASES {
+        let ys = vec_in(&mut rng, -10.0, 10.0, 5);
+        let x = rng.uniform_in(0.0, 4.0);
         let xs = vec![0.0, 1.0, 2.0, 3.0, 4.0];
         let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let f = Linear::new(xs, ys).unwrap();
         let y = f.eval(x);
-        prop_assert!(y >= lo - 1e-12 && y <= hi + 1e-12);
+        assert!(y >= lo - 1e-12 && y <= hi + 1e-12, "case {case}: {y}");
     }
+}
 
-    #[test]
-    fn monotone_cubic_preserves_monotonicity(
-        incs in proptest::collection::vec(0.0f64..5.0, 6),
-        x1 in 0.0f64..5.0,
-        x2 in 0.0f64..5.0,
-    ) {
+#[test]
+fn monotone_cubic_preserves_monotonicity() {
+    let mut rng = Rng::seed_from_u64(0x1008);
+    for case in 0..CASES {
+        let incs = vec_in(&mut rng, 0.0, 5.0, 6);
+        let x1 = rng.uniform_in(0.0, 5.0);
+        let x2 = rng.uniform_in(0.0, 5.0);
         let xs = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
         let mut ys = vec![0.0];
         for inc in &incs[..5] {
@@ -113,60 +162,78 @@ proptest! {
         }
         let f = MonotoneCubic::new(xs, ys).unwrap();
         let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
-        prop_assert!(f.eval(hi) >= f.eval(lo) - 1e-9);
+        assert!(
+            f.eval(hi) >= f.eval(lo) - 1e-9,
+            "case {case}: non-monotone at [{lo}, {hi}]"
+        );
     }
+}
 
-    #[test]
-    fn cumulative_trapezoid_is_monotone_for_nonnegative_integrand(
-        ys in proptest::collection::vec(0.0f64..10.0, 20),
-    ) {
+#[test]
+fn cumulative_trapezoid_is_monotone_for_nonnegative_integrand() {
+    let mut rng = Rng::seed_from_u64(0x1009);
+    for case in 0..CASES {
+        let ys = vec_in(&mut rng, 0.0, 10.0, 20);
         let ts: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
         let cum = cumulative_trapezoid(&ts, &ys).unwrap();
         for w in cum.windows(2) {
-            prop_assert!(w[1] >= w[0]);
+            assert!(w[1] >= w[0], "case {case}: decreasing cumulative integral");
         }
     }
+}
 
-    #[test]
-    fn running_integral_matches_batch(
-        ys in proptest::collection::vec(-5.0f64..5.0, 2..40),
-    ) {
+#[test]
+fn running_integral_matches_batch() {
+    let mut rng = Rng::seed_from_u64(0x100a);
+    for case in 0..CASES {
+        let n = 2 + rng.below(38) as usize;
+        let ys = vec_in(&mut rng, -5.0, 5.0, n);
         let ts: Vec<f64> = (0..ys.len()).map(|i| i as f64 * 0.05).collect();
         let batch = trapezoid_samples(&ts, &ys).unwrap();
         let mut acc = RunningIntegral::new();
         for (t, y) in ts.iter().zip(&ys) {
             acc.push(*t, *y).unwrap();
         }
-        prop_assert!((acc.total() - batch).abs() < 1e-12);
+        assert!(
+            (acc.total() - batch).abs() < 1e-12,
+            "case {case}: {} vs {batch}",
+            acc.total()
+        );
     }
+}
 
-    #[test]
-    fn complex_field_axioms(
-        a_re in -10.0f64..10.0, a_im in -10.0f64..10.0,
-        b_re in -10.0f64..10.0, b_im in -10.0f64..10.0,
-    ) {
-        let a = Complex::new(a_re, a_im);
-        let b = Complex::new(b_re, b_im);
+#[test]
+fn complex_field_axioms() {
+    let mut rng = Rng::seed_from_u64(0x100b);
+    for case in 0..CASES {
+        let a = Complex::new(rng.uniform_in(-10.0, 10.0), rng.uniform_in(-10.0, 10.0));
+        let b = Complex::new(rng.uniform_in(-10.0, 10.0), rng.uniform_in(-10.0, 10.0));
         // Commutativity and distributivity.
-        prop_assert!(((a + b) - (b + a)).abs() < 1e-12);
-        prop_assert!((a * b - b * a).abs() < 1e-9);
+        assert!(((a + b) - (b + a)).abs() < 1e-12, "case {case}");
+        assert!((a * b - b * a).abs() < 1e-9, "case {case}");
         let lhs = a * (b + Complex::ONE);
         let rhs = a * b + a;
-        prop_assert!((lhs - rhs).abs() < 1e-9);
+        assert!((lhs - rhs).abs() < 1e-9, "case {case}");
         // |a·b| = |a|·|b| and conj distributes over products.
-        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
-        prop_assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-9);
+        assert!(
+            ((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9,
+            "case {case}"
+        );
+        assert!(
+            ((a * b).conj() - a.conj() * b.conj()).abs() < 1e-9,
+            "case {case}"
+        );
         // Division round-trips when |b| is away from zero.
         if b.abs() > 1e-6 {
-            prop_assert!(((a / b) * b - a).abs() < 1e-8);
+            assert!(((a / b) * b - a).abs() < 1e-8, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn complex_solve_residual_small(
-        entries in proptest::collection::vec(-5.0f64..5.0, 18),
-        rhs in proptest::collection::vec(-5.0f64..5.0, 6),
-    ) {
+#[test]
+fn complex_solve_residual_small() {
+    let mut rng = Rng::seed_from_u64(0x100c);
+    for case in 0..CASES {
         // Diagonally dominant 3x3 complex system.
         let n = 3;
         let mut m = CMatrix::zeros(n);
@@ -175,7 +242,7 @@ proptest! {
             let mut dom = 0.0;
             for c in 0..n {
                 if r != c {
-                    let v = Complex::new(entries[r * n + c], entries[9 + r * n + c - if c > r {1} else {0}].min(4.9));
+                    let v = Complex::new(rng.uniform_in(-5.0, 5.0), rng.uniform_in(-5.0, 5.0));
                     store[r][c] = v;
                     m.add(r, c, v);
                     dom += v.abs();
@@ -186,7 +253,7 @@ proptest! {
             m.add(r, r, d);
         }
         let b: Vec<Complex> = (0..n)
-            .map(|i| Complex::new(rhs[i], rhs[n + i]))
+            .map(|_| Complex::new(rng.uniform_in(-5.0, 5.0), rng.uniform_in(-5.0, 5.0)))
             .collect();
         let x = m.solve(&b).unwrap();
         // Residual check.
@@ -195,21 +262,27 @@ proptest! {
             for c in 0..n {
                 acc += store[r][c] * x[c];
             }
-            prop_assert!((acc - b[r]).abs() < 1e-9, "row {r} residual");
+            assert!((acc - b[r]).abs() < 1e-9, "case {case}: row {r} residual");
         }
     }
+}
 
-    #[test]
-    fn matrix_vector_residual_small_after_solve(
-        n in 2usize..7,
-        seed in proptest::collection::vec(-3.0f64..3.0, 49),
-        b in proptest::collection::vec(-10.0f64..10.0, 7),
-    ) {
-        let m = diag_dominant(n, seed);
+#[test]
+fn matrix_vector_residual_small_after_solve() {
+    let mut rng = Rng::seed_from_u64(0x100d);
+    for case in 0..CASES {
+        let n = 2 + rng.below(5) as usize;
+        let seed = vec_in(&mut rng, -3.0, 3.0, 49);
+        let b = vec_in(&mut rng, -10.0, 10.0, 7);
+        let m = diag_dominant(n, &seed);
         let rhs = &b[..n];
         let x = m.solve(rhs).unwrap();
         let back = m.mul_vec(&x).unwrap();
         let res: Vec<f64> = back.iter().zip(rhs).map(|(a, b)| a - b).collect();
-        prop_assert!(norm_inf(&res) < 1e-9);
+        assert!(
+            norm_inf(&res) < 1e-9,
+            "case {case}: residual {}",
+            norm_inf(&res)
+        );
     }
 }

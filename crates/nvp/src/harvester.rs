@@ -7,8 +7,7 @@
 //! exponentially distributed on/off durations and jittered on-power —
 //! seeded and fully reproducible.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use fefet_numerics::rng::Rng;
 
 /// A piecewise-constant power trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -161,19 +160,19 @@ impl HarvesterScenario {
     pub fn trace(&self, duration: f64, seed: u64) -> PowerTrace {
         assert!(duration > 0.0, "trace duration must be positive");
         let (p_on, t_on, t_off) = self.params();
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_fefe);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5eed_fefe);
         let mut segments = Vec::new();
         let mut t = 0.0;
         let mut on = true;
         while t < duration {
             // Exponential duration via inverse transform.
-            let u: f64 = rng.gen_range(1e-6..1.0);
+            let u: f64 = rng.uniform_in(1e-6, 1.0);
             let mean = if on { t_on } else { t_off };
             let d = (-u.ln() * mean).clamp(mean * 0.05, mean * 6.0);
             let d = d.min(duration - t).max(1e-9);
             let p = if on {
                 // ±35 % power jitter burst to burst.
-                p_on * rng.gen_range(0.65..1.35)
+                p_on * rng.uniform_in(0.65, 1.35)
             } else {
                 0.0
             };
@@ -199,12 +198,7 @@ mod tests {
 
     #[test]
     fn outage_counting() {
-        let tr = PowerTrace::from_segments(vec![
-            (1.0, 2.0),
-            (1.0, 0.0),
-            (1.0, 2.0),
-            (1.0, 0.0),
-        ]);
+        let tr = PowerTrace::from_segments(vec![(1.0, 2.0), (1.0, 0.0), (1.0, 2.0), (1.0, 0.0)]);
         assert_eq!(tr.outage_count(0.5), 2);
         // Everything below threshold: a single initial outage.
         assert_eq!(tr.outage_count(3.0), 1);
@@ -251,10 +245,7 @@ mod tests {
             .map(|s| s.trace(0.2, 7).mean_power())
             .collect();
         for w in traces.windows(2) {
-            assert!(
-                w[0] > w[1],
-                "scenario ordering violated: {traces:?}"
-            );
+            assert!(w[0] > w[1], "scenario ordering violated: {traces:?}");
         }
     }
 

@@ -100,8 +100,7 @@ impl NvpConfig {
 
     /// Stored-energy level at which the core wakes (J).
     pub fn wake_level(&self) -> f64 {
-        (self.reserve_level() + self.restore_energy()
-            + self.wake_fraction * self.storage_capacity)
+        (self.reserve_level() + self.restore_energy() + self.wake_fraction * self.storage_capacity)
             .min(0.95 * self.storage_capacity)
     }
 }
@@ -235,7 +234,9 @@ pub fn simulate(cfg: &NvpConfig, trace: &PowerTrace, bench: &Benchmark) -> NvpRu
                     uncommitted += cfg.clock_hz * dt;
                     since_checkpoint += dt;
                     t_left -= dt;
-                    if dt >= t_die - 1e-18 && t_die <= t_checkpoint && t_die < f64::INFINITY
+                    if dt >= t_die - 1e-18
+                        && t_die <= t_checkpoint
+                        && t_die < f64::INFINITY
                         && t_die <= dt + 1e-18
                     {
                         // Energy exhausted first.
@@ -462,7 +463,10 @@ mod tests {
             ..cfg_fefet()
         };
         let run = simulate(&periodic, &tr, &bench());
-        assert!(run.lost_cycles > 0.0, "coarse periodic checkpointing loses work");
+        assert!(
+            run.lost_cycles > 0.0,
+            "coarse periodic checkpointing loses work"
+        );
         assert!(
             odab.forward_progress > run.forward_progress,
             "ODAB {:.4} must beat coarse periodic {:.4}",
@@ -492,7 +496,10 @@ mod tests {
         let fp_coarse = simulate(&coarse, &tr, &bench()).forward_progress;
         assert!(fp_fine > fp_coarse, "finer checkpoints recover more work");
         assert!(fp_fine <= odab + 1e-9, "ODAB is the upper bound here");
-        assert!(fp_fine > 0.6 * odab, "fine periodic comes close: {fp_fine} vs {odab}");
+        assert!(
+            fp_fine > 0.6 * odab,
+            "fine periodic comes close: {fp_fine} vs {odab}"
+        );
     }
 
     #[test]

@@ -189,13 +189,8 @@ mod tests {
     fn improvement_is_robust_across_seeds() {
         // The Fig 13 conclusion must not hinge on one lucky trace.
         let (f, r) = table3();
-        let (mean, sd) = improvement_statistics(
-            HarvesterScenario::Weak,
-            0.3,
-            &[1, 2, 3, 4, 5],
-            f,
-            r,
-        );
+        let (mean, sd) =
+            improvement_statistics(HarvesterScenario::Weak, 0.3, &[1, 2, 3, 4, 5], f, r);
         assert!((0.2..0.4).contains(&mean), "mean {mean:.3}");
         assert!(sd < 0.05 * (1.0 + mean), "sd {sd:.3} too large");
     }

@@ -38,7 +38,10 @@ fn main() {
     // --- Temperature corners ---------------------------------------------
     let tm = ThermalModel::default();
     let base = paper_fefet();
-    println!("\nTemperature dependence (Landau alpha scaling, T_C = {} K):", tm.t_curie);
+    println!(
+        "\nTemperature dependence (Landau alpha scaling, T_C = {} K):",
+        tm.t_curie
+    );
     for t in [300.0, 330.0, 360.0, 390.0, 420.0] {
         let dev = tm.fefet_at(&base, t);
         let window = dev

@@ -29,14 +29,17 @@ fn main() {
 
     let boundary = nonvolatility_boundary(&paper_fefet(), 1.9e-9, 2.25e-9)
         .expect("boundary must lie between 1.9 and 2.25 nm");
-    println!("\nnon-volatility boundary: {:.3} nm (paper: \"T_FE > 1.9 nm is required\")", boundary * 1e9);
+    println!(
+        "\nnon-volatility boundary: {:.3} nm (paper: \"T_FE > 1.9 nm is required\")",
+        boundary * 1e9
+    );
 
     // Fig 4(b): the NC step-down of the switching voltage.
     let dev = paper_fefet().with_thickness(2.5e-9);
     let loop_fefet = dev.sweep_id_vg(-1.2, 1.2, 400, 0.05);
     let (v_dn, v_up) = loop_fefet.window(0.05).unwrap();
     let cap = FeCapParams::new(2.5e-9, 65e-9 * 65e-9);
-    let lp = sweep_fecap(&cap, 4.0, 1e-6, 4000);
+    let lp = sweep_fecap(&cap, 4.0, 1e-6, 4000).expect("capacitor sweep must integrate");
     println!(
         "\nat T_FE = 2.5 nm: FEFET switches within [{:+.2}, {:+.2}] V,",
         v_dn, v_up

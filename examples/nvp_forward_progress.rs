@@ -40,7 +40,10 @@ fn main() {
         gains.push(gain);
         println!(
             "{:>14} {:>10.4} {:>10.4} {:>7.1}%",
-            b.name, f.forward_progress, r.forward_progress, gain * 100.0
+            b.name,
+            f.forward_progress,
+            r.forward_progress,
+            gain * 100.0
         );
     }
     let mean = gains.iter().sum::<f64>() / gains.len() as f64;

@@ -11,7 +11,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Device: the 2.25 nm-ferroelectric FEFET retains two states.
     let dev = paper_fefet();
     let states = dev.stable_states_at_zero();
-    println!("zero-bias states: {states:?} (nonvolatile: {})", dev.is_nonvolatile());
+    println!(
+        "zero-bias states: {states:?} (nonvolatile: {})",
+        dev.is_nonvolatile()
+    );
 
     // 2. Cell: write a '1' with the paper's 0.68 V bit line.
     let cell = FefetCell::default();

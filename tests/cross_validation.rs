@@ -118,10 +118,21 @@ fn spice_export_of_cell_netlist() {
     let g = c.node("g");
     let gi = c.node("gi");
     let rs = c.node("rs");
-    c.vsource("Vbl", bl, Circuit::GND, Waveform::pulse(0.0, 0.68, 0.0, 0.0, 0.0, 1e-9));
+    c.vsource(
+        "Vbl",
+        bl,
+        Circuit::GND,
+        Waveform::pulse(0.0, 0.68, 0.0, 0.0, 0.0, 1e-9),
+    );
     c.vsource("Vws", ws, Circuit::GND, Waveform::dc(1.4));
     c.vsource("Vrs", rs, Circuit::GND, Waveform::dc(0.0));
-    c.mosfet("Macc", bl, ws, g, fefet::ckt::models::MosParams::nmos_45nm());
+    c.mosfet(
+        "Macc",
+        bl,
+        ws,
+        g,
+        fefet::ckt::models::MosParams::nmos_45nm(),
+    );
     c.fecap("Ffe", g, gi, dev.fe, -0.18);
     c.mosfet("Mfet", rs, gi, Circuit::GND, dev.mos);
     let spice = c.to_spice("2T FEFET cell");

@@ -48,7 +48,10 @@ fn hold_state_is_truly_quiescent() {
     let (p_lo, _) = cell.memory_states();
     let w = cell.write(true, p_lo, 1.0e-9).expect("write");
     // Device-level hold for 1 µs.
-    let hold = cell.fefet.transient(|_| 0.0, w.p_final, 1e-6, 4000);
+    let hold = cell
+        .fefet
+        .transient(|_| 0.0, w.p_final, 1e-6, 4000)
+        .expect("hold");
     let drift = (hold.last().unwrap().p - w.p_final).abs();
     assert!(drift < 0.02, "hold drift {drift}");
 }

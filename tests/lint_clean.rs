@@ -1,0 +1,21 @@
+//! Gate: the whole workspace must satisfy the fefet-lint solver-safety
+//! invariants (R1-R4). This runs the same analysis as
+//! `cargo run -p fefet-lint` so a violation fails `cargo test` too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = fefet_lint::lint_workspace(root).expect("walk workspace sources");
+    assert!(
+        findings.is_empty(),
+        "fefet-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -3,10 +3,10 @@
 
 use fefet::device::design::nonvolatility_boundary;
 use fefet::device::paper_fefet;
-use fefet::mem::compare::{iso_comparison, NvmParams};
-use fefet::mem::layout::area_ratio;
 use fefet::mem::cell::FefetCell;
+use fefet::mem::compare::{iso_comparison, NvmParams};
 use fefet::mem::feram::FeramCell;
+use fefet::mem::layout::area_ratio;
 use fefet::mem::sense::ReadTiming;
 use fefet::nvp::harvester::HarvesterScenario;
 use fefet::nvp::study::fig13;
@@ -34,7 +34,7 @@ fn claim_2_nc_cuts_the_switching_voltage() {
     let (v_dn, v_up) = dev.sweep_id_vg(-1.2, 1.2, 400, 0.05).window(0.05).unwrap();
     assert!(v_up.abs() < 1.0 && v_dn.abs() < 1.0);
     let cap = FeCapParams::new(2.5e-9, 65e-9 * 65e-9);
-    let lp = sweep_fecap(&cap, 4.0, 1e-6, 3000);
+    let lp = sweep_fecap(&cap, 4.0, 1e-6, 3000).unwrap();
     assert!(lp.v_switch_up().unwrap() > 2.0);
     assert!(lp.v_switch_down().unwrap() < -2.0);
 }
@@ -55,7 +55,11 @@ fn claim_4_iso_write_time_wins() {
     let cmp = iso_comparison(&FefetCell::default(), &FeramCell::default(), 0.8e-9, 32)
         .expect("comparison");
     assert!(cmp.voltage_reduction > 0.45, "{}", cmp.voltage_reduction);
-    assert!(cmp.write_energy_reduction > 0.5, "{}", cmp.write_energy_reduction);
+    assert!(
+        cmp.write_energy_reduction > 0.5,
+        "{}",
+        cmp.write_energy_reduction
+    );
 }
 
 #[test]
@@ -73,10 +77,7 @@ fn claim_5_disturb_free_read_and_quiescent_hold() {
     let r = a.read_row(0, 3e-9).unwrap();
     assert_eq!(r.bits, vec![true, false]);
     assert!(r.max_sneak < 1e-8);
-    for (k, (i, j)) in (0..2)
-        .flat_map(|i| (0..2).map(move |j| (i, j)))
-        .enumerate()
-    {
+    for (k, (i, j)) in (0..2).flat_map(|i| (0..2).map(move |j| (i, j))).enumerate() {
         assert!(
             (a.polarization(i, j) - before[k]).abs() < 0.02,
             "cell ({i},{j}) moved"
