@@ -1,15 +1,180 @@
 //! Performance benches for the numerical substrate: the LU kernel, the
-//! transient engine, and the LK polarization stepper.
+//! Newton/transient engine, and the array-level sweeps — comparing the
+//! zero-allocation workspace paths against the original allocating
+//! implementations they replaced.
+//!
+//! A full run writes `BENCH_solvers.json` at the repository root (the
+//! committed baseline); `TINYBENCH_SMOKE=1` runs every workload once
+//! and writes nothing.
 
-use fefet_bench::tinybench::{bench, opaque};
+use fefet_bench::tinybench::{opaque, smoke, Report};
 use fefet_ckt::circuit::Circuit;
+use fefet_ckt::elements::{ElemState, Integration};
+use fefet_ckt::engine::{Assembly, NewtonWorkspace, SolverOptions};
 use fefet_ckt::transient::{transient, TransientOptions};
 use fefet_ckt::waveform::Waveform;
 use fefet_device::dynamics::integrate;
 use fefet_device::paper_fefet;
-use fefet_numerics::linalg::{LuFactors, Matrix};
+use fefet_mem::array::FefetArray;
+use fefet_mem::cell::FefetCell;
+use fefet_numerics::linalg::{norm_inf, LuWorkspace, Matrix};
+use fefet_numerics::rng::Rng;
 
-fn bench_lu() {
+/// The original (pre-workspace) LU implementation, kept verbatim as the
+/// bench baseline: `Index`-based element access with its per-access
+/// bounds checks, a gathered final permutation, and an allocating solve.
+mod seed_lu {
+    use fefet_numerics::linalg::Matrix;
+
+    pub struct SeedLu {
+        lu: Matrix,
+        perm: Vec<usize>,
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    pub fn factor(mut a: Matrix) -> SeedLu {
+        let n = a.rows();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            let mut p = k;
+            let mut max = a[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = a[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            assert!(max >= 1e-300, "seed_lu: singular at column {k}");
+            if p != k {
+                for c in 0..n {
+                    let tmp = a[(k, c)];
+                    a[(k, c)] = a[(p, c)];
+                    a[(p, c)] = tmp;
+                }
+                perm.swap(k, p);
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let factor = a[(i, k)] / pivot;
+                a[(i, k)] = factor;
+                for c in (k + 1)..n {
+                    let akc = a[(k, c)];
+                    a[(i, c)] -= factor * akc;
+                }
+            }
+        }
+        SeedLu { lu: a, perm }
+    }
+
+    impl SeedLu {
+        #[allow(clippy::needless_range_loop)]
+        pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+            let n = self.lu.rows();
+            let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+            for i in 1..n {
+                let mut s = x[i];
+                for j in 0..i {
+                    s -= self.lu[(i, j)] * x[j];
+                }
+                x[i] = s;
+            }
+            for i in (0..n).rev() {
+                let mut s = x[i];
+                for j in (i + 1)..n {
+                    s -= self.lu[(i, j)] * x[j];
+                }
+                x[i] = s / self.lu[(i, i)];
+            }
+            x
+        }
+    }
+}
+
+/// The original engine's Newton loop, the baseline this PR replaces: a
+/// fresh `Matrix::zeros`, residual `Vec`, `jac.clone()`, negated-residual
+/// `Vec`, and allocating solve on **every iteration**, on top of
+/// [`seed_lu`]. Arithmetic matches [`Assembly::solve_point_with`], so
+/// both converge through identical iterates — only the memory behavior
+/// differs.
+#[allow(clippy::too_many_arguments)]
+fn newton_alloc(
+    asm: &Assembly,
+    ckt: &Circuit,
+    t: f64,
+    opts: &SolverOptions,
+    x0: &[f64],
+    states: &[ElemState],
+) -> Vec<f64> {
+    let n = asm.n_unknowns();
+    let nv = asm.n_nodes - 1;
+    let mut x = x0.to_vec();
+    for _ in 0..opts.max_newton {
+        let mut jac = Matrix::zeros(n, n);
+        let mut res = vec![0.0; n];
+        asm.stamp_all(
+            ckt,
+            t,
+            0.0,
+            Integration::BackwardEuler,
+            true,
+            opts.gmin,
+            &x,
+            states,
+            &mut jac,
+            &mut res,
+        );
+        let res_kcl = norm_inf(&res[..nv]);
+        let res_branch = if nv < n { norm_inf(&res[nv..]) } else { 0.0 };
+        let lu = seed_lu::factor(jac.clone());
+        let neg: Vec<f64> = res.iter().map(|r| -r).collect();
+        let mut dx = lu.solve(&neg);
+        let dv_max = if nv > 0 { norm_inf(&dx[..nv]) } else { 0.0 };
+        if nv > 0 && dv_max > opts.max_v_step {
+            let s = opts.max_v_step / dv_max;
+            for d in dx.iter_mut() {
+                *d *= s;
+            }
+        }
+        for (xi, di) in x.iter_mut().zip(&dx) {
+            *xi += di;
+        }
+        let dv = if nv > 0 { norm_inf(&dx[..nv]) } else { 0.0 };
+        if dv < opts.tol_v && res_kcl < opts.tol_i && res_branch < opts.tol_v {
+            return x;
+        }
+    }
+    panic!("newton_alloc failed to converge");
+}
+
+/// In-place counterpart on the same circuit and options.
+#[allow(clippy::too_many_arguments)]
+fn newton_inplace(
+    asm: &Assembly,
+    ckt: &Circuit,
+    t: f64,
+    opts: &SolverOptions,
+    x: &mut [f64],
+    x0: &[f64],
+    states: &[ElemState],
+    ws: &mut NewtonWorkspace,
+) {
+    x.copy_from_slice(x0);
+    asm.solve_point_with(
+        ckt,
+        t,
+        0.0,
+        Integration::BackwardEuler,
+        true,
+        opts,
+        x,
+        states,
+        ws,
+    )
+    .expect("newton_inplace failed to converge");
+}
+
+fn bench_lu(report: &mut Report) {
     for n in [8usize, 16, 32, 64] {
         // Diagonally dominant matrix like an MNA system.
         let mut m = Matrix::zeros(n, n);
@@ -23,14 +188,101 @@ fn bench_lu() {
             m[(i, i)] += 1.0;
         }
         let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
-        bench(&format!("lu_factor_solve/{n}"), || {
-            let lu = LuFactors::factor(opaque(m.clone())).unwrap();
-            lu.solve(&b).unwrap()
-        });
+        let mut ws = LuWorkspace::new(n);
+        let mut x = vec![0.0; n];
+        report.bench_pair(
+            &format!("lu_factor_solve_alloc/{n}"),
+            &format!("lu_factor_solve_inplace/{n}"),
+            || {
+                let lu = seed_lu::factor(opaque(m.clone()));
+                lu.solve(&b)
+            },
+            || {
+                ws.factor(opaque(&m)).unwrap();
+                x.copy_from_slice(&b);
+                ws.solve_into(&mut x).unwrap();
+                x.last().copied()
+            },
+        );
     }
 }
 
-fn bench_rc_transient() {
+/// The read-phase circuit of an array, at a bias point inside the read
+/// window, with DC element states — one representative Newton solve.
+fn read_solve_fixture(rows: usize, cols: usize) -> (Circuit, Assembly, Vec<ElemState>) {
+    let a = FefetArray::new(rows, cols, FefetCell::default());
+    let ckt = a.read_circuit(0, 3e-9).expect("read circuit");
+    let asm = Assembly::new(&ckt);
+    let states: Vec<ElemState> = ckt.elements().iter().map(|_| ElemState::None).collect();
+    (ckt, asm, states)
+}
+
+fn bench_newton(report: &mut Report) {
+    // Cell-sized system: the 1x1 array's read circuit (~13 unknowns),
+    // solved from zeros at t = 0.5 ns (read select up).
+    let t_bias = 0.5e-9;
+    let opts = SolverOptions::default();
+    {
+        let (ckt, asm, states) = read_solve_fixture(1, 1);
+        let x0 = vec![0.0; asm.n_unknowns()];
+        let mut ws = NewtonWorkspace::new(asm.n_unknowns());
+        let mut x = vec![0.0; asm.n_unknowns()];
+        report.bench_pair(
+            "newton_cell_2t_alloc",
+            "newton_cell_2t",
+            || newton_alloc(&asm, &ckt, t_bias, &opts, &x0, &states),
+            || {
+                newton_inplace(&asm, &ckt, t_bias, &opts, &mut x, &x0, &states, &mut ws);
+                x.last().copied()
+            },
+        );
+        // The transient per-timestep workload: warm-started from the
+        // converged point, as every accepted step warm-starts from its
+        // predecessor. This is the solve the engine runs thousands of
+        // times per analysis.
+        let mut x_star = vec![0.0; asm.n_unknowns()];
+        let mut ws2 = NewtonWorkspace::new(asm.n_unknowns());
+        newton_inplace(
+            &asm,
+            &ckt,
+            t_bias,
+            &opts,
+            &mut x_star,
+            &x0,
+            &states,
+            &mut ws2,
+        );
+        report.bench_pair(
+            "newton_cell_2t_step_alloc",
+            "newton_cell_2t_step",
+            || newton_alloc(&asm, &ckt, t_bias, &opts, &x_star, &states),
+            || {
+                newton_inplace(
+                    &asm, &ckt, t_bias, &opts, &mut x, &x_star, &states, &mut ws2,
+                );
+                x.last().copied()
+            },
+        );
+    }
+    // Array-sized system: the 8x8 read circuit (~200+ unknowns).
+    {
+        let (ckt, asm, states) = read_solve_fixture(8, 8);
+        let x0 = vec![0.0; asm.n_unknowns()];
+        let mut ws = NewtonWorkspace::new(asm.n_unknowns());
+        let mut x = vec![0.0; asm.n_unknowns()];
+        report.bench_pair(
+            "newton_array_8x8_alloc",
+            "newton_array_8x8",
+            || newton_alloc(&asm, &ckt, t_bias, &opts, &x0, &states),
+            || {
+                newton_inplace(&asm, &ckt, t_bias, &opts, &mut x, &x0, &states, &mut ws);
+                x.last().copied()
+            },
+        );
+    }
+}
+
+fn bench_rc_transient(report: &mut Report) {
     let mut ckt = Circuit::new();
     let vin = ckt.node("in");
     let mut prev = vin;
@@ -47,7 +299,7 @@ fn bench_rc_transient() {
         Circuit::GND,
         Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 5e-9),
     );
-    bench("transient_rc_ladder_1000_steps", || {
+    report.bench("transient_rc_ladder_1000_steps", || {
         transient(
             &ckt,
             10e-9,
@@ -60,9 +312,65 @@ fn bench_rc_transient() {
     });
 }
 
-fn bench_lk_stepper() {
+fn bench_cell_write(report: &mut Report) {
+    let cell = FefetCell::default();
+    let (p_lo, _) = cell.memory_states();
+    report.bench("cell_write_transient_2t", || {
+        cell.write(true, opaque(p_lo), 1.0e-9).unwrap()
+    });
+}
+
+/// Seeded 8×8 array for the sweep workloads. As in the determinism
+/// test, the timestep is coarsened to 40 ps and the read window cut to
+/// 0.3 ns (the shortest that still digitizes correctly): the stored
+/// polarizations park every FE cap near its switching region, where the
+/// default 10 ps grid costs ~100 s per row read.
+fn seeded_8x8() -> FefetArray {
+    let mut a = FefetArray::new(8, 8, FefetCell::default());
+    a.cell.dt = 40e-12;
+    let (p_lo, p_hi) = a.cell.memory_states();
+    let mut rng = Rng::seed_from_u64(0x8a_8a);
+    for i in 0..8 {
+        for j in 0..8 {
+            let bit = rng.uniform() > 0.5;
+            a.set_polarization(i, j, if bit { p_hi } else { p_lo });
+        }
+    }
+    a
+}
+
+fn bench_array_sweep(report: &mut Report) {
+    let a = seeded_8x8();
+    let rows: Vec<usize> = (0..8).collect();
+    let t_read = 0.3e-9;
+    let mut serial = Vec::new();
+    report.bench_once("array_read_sweep_8x8_serial", || {
+        serial = a.read_rows(&rows, t_read, 1).expect("serial sweep");
+        serial.len()
+    });
+    let mut par = Vec::new();
+    report.bench_once("array_read_sweep_8x8_par4", || {
+        par = a.read_rows(&rows, t_read, 4).expect("parallel sweep");
+        par.len()
+    });
+    // The acceptance bar for the parallel sweep: serial and threaded
+    // results agree to the last mantissa bit.
+    assert_eq!(serial.len(), par.len());
+    for (s, p) in serial.iter().zip(&par) {
+        assert_eq!(s.bits, p.bits);
+        assert!(s
+            .currents
+            .iter()
+            .zip(&p.currents)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(s.max_sneak.to_bits(), p.max_sneak.to_bits());
+    }
+    println!("array_read_sweep serial/par4: bit-identical over all 8 rows");
+}
+
+fn bench_lk_stepper(report: &mut Report) {
     let dev = paper_fefet();
-    bench("lk_write_transient_2000_steps", || {
+    report.bench("lk_write_transient_2000_steps", || {
         let rate = |_t: f64, p: f64| {
             let v_fe = 0.68 - dev.mos.v_gate_of_density(p);
             (v_fe - dev.fe.v_static(p)) / (dev.fe.thickness * dev.fe.lk.rho)
@@ -72,7 +380,60 @@ fn bench_lk_stepper() {
 }
 
 fn main() {
-    bench_lu();
-    bench_rc_transient();
-    bench_lk_stepper();
+    let mut report = Report::new();
+    bench_lu(&mut report);
+    bench_newton(&mut report);
+    bench_rc_transient(&mut report);
+    bench_cell_write(&mut report);
+    bench_array_sweep(&mut report);
+    bench_lk_stepper(&mut report);
+
+    // Derived headline ratios.
+    if let (Some(alloc), Some(inplace)) = (
+        report.median_of("newton_cell_2t_alloc"),
+        report.median_of("newton_cell_2t"),
+    ) {
+        println!(
+            "newton_cell speedup (alloc/inplace):          {:.2}x",
+            alloc / inplace
+        );
+    }
+    if let (Some(alloc), Some(inplace)) = (
+        report.median_of("newton_cell_2t_step_alloc"),
+        report.median_of("newton_cell_2t_step"),
+    ) {
+        println!(
+            "newton_cell_step speedup (alloc/inplace):     {:.2}x",
+            alloc / inplace
+        );
+    }
+    if let (Some(alloc), Some(inplace)) = (
+        report.median_of("newton_array_8x8_alloc"),
+        report.median_of("newton_array_8x8"),
+    ) {
+        println!(
+            "newton_array_8x8 speedup (alloc/inplace):     {:.2}x",
+            alloc / inplace
+        );
+    }
+    if let (Some(serial), Some(par)) = (
+        report.median_of("array_read_sweep_8x8_serial"),
+        report.median_of("array_read_sweep_8x8_par4"),
+    ) {
+        println!(
+            "array_read_sweep 4-thread speedup:            {:.2}x",
+            serial / par
+        );
+    }
+
+    // A full run leaves the committed baseline at the repository root;
+    // smoke runs (CI) measure nothing worth keeping.
+    if !smoke() {
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_solvers.json");
+        report
+            .write_json("solvers", &path)
+            .expect("write BENCH_solvers.json");
+        println!("wrote {}", path.display());
+    }
 }

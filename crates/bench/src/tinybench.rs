@@ -2,13 +2,21 @@
 //! offline build cannot fetch.
 //!
 //! Each bench target is a plain `fn main()` (`harness = false`) calling
-//! [`bench`] per workload. The harness warms up, picks an iteration
-//! count targeting a fixed measurement window, runs a few batches, and
-//! prints median/min per-iteration times. No statistics beyond that —
-//! these benches exist to catch order-of-magnitude regressions, not to
-//! resolve percent-level noise.
+//! [`bench`] per workload, or — when the numbers should be kept — going
+//! through a [`Report`] that collects [`Sample`]s and can serialize them
+//! to JSON for a committed baseline. The harness warms up, picks an
+//! iteration count targeting a fixed measurement window, runs a few
+//! batches, and records median/min per-iteration times. No statistics
+//! beyond that — these benches exist to catch order-of-magnitude
+//! regressions, not to resolve percent-level noise.
+//!
+//! Setting `TINYBENCH_SMOKE=1` switches every entry point to a
+//! run-once smoke mode: no calibration, one iteration, one batch. CI
+//! uses it to prove the bench targets still build and run without
+//! paying for real measurements.
 
 use std::hint::black_box;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Target wall-clock per measurement batch.
@@ -22,11 +30,45 @@ pub fn opaque<T>(v: T) -> T {
     black_box(v)
 }
 
-/// Times `f`, printing `name` with median and min per-iteration times.
-///
-/// The closure's return value is passed through [`black_box`] so the
-/// workload cannot be optimized away.
-pub fn bench<T, F: FnMut() -> T>(name: &str, mut f: F) {
+/// True when `TINYBENCH_SMOKE` is set (non-empty): every bench runs its
+/// workload exactly once, so a full bench suite finishes in seconds.
+pub fn smoke() -> bool {
+    std::env::var_os("TINYBENCH_SMOKE").is_some_and(|v| !v.is_empty())
+}
+
+/// One measured workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Workload name as printed.
+    pub name: String,
+    /// Median per-iteration time over the batches (s).
+    pub median_s: f64,
+    /// Fastest batch's per-iteration time (s).
+    pub min_s: f64,
+    /// Iterations per batch.
+    pub iters: u64,
+    /// Batches measured.
+    pub batches: usize,
+}
+
+/// Core measurement: calibrates an iteration count against
+/// [`BATCH_TARGET`], then times [`BATCHES`] batches. In smoke mode (or
+/// with `once = true`) the workload runs a single iteration in a single
+/// batch instead.
+fn measure<T, F: FnMut() -> T>(name: &str, mut f: F, once: bool) -> Sample {
+    if once || smoke() {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed().as_secs_f64();
+        return Sample {
+            name: name.to_string(),
+            median_s: dt,
+            min_s: dt,
+            iters: 1,
+            batches: 1,
+        };
+    }
+
     // Warm-up and calibration: find how many iterations fill the batch
     // window (at least one).
     let mut iters: u64 = 1;
@@ -54,13 +96,211 @@ pub fn bench<T, F: FnMut() -> T>(name: &str, mut f: F) {
         })
         .collect();
     per_iter.sort_by(f64::total_cmp);
-    let median = per_iter[per_iter.len() / 2];
-    let min = per_iter[0];
+    Sample {
+        name: name.to_string(),
+        median_s: per_iter[per_iter.len() / 2],
+        min_s: per_iter[0],
+        iters,
+        batches: BATCHES,
+    }
+}
+
+/// Paired measurement: calibrates each workload separately, then
+/// alternates their batches (`a, b, a, b, ...`) inside one measurement
+/// window. On hosts with drifting CPU availability, back-to-back
+/// separate windows can skew an A/B ratio by 2x; interleaving exposes
+/// both sides to the same drift so the *ratio* of the medians stays
+/// meaningful even when the absolute numbers wander.
+fn measure_pair<TA, TB, FA: FnMut() -> TA, FB: FnMut() -> TB>(
+    name_a: &str,
+    name_b: &str,
+    mut a: FA,
+    mut b: FB,
+) -> (Sample, Sample) {
+    if smoke() {
+        return (measure(name_a, a, true), measure(name_b, b, true));
+    }
+    let calibrate = |f: &mut dyn FnMut()| -> u64 {
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let dt = t0.elapsed();
+            if dt >= BATCH_TARGET / 4 || iters >= 1 << 24 {
+                let scale = BATCH_TARGET.as_secs_f64() / dt.as_secs_f64().max(1e-9);
+                return ((iters as f64 * scale).ceil() as u64).clamp(1, 1 << 24);
+            }
+            iters = iters.saturating_mul(4);
+        }
+    };
+    let iters_a = calibrate(&mut || {
+        black_box(a());
+    });
+    let iters_b = calibrate(&mut || {
+        black_box(b());
+    });
+    let mut per_a: Vec<f64> = Vec::with_capacity(BATCHES);
+    let mut per_b: Vec<f64> = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let t0 = Instant::now();
+        for _ in 0..iters_a {
+            black_box(a());
+        }
+        per_a.push(t0.elapsed().as_secs_f64() / iters_a as f64);
+        let t0 = Instant::now();
+        for _ in 0..iters_b {
+            black_box(b());
+        }
+        per_b.push(t0.elapsed().as_secs_f64() / iters_b as f64);
+    }
+    let finish = |name: &str, mut per_iter: Vec<f64>, iters: u64| -> Sample {
+        per_iter.sort_by(f64::total_cmp);
+        Sample {
+            name: name.to_string(),
+            median_s: per_iter[per_iter.len() / 2],
+            min_s: per_iter[0],
+            iters,
+            batches: BATCHES,
+        }
+    };
+    (
+        finish(name_a, per_a, iters_a),
+        finish(name_b, per_b, iters_b),
+    )
+}
+
+fn print_sample(s: &Sample) {
     println!(
-        "{name:<44} {:>12}/iter (min {:>12}, {iters} iters x {BATCHES})",
-        fmt_duration(median),
-        fmt_duration(min),
+        "{:<44} {:>12}/iter (min {:>12}, {} iters x {})",
+        s.name,
+        fmt_duration(s.median_s),
+        fmt_duration(s.min_s),
+        s.iters,
+        s.batches,
     );
+}
+
+/// Times `f`, printing `name` with median and min per-iteration times.
+///
+/// The closure's return value is passed through [`black_box`] so the
+/// workload cannot be optimized away.
+pub fn bench<T, F: FnMut() -> T>(name: &str, f: F) {
+    print_sample(&measure(name, f, false));
+}
+
+/// A collection of bench samples that can be serialized to JSON, so a
+/// bench run leaves a committed baseline to diff future runs against.
+#[derive(Debug, Default)]
+pub struct Report {
+    samples: Vec<Sample>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Runs a calibrated multi-batch measurement (like the free
+    /// [`bench`]), printing the result and recording it.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, f: F) {
+        let s = measure(name, f, false);
+        print_sample(&s);
+        self.samples.push(s);
+    }
+
+    /// Times a single run of `f` — for workloads whose one iteration
+    /// already takes seconds (full array sweeps), where calibrated
+    /// batching would cost minutes for no extra signal.
+    pub fn bench_once<T, F: FnMut() -> T>(&mut self, name: &str, f: F) {
+        let s = measure(name, f, true);
+        print_sample(&s);
+        self.samples.push(s);
+    }
+
+    /// Runs two workloads with their batches interleaved in one
+    /// measurement window, so the ratio of their medians is robust to
+    /// host-load drift (see [`measure_pair`]). Records and prints both.
+    pub fn bench_pair<TA, TB, FA: FnMut() -> TA, FB: FnMut() -> TB>(
+        &mut self,
+        name_a: &str,
+        name_b: &str,
+        a: FA,
+        b: FB,
+    ) {
+        let (sa, sb) = measure_pair(name_a, name_b, a, b);
+        print_sample(&sa);
+        print_sample(&sb);
+        self.samples.push(sa);
+        self.samples.push(sb);
+    }
+
+    /// The samples recorded so far, in run order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Median time of a named sample, if it was recorded.
+    pub fn median_of(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.median_s)
+    }
+
+    /// Serializes the report as a JSON document.
+    pub fn to_json(&self, suite: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"suite\": \"{}\",\n", json_escape(suite)));
+        out.push_str(&format!(
+            "  \"mode\": \"{}\",\n",
+            if smoke() { "smoke" } else { "full" }
+        ));
+        out.push_str("  \"samples\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_s\": {:e}, \"min_s\": {:e}, \"iters\": {}, \"batches\": {}}}{}\n",
+                json_escape(&s.name),
+                s.median_s,
+                s.min_s,
+                s.iters,
+                s.batches,
+                if i + 1 < self.samples.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating or writing the file.
+    pub fn write_json(&self, suite: &str, path: &std::path::Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json(suite).as_bytes())
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Formats a duration in seconds with an engineering suffix.
@@ -91,5 +331,57 @@ mod tests {
     #[test]
     fn opaque_is_identity() {
         assert_eq!(opaque(42), 42);
+    }
+
+    #[test]
+    fn report_collects_and_serializes() {
+        let mut r = Report::new();
+        let mut acc = 0u64;
+        r.bench_once("tiny_workload", || {
+            acc += 1;
+            acc
+        });
+        assert_eq!(r.samples().len(), 1);
+        assert_eq!(r.samples()[0].iters, 1);
+        assert!(r.median_of("tiny_workload").is_some());
+        assert!(r.median_of("missing").is_none());
+        let json = r.to_json("unit");
+        assert!(json.contains("\"suite\": \"unit\""));
+        assert!(json.contains("\"name\": \"tiny_workload\""));
+        // The document must round-trip basic JSON structure: balanced
+        // braces/brackets and no trailing comma before the close.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn bench_pair_records_both_sides_in_order() {
+        let mut r = Report::new();
+        let mut a = 0u64;
+        let mut b = 0u64;
+        r.bench_pair(
+            "pair_a",
+            "pair_b",
+            || {
+                a += 1;
+                a
+            },
+            || {
+                b += 2;
+                b
+            },
+        );
+        assert_eq!(r.samples().len(), 2);
+        assert_eq!(r.samples()[0].name, "pair_a");
+        assert_eq!(r.samples()[1].name, "pair_b");
+        assert!(r.median_of("pair_a").is_some_and(|m| m > 0.0));
+        assert!(r.median_of("pair_b").is_some_and(|m| m > 0.0));
+    }
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

@@ -6,7 +6,7 @@
 
 use crate::circuit::Circuit;
 use crate::elements::{ElemState, Integration, Node};
-use crate::engine::{Assembly, SolverOptions};
+use crate::engine::{Assembly, NewtonWorkspace, SolverOptions};
 use crate::{CktError, Result};
 
 /// Options for [`dc_operating_point`].
@@ -88,24 +88,26 @@ impl DcSolution {
 pub fn dc_operating_point(ckt: &Circuit, opts: DcOptions) -> Result<DcSolution> {
     let asm = Assembly::new(ckt);
     let states: Vec<ElemState> = ckt.elements().iter().map(|_| ElemState::None).collect();
-    let x0 = vec![0.0; asm.n_unknowns()];
+    let mut ws = NewtonWorkspace::new(asm.n_unknowns());
+    let mut x = vec![0.0; asm.n_unknowns()];
 
-    let direct = asm.solve_point(
+    let direct = asm.solve_point_with(
         ckt,
         0.0,
         0.0,
         Integration::BackwardEuler,
         true,
         &opts.solver,
-        &x0,
+        &mut x,
         &states,
+        &mut ws,
     );
     let x = match direct {
-        Ok(x) => x,
+        Ok(()) => x,
         // A non-finite iterate means the netlist feeds NaN/Inf into the
         // solve; gmin stepping cannot repair that, so surface it as-is.
         Err(e @ CktError::NonFinite { .. }) => return Err(e),
-        Err(_) => gmin_stepping(ckt, &asm, &opts, &states)?,
+        Err(_) => gmin_stepping(ckt, &asm, &opts, &states, &mut ws)?,
     };
     if x.iter().any(|v| !v.is_finite()) {
         return Err(CktError::NonFinite {
@@ -183,8 +185,12 @@ fn gmin_stepping(
     asm: &Assembly,
     opts: &DcOptions,
     states: &[ElemState],
+    ws: &mut NewtonWorkspace,
 ) -> Result<Vec<f64>> {
     let mut x = vec![0.0; asm.n_unknowns()];
+    // Continuation buffer: a failed pass leaves `x` at the last converged
+    // decade rather than the failed pass's partial iterate.
+    let mut x_try = vec![0.0; asm.n_unknowns()];
     let mut gmin = opts.gmin_start;
     let target = opts.solver.gmin;
     // One decade per pass from gmin_start down to the target, so the
@@ -196,24 +202,26 @@ fn gmin_stepping(
             gmin,
             ..opts.solver
         };
-        x = asm
-            .solve_point(
-                ckt,
-                0.0,
-                0.0,
-                Integration::BackwardEuler,
-                true,
-                &solver,
-                &x,
-                states,
-            )
-            .map_err(|e| match e {
-                CktError::NonFinite { .. } => e,
-                other => CktError::Convergence {
-                    time: 0.0,
-                    detail: format!("gmin stepping failed at gmin={gmin:.1e}: {other}"),
-                },
-            })?;
+        x_try.copy_from_slice(&x);
+        asm.solve_point_with(
+            ckt,
+            0.0,
+            0.0,
+            Integration::BackwardEuler,
+            true,
+            &solver,
+            &mut x_try,
+            states,
+            ws,
+        )
+        .map_err(|e| match e {
+            CktError::NonFinite { .. } => e,
+            other => CktError::Convergence {
+                time: 0.0,
+                detail: format!("gmin stepping failed at gmin={gmin:.1e}: {other}"),
+            },
+        })?;
+        x.copy_from_slice(&x_try);
         if gmin <= target {
             return Ok(x);
         }

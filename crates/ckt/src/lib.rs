@@ -13,6 +13,9 @@
 //!   time-gated switch, diode, MOSFET, FE capacitor) with their
 //!   modified-nodal-analysis stamps.
 //! - [`circuit`] — netlist builder with named nodes.
+//! - [`engine`] — the shared Newton kernel: MNA assembly plus the
+//!   reusable [`engine::NewtonWorkspace`] buffers that make the
+//!   iteration allocation-free.
 //! - [`dc`] — DC operating point via Newton with gmin stepping, plus
 //!   source sweeps.
 //! - [`ac`] — small-signal frequency-domain analysis around a bias
@@ -52,7 +55,7 @@ pub mod ac;
 pub mod circuit;
 pub mod dc;
 pub mod elements;
-mod engine;
+pub mod engine;
 pub mod models;
 pub mod trace;
 pub mod transient;

@@ -4,10 +4,63 @@
 
 use crate::circuit::Circuit;
 use crate::elements::{ElemState, Element, EvalCtx, Integration, Node};
-use crate::engine::{Assembly, SolverOptions};
+use crate::engine::{Assembly, NewtonWorkspace, SolverOptions};
 use crate::trace::Trace;
 use crate::{CktError, Result};
 use fefet_numerics::quad::RunningIntegral;
+
+/// Bounded accepted-point history for the LTE step controller: the times
+/// and node-voltage parts of the last (up to) three accepted solutions,
+/// held in fixed buffers so that accepting a step never allocates.
+#[derive(Debug)]
+struct NodeHistory {
+    times: [f64; 3],
+    bufs: [Vec<f64>; 3],
+    len: usize,
+}
+
+impl NodeHistory {
+    fn new(nv: usize) -> Self {
+        NodeHistory {
+            times: [0.0; 3],
+            bufs: [vec![0.0; nv], vec![0.0; nv], vec![0.0; nv]],
+            len: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Records an accepted point, dropping the oldest once full. Only
+    /// the node-voltage prefix of `x` is kept — all the controller uses.
+    fn push(&mut self, t: f64, x: &[f64]) {
+        let nv = self.bufs[0].len();
+        if self.len == self.bufs.len() {
+            self.times.rotate_left(1);
+            self.bufs.rotate_left(1);
+            self.len -= 1;
+        }
+        self.times[self.len] = t;
+        self.bufs[self.len].copy_from_slice(&x[..nv]);
+        self.len += 1;
+    }
+
+    /// The last two accepted points, oldest first, or `None` with fewer
+    /// than two in history.
+    #[allow(clippy::type_complexity)]
+    fn last_two(&self) -> Option<((f64, &[f64]), (f64, &[f64]))> {
+        if self.len < 2 {
+            return None;
+        }
+        let i1 = self.len - 1;
+        let i0 = self.len - 2;
+        Some((
+            (self.times[i0], self.bufs[i0].as_slice()),
+            (self.times[i1], self.bufs[i1].as_slice()),
+        ))
+    }
+}
 
 /// How the initial condition at `t = 0` is established.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -118,7 +171,9 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
     bps.sort_by(f64::total_cmp);
     bps.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
 
-    // Initial solution vector.
+    // Initial solution vector, plus the per-step Newton scratch buffers
+    // reused for the whole run.
+    let mut ws = NewtonWorkspace::new(asm.n_unknowns());
     let mut x = vec![0.0; asm.n_unknowns()];
     for (node, v) in &opts.node_ics {
         if node.index() > 0 {
@@ -127,7 +182,17 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
     }
     if opts.start == StartMode::DcOperatingPoint {
         let states: Vec<ElemState> = ckt.elements().iter().map(|_| ElemState::None).collect();
-        x = asm.solve_point(ckt, 0.0, 0.0, opts.method, true, &opts.solver, &x, &states)?;
+        asm.solve_point_with(
+            ckt,
+            0.0,
+            0.0,
+            opts.method,
+            true,
+            &opts.solver,
+            &mut x,
+            &states,
+            &mut ws,
+        )?;
     }
 
     // Element states at t = 0.
@@ -252,8 +317,12 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
         }
     });
     let mut dt_ctrl = dt_nom;
-    let mut hist: Vec<(f64, Vec<f64>)> = vec![(0.0, x.clone())];
     let nv = ckt.n_nodes() - 1;
+    let mut hist = NodeHistory::new(nv);
+    hist.push(0.0, &x);
+    // Attempt buffer: each trial step solves into `x_new` so a rejected
+    // step leaves `x` untouched; on acceptance the two swap pointers.
+    let mut x_new = vec![0.0; asm.n_unknowns()];
     while t < t_end * (1.0 - 1e-15) {
         while bp_cursor < bps.len() && bps[bp_cursor] <= t * (1.0 + 1e-15) {
             bp_cursor += 1;
@@ -273,41 +342,43 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
         // default ratio; the cap turns a pathological reject cycle into
         // a typed error instead of an unbounded retry loop.
         const MAX_STEP_ATTEMPTS: usize = 256;
-        let mut accepted: Option<(f64, Vec<f64>)> = None;
+        let mut accepted: Option<f64> = None;
         for _attempt in 0..MAX_STEP_ATTEMPTS {
             let t_attempt = if (t + dt_try - t_ceiling).abs() < 1e-18 {
                 t_ceiling
             } else {
                 t + dt_try
             };
-            let solved = asm.solve_point(
+            x_new.copy_from_slice(&x);
+            let solved = asm.solve_point_with(
                 ckt,
                 t_attempt,
                 t_attempt - t,
                 step_method,
                 false,
                 &opts.solver,
-                &x,
+                &mut x_new,
                 &states,
+                &mut ws,
             );
             match solved {
-                Ok(xn) => {
+                Ok(()) => {
                     // LTE acceptance test (only with 2+ history points and
                     // away from waveform corners, where the derivative is
                     // legitimately discontinuous).
-                    if let (Some(lte), true, 2..) = (opts.lte, !at_corner, hist.len()) {
-                        let (t1, x1) = &hist[hist.len() - 1];
-                        let (t0, x0) = &hist[hist.len() - 2];
+                    if let (Some(lte), true, Some(((t0, x0), (t1, x1)))) =
+                        (opts.lte, !at_corner, hist.last_two())
+                    {
                         let h1 = t_attempt - t1;
                         let h0 = t1 - t0;
                         if h0 > 0.0 && h1 > 0.0 {
                             let mut err: f64 = 0.0;
                             for i in 0..nv {
-                                let d1 = (xn[i] - x1[i]) / h1;
+                                let d1 = (x_new[i] - x1[i]) / h1;
                                 let d0 = (x1[i] - x0[i]) / h0;
                                 let d2 = 2.0 * (d1 - d0) / (h1 + h0);
                                 let lte_est = 0.5 * h1 * h1 * d2;
-                                let scale = lte.atol + lte.rtol * xn[i].abs();
+                                let scale = lte.atol + lte.rtol * x_new[i].abs();
                                 err = err.max((lte_est / scale).abs());
                             }
                             if err > 1.0 && dt_try > dt_min * 4.0 {
@@ -325,7 +396,7 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
                                 .max(dt_min);
                         }
                     }
-                    accepted = Some((t_attempt, xn));
+                    accepted = Some(t_attempt);
                     break;
                 }
                 // A non-finite iterate comes from NaN/Inf in the stimulus
@@ -343,7 +414,7 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
                 }
             }
         }
-        let (t_new, x_new) = accepted.ok_or_else(|| CktError::Convergence {
+        let t_new = accepted.ok_or_else(|| CktError::Convergence {
             time: t,
             detail: format!("no accepted step within {MAX_STEP_ATTEMPTS} attempts"),
         })?;
@@ -369,7 +440,7 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
                 s => s,
             };
         }
-        x = x_new;
+        std::mem::swap(&mut x, &mut x_new);
         at_corner = bps.iter().any(|b| (b - t_new).abs() < 1e-18);
         if at_corner {
             // Restart the controller after a stimulus corner.
@@ -377,10 +448,7 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
             hist.clear();
         }
         t = t_new;
-        hist.push((t, x.clone()));
-        if hist.len() > 3 {
-            hist.remove(0);
-        }
+        hist.push(t, &x);
         if opts.lte.is_none() {
             dt_ctrl = dt_nom;
         }

@@ -299,13 +299,14 @@ impl FefetArray {
         })
     }
 
-    /// Reads `row` (Table 1 read biasing) over a window `t_read`,
-    /// reporting per-column cell currents and the sneak-current maximum.
+    /// Builds the read-phase circuit for `row` without running it: the
+    /// Table 1 read biasing applied to this array's stored state. Used
+    /// by the benches to exercise the Newton kernel at array size.
     ///
     /// # Errors
     ///
-    /// Row range or convergence errors, as for [`FefetArray::write_row`].
-    pub fn read_row(&mut self, row: usize, t_read: f64) -> Result<ArrayRead> {
+    /// [`CktError::Netlist`] if `row` is out of range.
+    pub fn read_circuit(&self, row: usize, t_read: f64) -> Result<Circuit> {
         if row >= self.rows {
             return Err(CktError::Netlist(format!(
                 "read_row: row {row} out of range"
@@ -321,7 +322,22 @@ impl FefetArray {
             row_waves.push((w_rs, w_ws));
         }
         let col_waves = vec![(Waveform::dc(0.0), Waveform::dc(0.0)); self.cols];
-        let c = self.build(&row_waves, &col_waves);
+        Ok(self.build(&row_waves, &col_waves))
+    }
+
+    /// Reads `row` (Table 1 read biasing) over a window `t_read`,
+    /// reporting per-column cell currents and the sneak-current maximum.
+    ///
+    /// Reads are non-destructive (that is the paper's point), so this
+    /// takes `&self` and never touches the stored state — which is what
+    /// lets [`FefetArray::read_rows`] fan independent row reads out over
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Row range or convergence errors, as for [`FefetArray::write_row`].
+    pub fn read_row(&self, row: usize, t_read: f64) -> Result<ArrayRead> {
+        let c = self.read_circuit(row, t_read)?;
         let t_end = T_START + t_read + 0.4e-9;
         let trace = self.run(&c, t_end)?;
 
@@ -359,6 +375,67 @@ impl FefetArray {
             bits,
             max_sneak,
         })
+    }
+
+    /// Reads several rows, fanning the independent row transients out
+    /// over up to `threads` scoped worker threads (`0` = one per
+    /// available hardware thread). Results are returned in the order of
+    /// `rows` and are bit-identical to calling [`FefetArray::read_row`]
+    /// serially — each read is a deterministic simulation of the same
+    /// stored state, and the fan-out preserves ordering.
+    ///
+    /// # Errors
+    ///
+    /// The first row-range or convergence error, in `rows` order.
+    pub fn read_rows(&self, rows: &[usize], t_read: f64, threads: usize) -> Result<Vec<ArrayRead>> {
+        crate::parallel::parallel_map(rows, threads, |&row| self.read_row(row, t_read))
+            .into_iter()
+            .collect()
+    }
+
+    /// Reads every row of the array ([`FefetArray::read_rows`] over
+    /// `0..rows`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`FefetArray::read_rows`].
+    pub fn read_all_rows(&self, t_read: f64, threads: usize) -> Result<Vec<ArrayRead>> {
+        let rows: Vec<usize> = (0..self.rows).collect();
+        self.read_rows(&rows, t_read, threads)
+    }
+
+    /// Write-disturb sweep: for each row in turn, writes `data` into a
+    /// **clone** of the array and records the worst unaccessed-cell
+    /// polarization drift. The array itself is never modified, so the
+    /// per-row trials are independent and run on up to `threads` worker
+    /// threads (`0` = one per available hardware thread).
+    ///
+    /// Returns the per-row `max_disturb` values (C/m²), indexed by the
+    /// accessed row.
+    ///
+    /// # Errors
+    ///
+    /// Dimension or convergence errors, as for [`FefetArray::write_row`].
+    pub fn write_disturb_map(
+        &self,
+        data: &[bool],
+        t_pulse: f64,
+        threads: usize,
+    ) -> Result<Vec<f64>> {
+        if data.len() != self.cols {
+            return Err(CktError::Netlist(format!(
+                "write_disturb_map: got {} bits for {} columns",
+                data.len(),
+                self.cols
+            )));
+        }
+        let rows: Vec<usize> = (0..self.rows).collect();
+        crate::parallel::parallel_map(&rows, threads, |&row| {
+            let mut trial = self.clone();
+            trial.write_row(row, data, t_pulse).map(|op| op.max_disturb)
+        })
+        .into_iter()
+        .collect()
     }
 }
 

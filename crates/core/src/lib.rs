@@ -15,6 +15,8 @@
 //!   plate-line disturb the FEFET scheme avoids.
 //! - [`mod@array`] — m×n array with shared lines and metal parasitics; row
 //!   write with unaccessed-row isolation; sneak-path checks (Fig 7).
+//! - [`parallel`] — std-only scoped-thread fan-out used by the array
+//!   read/disturb/margin sweeps.
 //! - [`sense`] — the current-sensing chain (clamp driver, pre-charge
 //!   driver, current sense amplifier) and the eq. (2) read-time
 //!   decomposition (§5, Fig 8).
@@ -37,6 +39,7 @@ pub mod feram;
 pub mod feram_array;
 pub mod layout;
 pub mod macro_model;
+pub mod parallel;
 pub mod sense;
 pub mod shmoo;
 

@@ -1,0 +1,93 @@
+//! Std-only fan-out helpers for array-level sweeps.
+//!
+//! Array operations on distinct rows (reads, disturb probes, margin
+//! sweeps) are independent transient simulations; this module fans them
+//! out over `std::thread::scope` workers in the same chunked style as
+//! `fefet_device::variability::monte_carlo_parallel`. Work is split into
+//! contiguous chunks and the results are stitched back in chunk order,
+//! so the output ordering — and, because each simulation is itself
+//! deterministic, every bit of the output — is identical to a serial
+//! run.
+
+/// The default worker count: one per available hardware thread, falling
+/// back to 1 when parallelism cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning results in input order.
+///
+/// `threads == 0` selects [`default_threads`]. With one thread (or one
+/// item) the map runs inline on the caller's thread — no spawn at all —
+/// which doubles as the serial reference path for determinism tests.
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    let mut out: Vec<U> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                // A worker panic is a programming error in `f`;
+                // re-raise it on the caller's thread.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..37).collect();
+        for threads in [1, 2, 3, 4, 8, 64] {
+            let out = parallel_map(&items, threads, |&i| i * i);
+            let expect: Vec<usize> = items.iter().map(|&i| i * i).collect();
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_selects_a_positive_default() {
+        assert!(default_threads() >= 1);
+        let out = parallel_map(&[1, 2, 3], 0, |&i| i + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = parallel_map(&[5], 16, |&i| i * 2);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: [u8; 0] = [];
+        let out = parallel_map(&items, 4, |&i| i);
+        assert!(out.is_empty());
+    }
+}

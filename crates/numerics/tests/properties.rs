@@ -7,7 +7,7 @@
 
 use fefet_numerics::complex::{CMatrix, Complex};
 use fefet_numerics::interp::{Linear, MonotoneCubic};
-use fefet_numerics::linalg::{norm_inf, LuFactors, Matrix};
+use fefet_numerics::linalg::{norm_inf, LuFactors, LuWorkspace, Matrix};
 use fefet_numerics::ode::{implicit, rk4, ImplicitMethod};
 use fefet_numerics::quad::{cumulative_trapezoid, trapezoid_samples, RunningIntegral};
 use fefet_numerics::rng::Rng;
@@ -55,6 +55,120 @@ fn lu_solves_diag_dominant_systems() {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
         assert!(err < 1e-8, "case {case}: round-trip error {err}");
+    }
+}
+
+#[test]
+fn in_place_lu_is_bit_identical_to_owning_factorization() {
+    // The reusable workspace must not be "approximately" the owning
+    // path: identical pivot choices, identical factor entries, identical
+    // solutions — bit for bit — across random well-conditioned systems
+    // of every size the circuit engine uses, including a workspace that
+    // is reused (and resized) across cases.
+    let mut rng = Rng::seed_from_u64(0x1011);
+    let mut ws = LuWorkspace::new(1);
+    for case in 0..CASES {
+        let n = 1 + rng.below(8) as usize;
+        let seed = vec_in(&mut rng, -10.0, 10.0, n * n);
+        let b = vec_in(&mut rng, -5.0, 5.0, n);
+        let m = diag_dominant(n, &seed);
+
+        let owning = LuFactors::factor(m.clone()).unwrap();
+        ws.factor(&m).unwrap();
+
+        assert_eq!(ws.pivots(), owning.pivots(), "case {case}: pivot rows");
+        let a = owning.factors().as_slice();
+        let w = ws.factors().as_slice();
+        assert_eq!(a.len(), w.len(), "case {case}");
+        for (k, (x, y)) in a.iter().zip(w).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "case {case}: factor entry {k}: {x:?} vs {y:?}"
+            );
+        }
+        assert_eq!(
+            owning.det().to_bits(),
+            ws.det().unwrap().to_bits(),
+            "case {case}: determinant"
+        );
+
+        let x_own = owning.solve(&b).unwrap();
+        let mut x_ws = b.clone();
+        ws.solve_into(&mut x_ws).unwrap();
+        for (k, (x, y)) in x_own.iter().zip(&x_ws).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "case {case}: solution entry {k}: {x:?} vs {y:?}"
+            );
+        }
+
+        // The buffer-swapping variant is the same computation again:
+        // same factors, same pivots, same solve — and the matrix handed
+        // back must be usable as an n x n staging buffer.
+        let mut staged = m.clone();
+        ws.factor_in_place(&mut staged).unwrap();
+        assert_eq!(ws.pivots(), owning.pivots(), "case {case}: swap pivots");
+        for (k, (x, y)) in a.iter().zip(ws.factors().as_slice()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "case {case}: swap factor entry {k}: {x:?} vs {y:?}"
+            );
+        }
+        let mut x_swap = b.clone();
+        ws.solve_into(&mut x_swap).unwrap();
+        for (k, (x, y)) in x_own.iter().zip(&x_swap).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "case {case}: swap solution entry {k}: {x:?} vs {y:?}"
+            );
+        }
+        assert_eq!(
+            (staged.rows(), staged.cols()),
+            (n, n),
+            "case {case}: returned staging buffer order"
+        );
+
+        // The fused factor-and-solve carries the RHS through the
+        // elimination as an augmented column; it must reproduce the
+        // factor-then-substitute result bit for bit, and leave the
+        // workspace factored for further right-hand sides.
+        let mut fused_m = m.clone();
+        let mut x_fused = b.clone();
+        ws.factor_solve_in_place(&mut fused_m, &mut x_fused)
+            .unwrap();
+        assert_eq!(ws.pivots(), owning.pivots(), "case {case}: fused pivots");
+        for (k, (x, y)) in a.iter().zip(ws.factors().as_slice()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "case {case}: fused factor entry {k}: {x:?} vs {y:?}"
+            );
+        }
+        for (k, (x, y)) in x_own.iter().zip(&x_fused).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "case {case}: fused solution entry {k}: {x:?} vs {y:?}"
+            );
+        }
+        let mut x_again = b.clone();
+        ws.solve_into(&mut x_again).unwrap();
+        for (k, (x, y)) in x_own.iter().zip(&x_again).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "case {case}: post-fused solve entry {k}: {x:?} vs {y:?}"
+            );
+        }
+        assert_eq!(
+            owning.det().to_bits(),
+            ws.det().unwrap().to_bits(),
+            "case {case}: fused determinant"
+        );
     }
 }
 
