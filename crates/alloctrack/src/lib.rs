@@ -1,0 +1,61 @@
+//! A counting global allocator for allocation-accounting tests.
+//!
+//! The solver crates guarantee that a warmed-up Newton loop performs
+//! zero heap allocation per iteration (see `fefet_ckt::engine`). That
+//! invariant is easy to break silently — one stray `Vec` in a stamp
+//! path and the guarantee is gone with no test noticing. This crate
+//! hosts the one piece of `unsafe` in the workspace: a [`GlobalAlloc`]
+//! wrapper around the system allocator that counts every allocation
+//! event, so integration tests can assert "this call allocated exactly
+//! zero times".
+//!
+//! The workspace forbids `unsafe_code`; this crate deliberately does
+//! not opt into that lint set (see its `Cargo.toml`) because
+//! implementing `GlobalAlloc` is impossible without `unsafe`. Nothing
+//! here runs in production — the crate has no dependents, only
+//! dev-dependencies onto the crates under test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// System allocator wrapper that counts allocation events
+/// (`alloc`, `alloc_zeroed`, and growing `realloc` calls).
+pub struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Total allocation events since process start.
+pub fn allocation_count() -> usize {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// Runs `f` and returns `(allocation events during f, f's result)`.
+pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = allocation_count();
+    let out = f();
+    (allocation_count() - before, out)
+}

@@ -10,7 +10,7 @@
 use fefet_bench::tinybench::{opaque, smoke, Report};
 use fefet_ckt::circuit::Circuit;
 use fefet_ckt::elements::{ElemState, Integration};
-use fefet_ckt::engine::{Assembly, NewtonWorkspace, SolverOptions};
+use fefet_ckt::engine::{Assembly, NewtonWorkspace, SolverBackend, SolverOptions};
 use fefet_ckt::transient::{transient, TransientOptions};
 use fefet_ckt::waveform::Waveform;
 use fefet_device::dynamics::integrate;
@@ -282,6 +282,79 @@ fn bench_newton(report: &mut Report) {
     }
 }
 
+/// Dense vs pattern-cached sparse at growing array sizes: the per-step
+/// Newton workload (warm-started from the converged point, so each call
+/// is one stamp + factor + solve — the operation a transient runs
+/// thousands of times). Every sample records the MNA order, and the
+/// sparse sides record the pattern's nonzero count.
+fn bench_newton_scaling(report: &mut Report) {
+    let t_bias = 0.5e-9;
+    for (rows, cols) in [(8usize, 8usize), (16, 16), (32, 32)] {
+        let (ckt, asm, states) = read_solve_fixture(rows, cols);
+        let n = asm.n_unknowns();
+        let opts_dense = SolverOptions {
+            backend: SolverBackend::Dense,
+            ..SolverOptions::default()
+        };
+        let opts_sparse = SolverOptions {
+            backend: SolverBackend::Sparse,
+            ..SolverOptions::default()
+        };
+        // Converge once (cheaply, via the sparse path) for the warm start.
+        let x0 = vec![0.0; n];
+        let mut x_star = vec![0.0; n];
+        let mut ws = NewtonWorkspace::new(n);
+        newton_inplace(
+            &asm,
+            &ckt,
+            t_bias,
+            &opts_sparse,
+            &mut x_star,
+            &x0,
+            &states,
+            &mut ws,
+        );
+        let nnz = ws.sparse_nnz(true).map(|z| z as u64);
+        let mut ws_dense = NewtonWorkspace::new(n);
+        let mut xd = vec![0.0; n];
+        let mut xs = vec![0.0; n];
+        let name_dense = format!("newton_array_{rows}x{cols}_dense");
+        let name_sparse = format!("newton_array_{rows}x{cols}_sparse");
+        report.bench_pair(
+            &name_dense,
+            &name_sparse,
+            || {
+                newton_inplace(
+                    &asm,
+                    &ckt,
+                    t_bias,
+                    &opts_dense,
+                    &mut xd,
+                    &x_star,
+                    &states,
+                    &mut ws_dense,
+                );
+                xd.last().copied()
+            },
+            || {
+                newton_inplace(
+                    &asm,
+                    &ckt,
+                    t_bias,
+                    &opts_sparse,
+                    &mut xs,
+                    &x_star,
+                    &states,
+                    &mut ws,
+                );
+                xs.last().copied()
+            },
+        );
+        report.annotate(&name_dense, n as u64, None);
+        report.annotate(&name_sparse, n as u64, nnz);
+    }
+}
+
 fn bench_rc_transient(report: &mut Report) {
     let mut ckt = Circuit::new();
     let vin = ckt.node("in");
@@ -320,18 +393,18 @@ fn bench_cell_write(report: &mut Report) {
     });
 }
 
-/// Seeded 8×8 array for the sweep workloads. As in the determinism
-/// test, the timestep is coarsened to 40 ps and the read window cut to
-/// 0.3 ns (the shortest that still digitizes correctly): the stored
+/// Seeded array for the sweep workloads. As in the determinism test,
+/// the timestep is coarsened to 40 ps and the read window cut to 0.3 ns
+/// (the shortest that still digitizes correctly): the stored
 /// polarizations park every FE cap near its switching region, where the
 /// default 10 ps grid costs ~100 s per row read.
-fn seeded_8x8() -> FefetArray {
-    let mut a = FefetArray::new(8, 8, FefetCell::default());
+fn seeded(rows: usize, cols: usize) -> FefetArray {
+    let mut a = FefetArray::new(rows, cols, FefetCell::default());
     a.cell.dt = 40e-12;
     let (p_lo, p_hi) = a.cell.memory_states();
     let mut rng = Rng::seed_from_u64(0x8a_8a);
-    for i in 0..8 {
-        for j in 0..8 {
+    for i in 0..rows {
+        for j in 0..cols {
             let bit = rng.uniform() > 0.5;
             a.set_polarization(i, j, if bit { p_hi } else { p_lo });
         }
@@ -340,7 +413,12 @@ fn seeded_8x8() -> FefetArray {
 }
 
 fn bench_array_sweep(report: &mut Report) {
-    let a = seeded_8x8();
+    // `Auto` picks the sparse backend here (n > crossover); a forced-
+    // dense copy is measured alongside as the seed-equivalent baseline.
+    let a = seeded(8, 8);
+    let mut dense_a = a.clone();
+    dense_a.solver_backend = SolverBackend::Dense;
+    let n8 = a.mna_dims().expect("8x8 dims").n_unknowns as u64;
     let rows: Vec<usize> = (0..8).collect();
     let t_read = 0.3e-9;
     let mut serial = Vec::new();
@@ -353,6 +431,14 @@ fn bench_array_sweep(report: &mut Report) {
         par = a.read_rows(&rows, t_read, 4).expect("parallel sweep");
         par.len()
     });
+    let mut dense = Vec::new();
+    report.bench_once("array_read_sweep_8x8_dense_serial", || {
+        dense = dense_a.read_rows(&rows, t_read, 1).expect("dense sweep");
+        dense.len()
+    });
+    report.annotate("array_read_sweep_8x8_serial", n8, None);
+    report.annotate("array_read_sweep_8x8_par4", n8, None);
+    report.annotate("array_read_sweep_8x8_dense_serial", n8, None);
     // The acceptance bar for the parallel sweep: serial and threaded
     // results agree to the last mantissa bit.
     assert_eq!(serial.len(), par.len());
@@ -366,6 +452,33 @@ fn bench_array_sweep(report: &mut Report) {
         assert_eq!(s.max_sneak.to_bits(), p.max_sneak.to_bits());
     }
     println!("array_read_sweep serial/par4: bit-identical over all 8 rows");
+    // And for the sparse backend: same bits and step sequences as the
+    // dense reference, cell currents within 1e-9 relative.
+    assert_eq!(serial.len(), dense.len());
+    for (s, d) in serial.iter().zip(&dense) {
+        assert_eq!(s.bits, d.bits);
+        assert_eq!(s.op.trace.time().len(), d.op.trace.time().len());
+        for (cs, cd) in s.currents.iter().zip(&d.currents) {
+            let scale = cs.abs().max(cd.abs()).max(1e-30);
+            assert!(
+                (cs - cd).abs() / scale < 1e-9,
+                "sparse/dense current mismatch: {cs:e} vs {cd:e}"
+            );
+        }
+    }
+    println!("array_read_sweep sparse/dense: bits + step counts agree, currents < 1e-9 rel");
+
+    // The scaling headline: a 16×16 sweep (4x the cells, ~3x the
+    // unknowns) under the sparse backend.
+    let a16 = seeded(16, 16);
+    let n16 = a16.mna_dims().expect("16x16 dims").n_unknowns as u64;
+    let rows16: Vec<usize> = (0..16).collect();
+    report.bench_once("array_read_sweep_16x16_serial", || {
+        a16.read_rows(&rows16, t_read, 1)
+            .expect("16x16 sweep")
+            .len()
+    });
+    report.annotate("array_read_sweep_16x16_serial", n16, None);
 }
 
 fn bench_lk_stepper(report: &mut Report) {
@@ -383,6 +496,7 @@ fn main() {
     let mut report = Report::new();
     bench_lu(&mut report);
     bench_newton(&mut report);
+    bench_newton_scaling(&mut report);
     bench_rc_transient(&mut report);
     bench_cell_write(&mut report);
     bench_array_sweep(&mut report);
@@ -423,6 +537,26 @@ fn main() {
         println!(
             "array_read_sweep 4-thread speedup:            {:.2}x",
             serial / par
+        );
+    }
+    for size in ["8x8", "16x16", "32x32"] {
+        if let (Some(dense), Some(sparse)) = (
+            report.median_of(&format!("newton_array_{size}_dense")),
+            report.median_of(&format!("newton_array_{size}_sparse")),
+        ) {
+            println!(
+                "newton_array_{size} speedup (dense/sparse):   {:.2}x",
+                dense / sparse
+            );
+        }
+    }
+    if let (Some(dense), Some(sparse)) = (
+        report.median_of("array_read_sweep_8x8_dense_serial"),
+        report.median_of("array_read_sweep_8x8_serial"),
+    ) {
+        println!(
+            "array_read_sweep_8x8 speedup (dense/sparse):  {:.2}x",
+            dense / sparse
         );
     }
 

@@ -49,6 +49,12 @@ pub struct Sample {
     pub iters: u64,
     /// Batches measured.
     pub batches: usize,
+    /// MNA order of the measured system, when the workload is a linear
+    /// or Newton solve over a known matrix (see [`Report::annotate`]).
+    pub n: Option<u64>,
+    /// Nonzeros in the sparse pattern, when a sparse backend was
+    /// measured; `None` for dense workloads.
+    pub nnz: Option<u64>,
 }
 
 /// Core measurement: calibrates an iteration count against
@@ -66,6 +72,8 @@ fn measure<T, F: FnMut() -> T>(name: &str, mut f: F, once: bool) -> Sample {
             min_s: dt,
             iters: 1,
             batches: 1,
+            n: None,
+            nnz: None,
         };
     }
 
@@ -102,6 +110,8 @@ fn measure<T, F: FnMut() -> T>(name: &str, mut f: F, once: bool) -> Sample {
         min_s: per_iter[0],
         iters,
         batches: BATCHES,
+        n: None,
+        nnz: None,
     }
 }
 
@@ -163,6 +173,8 @@ fn measure_pair<TA, TB, FA: FnMut() -> TA, FB: FnMut() -> TB>(
             min_s: per_iter[0],
             iters,
             batches: BATCHES,
+            n: None,
+            nnz: None,
         }
     };
     (
@@ -237,6 +249,16 @@ impl Report {
         self.samples.push(sb);
     }
 
+    /// Attaches problem-size metadata to an already recorded sample:
+    /// the MNA order `n` and, for sparse workloads, the pattern nonzero
+    /// count. No-op if `name` was never recorded.
+    pub fn annotate(&mut self, name: &str, n: u64, nnz: Option<u64>) {
+        if let Some(s) = self.samples.iter_mut().find(|s| s.name == name) {
+            s.n = Some(n);
+            s.nnz = nnz;
+        }
+    }
+
     /// The samples recorded so far, in run order.
     pub fn samples(&self) -> &[Sample] {
         &self.samples
@@ -261,13 +283,21 @@ impl Report {
         ));
         out.push_str("  \"samples\": [\n");
         for (i, s) in self.samples.iter().enumerate() {
+            let mut size = String::new();
+            if let Some(n) = s.n {
+                size.push_str(&format!(", \"n\": {n}"));
+            }
+            if let Some(nnz) = s.nnz {
+                size.push_str(&format!(", \"nnz\": {nnz}"));
+            }
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"median_s\": {:e}, \"min_s\": {:e}, \"iters\": {}, \"batches\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"median_s\": {:e}, \"min_s\": {:e}, \"iters\": {}, \"batches\": {}{}}}{}\n",
                 json_escape(&s.name),
                 s.median_s,
                 s.min_s,
                 s.iters,
                 s.batches,
+                size,
                 if i + 1 < self.samples.len() { "," } else { "" },
             ));
         }
@@ -352,6 +382,26 @@ mod tests {
         // braces/brackets and no trailing comma before the close.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn annotate_attaches_problem_size_to_json() {
+        let mut r = Report::new();
+        r.bench_once("sparse_solve", || 1);
+        r.bench_once("dense_solve", || 2);
+        r.annotate("sparse_solve", 216, Some(940));
+        r.annotate("dense_solve", 216, None);
+        r.annotate("missing", 1, None); // silently ignored
+        let json = r.to_json("unit");
+        assert!(json.contains("\"name\": \"sparse_solve\""));
+        assert!(json.contains("\"n\": 216, \"nnz\": 940"));
+        // The dense sample records n but no nnz key at all.
+        let dense_line = json
+            .lines()
+            .find(|l| l.contains("dense_solve"))
+            .expect("dense sample serialized");
+        assert!(dense_line.contains("\"n\": 216"));
+        assert!(!dense_line.contains("nnz"));
     }
 
     #[test]

@@ -103,7 +103,7 @@ pub fn dc_operating_point(ckt: &Circuit, opts: DcOptions) -> Result<DcSolution> 
         &mut ws,
     );
     let x = match direct {
-        Ok(()) => x,
+        Ok(_) => x,
         // A non-finite iterate means the netlist feeds NaN/Inf into the
         // solve; gmin stepping cannot repair that, so surface it as-is.
         Err(e @ CktError::NonFinite { .. }) => return Err(e),

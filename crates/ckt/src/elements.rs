@@ -151,16 +151,77 @@ impl<'a> EvalCtx<'a> {
     }
 }
 
+/// Destination of Jacobian stamps during one assembly pass.
+///
+/// Element `stamp` implementations are written once against [`Sys`];
+/// the target decides what an add means. The **slot-indexed stamping
+/// invariant**: for a fixed circuit and `dc` flag, every element issues
+/// the *same sequence* of Jacobian adds regardless of iterate values
+/// (value-dependent branches may change what is added, never whether or
+/// where). `Pattern` records that sequence once at setup; `Sparse`
+/// replays it, consuming one preresolved slot per add — the hot loop is
+/// `values[slot] += g` with zero searching or hashing.
+#[derive(Debug)]
+pub(crate) enum JacTarget<'a> {
+    /// Dense stamping straight into a [`Matrix`].
+    Dense(&'a mut Matrix),
+    /// Slot-indexed sparse stamping into a CSR value array.
+    Sparse {
+        /// CSR values of the sparse Jacobian.
+        values: &'a mut [f64],
+        /// Preresolved value-array slot per add, in stamp order.
+        slots: &'a [usize],
+        /// Next slot to consume.
+        cursor: usize,
+    },
+    /// Structural pass: record (row, col) of every add, in stamp order.
+    Pattern(&'a mut Vec<(usize, usize)>),
+}
+
 /// Mutable view of the Newton system being assembled.
 #[derive(Debug)]
 pub struct Sys<'a> {
-    pub(crate) jac: &'a mut Matrix,
+    pub(crate) jac: JacTarget<'a>,
     pub(crate) res: &'a mut [f64],
     /// Number of circuit nodes including ground.
     pub(crate) n_nodes: usize,
 }
 
 impl<'a> Sys<'a> {
+    /// Dense-target view, the historical default.
+    pub(crate) fn dense(jac: &'a mut Matrix, res: &'a mut [f64], n_nodes: usize) -> Self {
+        Sys {
+            jac: JacTarget::Dense(jac),
+            res,
+            n_nodes,
+        }
+    }
+
+    /// Slots consumed so far on a sparse target (`None` otherwise).
+    pub(crate) fn sparse_cursor(&self) -> Option<usize> {
+        match &self.jac {
+            JacTarget::Sparse { cursor, .. } => Some(*cursor),
+            _ => None,
+        }
+    }
+
+    /// Routes one Jacobian add to the active target.
+    #[inline]
+    pub(crate) fn jac_add(&mut self, r: usize, c: usize, g: f64) {
+        match &mut self.jac {
+            JacTarget::Dense(m) => m.add(r, c, g),
+            JacTarget::Sparse {
+                values,
+                slots,
+                cursor,
+            } => {
+                values[slots[*cursor]] += g;
+                *cursor += 1;
+            }
+            JacTarget::Pattern(v) => v.push((r, c)),
+        }
+    }
+
     #[inline]
     fn node_idx(&self, n: Node) -> Option<usize> {
         if n.0 == 0 {
@@ -194,7 +255,7 @@ impl<'a> Sys<'a> {
     #[inline]
     pub fn add_jac_nn(&mut self, row: Node, col: Node, g: f64) {
         if let (Some(r), Some(c)) = (self.node_idx(row), self.node_idx(col)) {
-            self.jac.add(r, c, g);
+            self.jac_add(r, c, g);
         }
     }
 
@@ -203,7 +264,7 @@ impl<'a> Sys<'a> {
     pub fn add_jac_nb(&mut self, row: Node, branch: usize, g: f64) {
         if let Some(r) = self.node_idx(row) {
             let c = self.branch_idx(branch);
-            self.jac.add(r, c, g);
+            self.jac_add(r, c, g);
         }
     }
 
@@ -212,7 +273,7 @@ impl<'a> Sys<'a> {
     pub fn add_jac_bn(&mut self, branch: usize, col: Node, g: f64) {
         if let Some(c) = self.node_idx(col) {
             let r = self.branch_idx(branch);
-            self.jac.add(r, c, g);
+            self.jac_add(r, c, g);
         }
     }
 
@@ -221,7 +282,7 @@ impl<'a> Sys<'a> {
     pub fn add_jac_bb(&mut self, branch: usize, branch2: usize, g: f64) {
         let r = self.branch_idx(branch);
         let c = self.branch_idx(branch2);
-        self.jac.add(r, c, g);
+        self.jac_add(r, c, g);
     }
 
     /// Stamps a conductance `g` between `a` and `b` carrying current
@@ -743,7 +804,7 @@ mod tests {
         };
         let c = ctx(&x, 1e-9, ElemState::None);
         let mut sys = Sys {
-            jac: &mut jac,
+            jac: JacTarget::Dense(&mut jac),
             res: &mut res,
             n_nodes: 3,
         };
@@ -766,7 +827,7 @@ mod tests {
         };
         let c = ctx(&x, 1e-9, ElemState::None);
         let mut sys = Sys {
-            jac: &mut jac,
+            jac: JacTarget::Dense(&mut jac),
             res: &mut res,
             n_nodes: 2,
         };
@@ -790,7 +851,7 @@ mod tests {
             ..ctx(&x, 0.0, ElemState::Cap { v: 0.0, i: 0.0 })
         };
         let mut sys = Sys {
-            jac: &mut jac,
+            jac: JacTarget::Dense(&mut jac),
             res: &mut res,
             n_nodes: 2,
         };
@@ -812,7 +873,7 @@ mod tests {
         };
         let c = ctx(&x, 1e-9, ElemState::Cap { v: 0.0, i: 0.0 });
         let mut sys = Sys {
-            jac: &mut jac,
+            jac: JacTarget::Dense(&mut jac),
             res: &mut res,
             n_nodes: 2,
         };
@@ -841,7 +902,7 @@ mod tests {
         };
         let c = ctx(&x, 1e-9, ElemState::None);
         let mut sys = Sys {
-            jac: &mut jac,
+            jac: JacTarget::Dense(&mut jac),
             res: &mut res,
             n_nodes: 2,
         };
@@ -866,7 +927,7 @@ mod tests {
         };
         let c = ctx(&x, 1e-9, ElemState::None);
         let mut sys = Sys {
-            jac: &mut jac,
+            jac: JacTarget::Dense(&mut jac),
             res: &mut res,
             n_nodes: 3,
         };
@@ -927,7 +988,7 @@ mod tests {
         let x = [100.0];
         let c = ctx(&x, 1e-12, ElemState::None);
         let mut sys = Sys {
-            jac: &mut jac,
+            jac: JacTarget::Dense(&mut jac),
             res: &mut res,
             n_nodes: 2,
         };
@@ -953,7 +1014,7 @@ mod tests {
             ..ctx(&x, 0.0, ElemState::None)
         };
         let mut sys = Sys {
-            jac: &mut jac,
+            jac: JacTarget::Dense(&mut jac),
             res: &mut res,
             n_nodes: 4,
         };
@@ -980,7 +1041,7 @@ mod tests {
             ..ctx(&x, 0.0, ElemState::None)
         };
         let mut sys = Sys {
-            jac: &mut jac,
+            jac: JacTarget::Dense(&mut jac),
             res: &mut res,
             n_nodes: 4,
         };

@@ -161,6 +161,11 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
         dt_nom / 1e7
     };
     let asm = Assembly::new(ckt);
+    // Corner-snapping tolerance, relative to the nominal step so that it
+    // works unchanged on nanosecond-scale write pulses and second-scale
+    // retention sweeps alike (an absolute 1e-18 s would be smaller than
+    // one ULP of a second-scale time axis and never match).
+    let snap_eps = 1e-9 * dt_nom;
 
     // Breakpoints from source waveforms.
     let mut bps: Vec<f64> = Vec::new();
@@ -169,7 +174,7 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
     }
     bps.retain(|t| *t > 0.0 && *t < t_end);
     bps.sort_by(f64::total_cmp);
-    bps.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+    bps.dedup_by(|a, b| (*a - *b).abs() < snap_eps);
 
     // Initial solution vector, plus the per-step Newton scratch buffers
     // reused for the whole run.
@@ -344,7 +349,7 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
         const MAX_STEP_ATTEMPTS: usize = 256;
         let mut accepted: Option<f64> = None;
         for _attempt in 0..MAX_STEP_ATTEMPTS {
-            let t_attempt = if (t + dt_try - t_ceiling).abs() < 1e-18 {
+            let t_attempt = if (t + dt_try - t_ceiling).abs() < snap_eps {
                 t_ceiling
             } else {
                 t + dt_try
@@ -362,7 +367,7 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
                 &mut ws,
             );
             match solved {
-                Ok(()) => {
+                Ok(_) => {
                     // LTE acceptance test (only with 2+ history points and
                     // away from waveform corners, where the derivative is
                     // legitimately discontinuous).
@@ -441,7 +446,7 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
             };
         }
         std::mem::swap(&mut x, &mut x_new);
-        at_corner = bps.iter().any(|b| (b - t_new).abs() < 1e-18);
+        at_corner = bps.iter().any(|b| (b - t_new).abs() < snap_eps);
         if at_corner {
             // Restart the controller after a stimulus corner.
             dt_ctrl = dt_nom;
@@ -573,6 +578,59 @@ mod tests {
                 tr.time().iter().any(|t| (t - corner).abs() < 1e-15),
                 "corner {corner} not sampled"
             );
+        }
+    }
+
+    /// Corner snapping must be scale-relative: the same pulse shape on a
+    /// nanosecond axis and on a second-scale (retention-style) axis must
+    /// both land time points exactly on the waveform corners. With the
+    /// old absolute `1e-18 s` tolerance the second-scale run could miss
+    /// the snap (1e-18 is below one ULP of `t ≈ 1 s`) and emit sliver
+    /// steps next to each corner instead.
+    #[test]
+    fn corner_snap_is_scale_invariant() {
+        for scale in [1e-9, 1.0] {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            c.vsource(
+                "V1",
+                a,
+                Circuit::GND,
+                Waveform::pulse(0.0, 1.0, scale, 0.1 * scale, 0.1 * scale, scale),
+            );
+            c.resistor("R1", a, Circuit::GND, 1e3);
+            let tr = transient(
+                &c,
+                4.0 * scale,
+                TransientOptions {
+                    dt: 0.3 * scale, // coarse and incommensurate with the corners
+                    ..TransientOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                (tr.max("v(a)").unwrap() - 1.0).abs() < 1e-9,
+                "scale {scale}: flat-top not resolved"
+            );
+            for frac in [1.0, 1.1, 2.1, 2.2] {
+                let corner = frac * scale;
+                assert!(
+                    tr.time().iter().any(|t| (t - corner).abs() < 1e-12 * scale),
+                    "scale {scale}: corner {corner} not sampled exactly"
+                );
+            }
+            // No sliver steps: consecutive time points never closer than
+            // the snap tolerance would allow.
+            let dt_nom = 0.3 * scale;
+            let times = tr.time();
+            for w in times.windows(2) {
+                assert!(
+                    w[1] - w[0] > 1e-9 * dt_nom,
+                    "scale {scale}: sliver step {} -> {}",
+                    w[0],
+                    w[1]
+                );
+            }
         }
     }
 

@@ -10,6 +10,7 @@
 use crate::bias::Operation;
 use crate::cell::FefetCell;
 use fefet_ckt::circuit::Circuit;
+use fefet_ckt::engine::{Assembly, SolverBackend, SolverOptions};
 use fefet_ckt::trace::Trace;
 use fefet_ckt::transient::{transient, TransientOptions};
 use fefet_ckt::waveform::Waveform;
@@ -30,7 +31,23 @@ pub struct FefetArray {
     /// Cell/bias template (line capacitances are recomputed from the
     /// array dimensions).
     pub cell: FefetCell,
+    /// Linear-solver backend for every simulation this array runs.
+    /// `Auto` (the default) picks dense below the engine's crossover
+    /// and the pattern-cached sparse LU above it; force `Dense` or
+    /// `Sparse` for A/B comparisons.
+    pub solver_backend: SolverBackend,
     state: Vec<f64>,
+}
+
+/// MNA problem size of an array-level circuit, as reported by
+/// [`FefetArray::mna_dims`] / [`crate::feram_array::FeramArray::mna_dims`]
+/// — lets benches record how big the system a solver faced actually was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MnaDims {
+    /// Non-ground node count (voltage unknowns).
+    pub n_nodes: usize,
+    /// Total unknowns: node voltages plus source branch currents.
+    pub n_unknowns: usize,
 }
 
 /// Result of an array-level operation.
@@ -76,8 +93,26 @@ impl FefetArray {
             rows,
             cols,
             cell,
+            solver_backend: SolverBackend::default(),
             state: vec![p_lo; rows * cols],
         }
+    }
+
+    /// MNA problem size of this array's read-phase circuit (the
+    /// representative workload: every write/read builds a circuit of the
+    /// same node and branch structure).
+    ///
+    /// # Errors
+    ///
+    /// [`CktError::Netlist`] on an empty array (cannot happen for arrays
+    /// from [`FefetArray::new`]).
+    pub fn mna_dims(&self) -> Result<MnaDims> {
+        let c = self.read_circuit(0, 1e-9)?;
+        let asm = Assembly::new(&c);
+        Ok(MnaDims {
+            n_nodes: asm.n_nodes - 1,
+            n_unknowns: asm.n_unknowns(),
+        })
     }
 
     /// Stored polarization of cell `(row, col)`.
@@ -204,6 +239,10 @@ impl FefetArray {
             TransientOptions {
                 dt: self.cell.dt,
                 node_ics: self.node_ics(c),
+                solver: SolverOptions {
+                    backend: self.solver_backend,
+                    ..SolverOptions::default()
+                },
                 ..TransientOptions::default()
             },
         )
@@ -536,5 +575,43 @@ mod tests {
     fn polarization_out_of_range_panics() {
         let a = small_array();
         a.polarization(5, 0);
+    }
+
+    #[test]
+    fn mna_dims_grow_with_the_array() {
+        let small = small_array().mna_dims().unwrap();
+        assert!(small.n_nodes > 0 && small.n_unknowns > small.n_nodes);
+        let big = FefetArray::new(4, 4, FefetCell::default())
+            .mna_dims()
+            .unwrap();
+        assert!(big.n_unknowns > small.n_unknowns);
+    }
+
+    /// The solver-backend knob must reach the engine, and the two
+    /// backends must tell the same physical story: same digitized bits,
+    /// same step sequence, cell currents within 1e-9 relative.
+    #[test]
+    fn sparse_and_dense_backends_agree_on_a_read() {
+        let mut a = small_array();
+        a.write_row(0, &[true, false, true], 1.0e-9).unwrap();
+        let mut dense = a.clone();
+        dense.solver_backend = SolverBackend::Dense;
+        let mut sparse = a;
+        sparse.solver_backend = SolverBackend::Sparse;
+        let rd = dense.read_row(0, 3e-9).unwrap();
+        let rs = sparse.read_row(0, 3e-9).unwrap();
+        assert_eq!(rd.bits, rs.bits);
+        assert_eq!(
+            rd.op.trace.time().len(),
+            rs.op.trace.time().len(),
+            "backends accepted different step sequences"
+        );
+        for (d, s) in rd.currents.iter().zip(&rs.currents) {
+            let scale = d.abs().max(s.abs()).max(1e-30);
+            assert!(
+                (d - s).abs() / scale < 1e-9,
+                "currents diverge: dense {d:e} vs sparse {s:e}"
+            );
+        }
     }
 }

@@ -85,6 +85,21 @@ impl FeramArray {
         (p - p_hi).abs() < (p - p_lo).abs()
     }
 
+    /// MNA problem size of this array's read-phase circuit, for
+    /// like-for-like solver comparisons against
+    /// [`crate::array::FefetArray::mna_dims`].
+    pub fn mna_dims(&self) -> crate::array::MnaDims {
+        let wl_waves = vec![Waveform::dc(0.0); self.rows];
+        let pl_waves = vec![Waveform::dc(0.0); self.rows];
+        let bl_waves: Vec<Option<Waveform>> = vec![None; self.cols];
+        let c = self.build(&wl_waves, &pl_waves, &bl_waves);
+        let asm = fefet_ckt::engine::Assembly::new(&c);
+        crate::array::MnaDims {
+            n_nodes: asm.n_nodes - 1,
+            n_unknowns: asm.n_unknowns(),
+        }
+    }
+
     fn build(
         &self,
         wl_waves: &[Waveform],
@@ -372,5 +387,13 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn polarization_bounds() {
         small().polarization(3, 0);
+    }
+
+    #[test]
+    fn mna_dims_reflect_the_read_circuit() {
+        let d = small().mna_dims();
+        assert!(d.n_nodes > 0 && d.n_unknowns > d.n_nodes);
+        let big = FeramArray::new(4, 4, FeramCell::default()).mna_dims();
+        assert!(big.n_unknowns > d.n_unknowns);
     }
 }

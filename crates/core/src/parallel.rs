@@ -17,23 +17,34 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Resolves a requested thread count against the hardware's: `0` means
+/// "use all hardware threads", and a request is never allowed to exceed
+/// the hardware count — oversubscribing pure-compute workers only adds
+/// scheduler churn. In particular, on a single-core host every request
+/// resolves to 1, which makes [`parallel_map`] take its inline serial
+/// path instead of paying thread-spawn overhead for no parallelism.
+pub fn effective_threads(requested: usize, hardware: usize) -> usize {
+    let hardware = hardware.max(1);
+    let requested = if requested == 0 { hardware } else { requested };
+    requested.min(hardware)
+}
+
 /// Maps `f` over `items` on up to `threads` scoped worker threads,
 /// returning results in input order.
 ///
-/// `threads == 0` selects [`default_threads`]. With one thread (or one
-/// item) the map runs inline on the caller's thread — no spawn at all —
-/// which doubles as the serial reference path for determinism tests.
+/// `threads == 0` selects [`default_threads`]; the request is clamped
+/// by [`effective_threads`], so a `threads = 4` sweep on a single-core
+/// host runs serially rather than spawning four workers that time-slice
+/// one CPU. With one effective thread (or one item) the map runs inline
+/// on the caller's thread — no spawn at all — which doubles as the
+/// serial reference path for determinism tests.
 pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let threads = if threads == 0 {
-        default_threads()
-    } else {
-        threads
-    };
+    let threads = effective_threads(threads, default_threads());
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -89,5 +100,61 @@ mod tests {
         let items: [u8; 0] = [];
         let out = parallel_map(&items, 4, |&i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_hardware() {
+        // The 1-core pessimization this guards against: a threads = 4
+        // sweep on a single-core host must resolve to 1 (serial path).
+        assert_eq!(effective_threads(4, 1), 1);
+        assert_eq!(effective_threads(0, 1), 1);
+        assert_eq!(effective_threads(1, 1), 1);
+        // Zero requests all hardware threads.
+        assert_eq!(effective_threads(0, 8), 8);
+        // Plain requests pass through up to the hardware count.
+        assert_eq!(effective_threads(3, 8), 3);
+        assert_eq!(effective_threads(16, 8), 8);
+        // Defensive: a zero hardware report behaves like one core.
+        assert_eq!(effective_threads(4, 0), 1);
+    }
+
+    /// Regression: when the effective thread count is 1 the map must run
+    /// inline on the caller's thread — no worker spawn at all. Observed
+    /// via thread IDs: every invocation of `f` must see the caller's.
+    #[test]
+    fn serial_fallback_runs_inline_on_caller_thread() {
+        let caller = std::thread::current().id();
+        let items: Vec<usize> = (0..16).collect();
+        let ids = parallel_map(&items, 1, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    /// The number of distinct worker threads never exceeds the effective
+    /// thread count. On a single-core host (the bench machines this
+    /// satellite fix targets) this degenerates to the serial-fallback
+    /// assertion: one distinct ID, equal to the caller's.
+    #[test]
+    fn worker_count_is_bounded_by_effective_threads() {
+        let caller = std::thread::current().id();
+        let items: Vec<usize> = (0..64).collect();
+        let ids = parallel_map(&items, 4, |_| std::thread::current().id());
+        let mut distinct: Vec<std::thread::ThreadId> = Vec::new();
+        for id in &ids {
+            if !distinct.contains(id) {
+                distinct.push(*id);
+            }
+        }
+        let effective = effective_threads(4, default_threads());
+        assert!(
+            distinct.len() <= effective,
+            "{} distinct worker threads > effective {effective}",
+            distinct.len()
+        );
+        if effective == 1 {
+            assert!(
+                ids.iter().all(|&id| id == caller),
+                "serial fallback not taken"
+            );
+        }
     }
 }

@@ -48,6 +48,7 @@ pub const SOLVER_MODULES: &[&str] = &[
     "dc.rs",
     "transient.rs",
     "dynamics.rs",
+    "sparse.rs",
 ];
 
 /// Crate directory names whose library code must be panic-free (R1).

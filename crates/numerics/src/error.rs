@@ -16,6 +16,13 @@ pub enum Error {
         /// Pivot column at which elimination broke down.
         column: usize,
     },
+    /// A sparse matrix is singular by structure alone: an empty row or
+    /// column, or no structurally nonsingular row/column permutation
+    /// exists. No value assignment can make such a matrix invertible.
+    StructurallySingular {
+        /// Row or column index implicated in the structural deficiency.
+        index: usize,
+    },
     /// An iterative method exhausted its iteration budget without meeting
     /// its tolerance.
     NoConvergence {
@@ -48,6 +55,9 @@ impl fmt::Display for Error {
             ),
             Error::Singular { column } => {
                 write!(f, "matrix is singular at pivot column {column}")
+            }
+            Error::StructurallySingular { index } => {
+                write!(f, "matrix is structurally singular at row/column {index}")
             }
             Error::NoConvergence {
                 iterations,

@@ -17,6 +17,9 @@
 //!   energy metering.
 //! - [`rng`] — seedable, dependency-free pseudo-random numbers for the
 //!   Monte-Carlo and harvester-trace machinery.
+//! - [`sparse`] — CSR sparse matrices and a pattern-cached sparse LU
+//!   (one-time symbolic analysis, allocation-free numeric
+//!   refactorization) for array-scale MNA systems.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ pub mod ode;
 pub mod quad;
 pub mod rng;
 pub mod roots;
+pub mod sparse;
 
 mod error;
 
