@@ -19,6 +19,7 @@ use fefet_mem::array::FefetArray;
 use fefet_mem::cell::FefetCell;
 use fefet_numerics::linalg::{norm_inf, LuWorkspace, Matrix};
 use fefet_numerics::rng::Rng;
+use fefet_telemetry::Instrumentation;
 
 /// The original (pre-workspace) LU implementation, kept verbatim as the
 /// bench baseline: `Index`-based element access with its per-access
@@ -352,6 +353,119 @@ fn bench_newton_scaling(report: &mut Report) {
         );
         report.annotate(&name_dense, n as u64, None);
         report.annotate(&name_sparse, n as u64, nnz);
+        // One instrumented warm solve per side records how many Newton
+        // iterations and factorizations the timed workload performs.
+        for (name, opts) in [(&name_dense, &opts_dense), (&name_sparse, &opts_sparse)] {
+            let instr = Instrumentation::enabled();
+            let counted = SolverOptions {
+                instr: instr.clone(),
+                ..opts.clone()
+            };
+            let ws_i = if counted.backend == SolverBackend::Dense {
+                &mut ws_dense
+            } else {
+                &mut ws
+            };
+            newton_inplace(
+                &asm, &ckt, t_bias, &counted, &mut xd, &x_star, &states, ws_i,
+            );
+            if let Some(tel) = instr.get() {
+                report.attach_telemetry(
+                    name,
+                    tel.solver.newton_iterations.sum() as u64,
+                    tel.solver.sparse_refactors.get() + tel.solver.dense_factors.get(),
+                );
+            }
+        }
+    }
+}
+
+/// Instrumentation-overhead A/B on the acceptance workload: the 16×16
+/// per-step Newton solve with telemetry off vs. on, batches interleaved
+/// so the ratio survives host-load drift. The enabled side then donates
+/// its counted Newton iterations and refactorizations to the report via
+/// [`Report::attach_telemetry`].
+fn bench_instr_overhead(report: &mut Report) {
+    let t_bias = 0.5e-9;
+    let (ckt, asm, states) = read_solve_fixture(16, 16);
+    let n = asm.n_unknowns();
+    let opts_off = SolverOptions {
+        backend: SolverBackend::Sparse,
+        ..SolverOptions::default()
+    };
+    let instr = Instrumentation::enabled();
+    let opts_on = SolverOptions {
+        backend: SolverBackend::Sparse,
+        instr: instr.clone(),
+        ..SolverOptions::default()
+    };
+    let x0 = vec![0.0; n];
+    let mut x_star = vec![0.0; n];
+    let mut ws = NewtonWorkspace::new(n);
+    newton_inplace(
+        &asm,
+        &ckt,
+        t_bias,
+        &opts_off,
+        &mut x_star,
+        &x0,
+        &states,
+        &mut ws,
+    );
+    // Each side owns a workspace (the closures run interleaved); warm
+    // the on-side's sparse pattern cache before timing starts.
+    let mut ws_on = NewtonWorkspace::new(n);
+    let mut xa = vec![0.0; n];
+    let mut xb = vec![0.0; n];
+    newton_inplace(
+        &asm, &ckt, t_bias, &opts_off, &mut xb, &x_star, &states, &mut ws_on,
+    );
+    report.bench_pair(
+        "newton_array_16x16_instr_off",
+        "newton_array_16x16_instr_on",
+        || {
+            newton_inplace(
+                &asm, &ckt, t_bias, &opts_off, &mut xa, &x_star, &states, &mut ws,
+            );
+            xa.last().copied()
+        },
+        || {
+            newton_inplace(
+                &asm, &ckt, t_bias, &opts_on, &mut xb, &x_star, &states, &mut ws_on,
+            );
+            xb.last().copied()
+        },
+    );
+    report.annotate("newton_array_16x16_instr_off", n as u64, None);
+    report.annotate("newton_array_16x16_instr_on", n as u64, None);
+    // A fresh sink for one final run, so the attached counts describe a
+    // single solve rather than every calibration batch.
+    let once = Instrumentation::enabled();
+    let opts_once = SolverOptions {
+        instr: once.clone(),
+        ..opts_off
+    };
+    newton_inplace(
+        &asm, &ckt, t_bias, &opts_once, &mut xb, &x_star, &states, &mut ws_on,
+    );
+    if let Some(tel) = once.get() {
+        report.attach_telemetry(
+            "newton_array_16x16_instr_on",
+            tel.solver.newton_iterations.sum() as u64,
+            tel.solver.sparse_refactors.get() + tel.solver.dense_factors.get(),
+        );
+    }
+    // Min-of-batches ratio: on a shared 1-core host, scheduler noise
+    // only ever inflates a batch, so comparing fastest batches isolates
+    // the instrumentation cost from host-load drift.
+    if let (Some(off), Some(on)) = (
+        report.min_of("newton_array_16x16_instr_off"),
+        report.min_of("newton_array_16x16_instr_on"),
+    ) {
+        println!(
+            "instrumentation overhead (on/off, min):       {:.4}x",
+            on / off
+        );
     }
 }
 
@@ -497,6 +611,7 @@ fn main() {
     bench_lu(&mut report);
     bench_newton(&mut report);
     bench_newton_scaling(&mut report);
+    bench_instr_overhead(&mut report);
     bench_rc_transient(&mut report);
     bench_cell_write(&mut report);
     bench_array_sweep(&mut report);

@@ -55,6 +55,12 @@ pub struct Sample {
     /// Nonzeros in the sparse pattern, when a sparse backend was
     /// measured; `None` for dense workloads.
     pub nnz: Option<u64>,
+    /// Newton iterations one instrumented run of the workload performed
+    /// (see [`Report::attach_telemetry`]); `None` when not measured.
+    pub newton_iters: Option<u64>,
+    /// LU (re)factorizations of that instrumented run; `None` when not
+    /// measured.
+    pub refactors: Option<u64>,
 }
 
 /// Core measurement: calibrates an iteration count against
@@ -74,6 +80,8 @@ fn measure<T, F: FnMut() -> T>(name: &str, mut f: F, once: bool) -> Sample {
             batches: 1,
             n: None,
             nnz: None,
+            newton_iters: None,
+            refactors: None,
         };
     }
 
@@ -112,6 +120,8 @@ fn measure<T, F: FnMut() -> T>(name: &str, mut f: F, once: bool) -> Sample {
         batches: BATCHES,
         n: None,
         nnz: None,
+        newton_iters: None,
+        refactors: None,
     }
 }
 
@@ -175,6 +185,8 @@ fn measure_pair<TA, TB, FA: FnMut() -> TA, FB: FnMut() -> TB>(
             batches: BATCHES,
             n: None,
             nnz: None,
+            newton_iters: None,
+            refactors: None,
         }
     };
     (
@@ -259,6 +271,19 @@ impl Report {
         }
     }
 
+    /// Attaches solver-telemetry counts from one instrumented run of an
+    /// already recorded workload: Newton iterations and LU
+    /// (re)factorizations. The timed batches themselves run with
+    /// instrumentation off; callers re-run the workload once against an
+    /// enabled handle and attach what it counted. No-op if `name` was
+    /// never recorded.
+    pub fn attach_telemetry(&mut self, name: &str, newton_iters: u64, refactors: u64) {
+        if let Some(s) = self.samples.iter_mut().find(|s| s.name == name) {
+            s.newton_iters = Some(newton_iters);
+            s.refactors = Some(refactors);
+        }
+    }
+
     /// The samples recorded so far, in run order.
     pub fn samples(&self) -> &[Sample] {
         &self.samples
@@ -270,6 +295,17 @@ impl Report {
             .iter()
             .find(|s| s.name == name)
             .map(|s| s.median_s)
+    }
+
+    /// Fastest per-iteration time of a named sample, if it was
+    /// recorded. The minimum is the noise-robust estimator for A/B
+    /// ratios on shared hosts: scheduler interference only ever adds
+    /// time, so the fastest batch is the one closest to true cost.
+    pub fn min_of(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.min_s)
     }
 
     /// Serializes the report as a JSON document.
@@ -289,6 +325,12 @@ impl Report {
             }
             if let Some(nnz) = s.nnz {
                 size.push_str(&format!(", \"nnz\": {nnz}"));
+            }
+            if let Some(it) = s.newton_iters {
+                size.push_str(&format!(", \"newton_iters\": {it}"));
+            }
+            if let Some(rf) = s.refactors {
+                size.push_str(&format!(", \"refactors\": {rf}"));
             }
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"median_s\": {:e}, \"min_s\": {:e}, \"iters\": {}, \"batches\": {}{}}}{}\n",
@@ -402,6 +444,27 @@ mod tests {
             .expect("dense sample serialized");
         assert!(dense_line.contains("\"n\": 216"));
         assert!(!dense_line.contains("nnz"));
+    }
+
+    #[test]
+    fn attach_telemetry_adds_optional_counts_to_json() {
+        let mut r = Report::new();
+        r.bench_once("instrumented", || 1);
+        r.bench_once("plain", || 2);
+        r.attach_telemetry("instrumented", 840, 840);
+        r.attach_telemetry("missing", 1, 1); // silently ignored
+        let json = r.to_json("unit");
+        let line = json
+            .lines()
+            .find(|l| l.contains("\"instrumented\""))
+            .expect("sample serialized");
+        assert!(line.contains("\"newton_iters\": 840"), "{line}");
+        assert!(line.contains("\"refactors\": 840"), "{line}");
+        let plain = json
+            .lines()
+            .find(|l| l.contains("\"plain\""))
+            .expect("sample serialized");
+        assert!(!plain.contains("newton_iters"), "{plain}");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use fefet_numerics::complex::{CMatrix, Complex};
 use std::collections::HashMap;
 
 /// Options for [`ac_analysis`].
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct AcOptions {
     /// Options for the underlying DC operating-point solve.
     pub dc: DcOptions,
@@ -84,7 +84,7 @@ pub fn ac_analysis(
             )))
         }
     }
-    let op = dc_operating_point(ckt, opts.dc)?;
+    let op = dc_operating_point(ckt, opts.dc.clone())?;
     let asm = Assembly::new(ckt);
     let n = asm.n_unknowns();
     let nv = ckt.n_nodes() - 1;

@@ -10,7 +10,10 @@ use crate::engine::{Assembly, NewtonWorkspace, SolverOptions};
 use crate::{CktError, Result};
 
 /// Options for [`dc_operating_point`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Not `Copy` (the solver options carry an instrumentation handle);
+/// clone where a copy used to happen.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DcOptions {
     /// Newton solver settings (the `gmin` field is the *final* gmin).
     pub solver: SolverOptions,
@@ -64,7 +67,9 @@ impl DcSolution {
 ///
 /// # Errors
 ///
-/// [`CktError::Convergence`] if Newton fails even with gmin stepping.
+/// [`CktError::Convergence`] or [`CktError::NewtonExhausted`] (with a
+/// structured report including the gmin trajectory) if Newton fails
+/// even with gmin stepping.
 ///
 /// # Example
 ///
@@ -175,7 +180,7 @@ pub fn dc_sweep(
         // by solving directly (the engine starts Newton from zero, but
         // gmin stepping handles hard cases; for swept nonlinear circuits
         // the solve from scratch is robust at these sizes).
-        out.push(dc_operating_point(ckt, opts)?);
+        out.push(dc_operating_point(ckt, opts.clone())?);
     }
     Ok(out)
 }
@@ -193,6 +198,9 @@ fn gmin_stepping(
     let mut x_try = vec![0.0; asm.n_unknowns()];
     let mut gmin = opts.gmin_start;
     let target = opts.solver.gmin;
+    // The gmin values attempted so far, attached to convergence
+    // diagnostics when a pass fails.
+    let mut trajectory: Vec<f64> = Vec::new();
     // One decade per pass from gmin_start down to the target, so the
     // pass count is bounded up front; the cap only bites on degenerate
     // option values (target 1e-12 from 1e-3 is ten passes).
@@ -200,8 +208,12 @@ fn gmin_stepping(
     for _ in 0..MAX_PASSES {
         let solver = SolverOptions {
             gmin,
-            ..opts.solver
+            ..opts.solver.clone()
         };
+        trajectory.push(gmin);
+        if let Some(tel) = opts.solver.instr.get() {
+            tel.solver.gmin_retries.inc();
+        }
         x_try.copy_from_slice(&x);
         asm.solve_point_with(
             ckt,
@@ -216,6 +228,12 @@ fn gmin_stepping(
         )
         .map_err(|e| match e {
             CktError::NonFinite { .. } => e,
+            // Keep the structured report, annotated with how far the
+            // gmin continuation got before this pass diverged.
+            CktError::NewtonExhausted { time, mut report } => {
+                report.gmin_trajectory = trajectory.clone();
+                CktError::NewtonExhausted { time, report }
+            }
             other => CktError::Convergence {
                 time: 0.0,
                 detail: format!("gmin stepping failed at gmin={gmin:.1e}: {other}"),
@@ -344,6 +362,54 @@ mod tests {
         c.resistor("R1", a, Circuit::GND, 1e3);
         assert!(dc_sweep(&mut c, "R1", &[1.0], DcOptions::default()).is_err());
         assert!(dc_sweep(&mut c, "nope", &[1.0], DcOptions::default()).is_err());
+    }
+
+    #[test]
+    fn starved_newton_reports_structured_convergence_diagnostics() {
+        use fefet_telemetry::Instrumentation;
+        // A diode clamp needs ~10 Newton iterations from a zero guess;
+        // two are not enough, with or without gmin stepping, so the
+        // solve must fail with a populated ConvergenceReport rather
+        // than the old opaque "newton exhausted" string.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::GND, Waveform::dc(3.0));
+        c.resistor("R1", a, b, 1e3);
+        c.diode("D1", b, Circuit::GND, 1e-14, 1.0);
+        let instr = Instrumentation::enabled();
+        let opts = DcOptions {
+            solver: SolverOptions {
+                max_newton: 2,
+                instr: instr.clone(),
+                ..SolverOptions::default()
+            },
+            ..DcOptions::default()
+        };
+        let err = dc_operating_point(&c, opts).unwrap_err();
+        match err {
+            CktError::NewtonExhausted { time, report } => {
+                assert!((time - 0.0).abs() < f64::EPSILON);
+                assert_eq!(report.iterations, 2);
+                assert!(
+                    report.worst_residual > 0.0,
+                    "report should carry the failing residual: {report:?}"
+                );
+                assert!(
+                    !report.worst_node_name.is_empty(),
+                    "worst node should be named: {report:?}"
+                );
+                assert!(
+                    !report.gmin_trajectory.is_empty(),
+                    "gmin stepping ran, so its trajectory must be attached: {report:?}"
+                );
+                assert!((report.gmin_trajectory[0] - 1e-3).abs() < 1e-15);
+            }
+            other => panic!("expected NewtonExhausted, got {other:?}"),
+        }
+        let tel = instr.get().unwrap();
+        assert!(tel.solver.failures.get() >= 2, "direct + gmin pass failed");
+        assert!(tel.solver.gmin_retries.get() >= 1);
     }
 
     #[test]

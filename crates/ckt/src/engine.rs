@@ -8,10 +8,11 @@
 //! of every step.
 
 use crate::circuit::Circuit;
-use crate::elements::{ElemState, EvalCtx, Integration, JacTarget, Sys};
+use crate::elements::{ElemState, EvalCtx, Integration, JacTarget, Node, Sys};
 use crate::CktError;
 use fefet_numerics::linalg::{norm_inf, LuWorkspace, Matrix};
 use fefet_numerics::sparse::{CsrMatrix, CsrPattern, SparseLu};
+use fefet_telemetry::{ConvergenceReport, Instrumentation};
 
 /// Linear-solver backend for the Newton inner solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -35,7 +36,11 @@ pub enum SolverBackend {
 pub const SPARSE_CROSSOVER: usize = 64;
 
 /// Newton solver tuning knobs shared by DC and transient analyses.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Not `Copy`: the [`Instrumentation`] handle holds an optional shared
+/// telemetry sink, so options are cloned where they used to be copied
+/// (a cheap `Option<Arc>` clone).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolverOptions {
     /// Maximum Newton iterations per solution point.
     pub max_newton: usize,
@@ -49,6 +54,8 @@ pub struct SolverOptions {
     pub gmin: f64,
     /// Linear-solver backend for the inner solve.
     pub backend: SolverBackend,
+    /// Telemetry sink; defaults to off (a no-op on the hot path).
+    pub instr: Instrumentation,
 }
 
 impl Default for SolverOptions {
@@ -60,6 +67,7 @@ impl Default for SolverOptions {
             max_v_step: 0.5,
             gmin: 1e-12,
             backend: SolverBackend::Auto,
+            instr: Instrumentation::off(),
         }
     }
 }
@@ -314,7 +322,9 @@ impl Assembly {
     ///
     /// [`CktError::Netlist`] on a size mismatch between `x`, `ws`, and
     /// the assembly; [`CktError::Convergence`] if the Jacobian is
-    /// singular or the iteration budget is exhausted;
+    /// singular; [`CktError::NewtonExhausted`] — carrying a structured
+    /// [`ConvergenceReport`] (worst KCL-residual node, last damping
+    /// factor, gmin) — if the iteration budget runs out;
     /// [`CktError::NonFinite`] if an iterate leaves the finite range;
     /// [`CktError::Numerics`] if the circuit's sparse pattern is
     /// structurally singular.
@@ -353,6 +363,12 @@ impl Assembly {
             };
             if slot.is_none() {
                 *slot = Some(self.build_sparse_state(ckt, t, h, method, dc, opts.gmin, x, states)?);
+                if let (Some(tel), Some(sp)) = (opts.instr.get(), slot.as_ref()) {
+                    tel.solver.sparse_symbolic_analyses.inc();
+                    tel.solver.sparse_pattern_nnz.record_max(sp.a.nnz() as u64);
+                    let fill = sp.lu.lu_nnz().saturating_sub(sp.a.nnz());
+                    tel.solver.sparse_fill_nnz.record_max(fill as u64);
+                }
             }
         } else if ws.dense.is_none() {
             ws.dense = Some(DenseState {
@@ -371,7 +387,9 @@ impl Assembly {
         let sparse = if dc { sparse_dc } else { sparse_tr };
 
         let nv = self.n_nodes - 1;
-        let mut last_res = f64::INFINITY;
+        // Damping factor applied on the most recent iteration (1.0 =
+        // full Newton step); reported in convergence diagnostics.
+        let mut last_damping = 1.0;
         for it in 0..opts.max_newton {
             // Assemble into the active backend's Jacobian storage.
             if let (true, Some(sp)) = (use_sparse, sparse.as_mut()) {
@@ -408,7 +426,6 @@ impl Assembly {
             }
             let res_kcl = norm_inf(&res[..nv]);
             let res_branch = if nv < n { norm_inf(&res[nv..]) } else { 0.0 };
-            last_res = res_kcl;
             // dx = -res, then factor and solve. Dense: fused in-place
             // elimination — the stamped Jacobian's buffer is swapped
             // into the LU workspace (no n x n copy) and eliminated with
@@ -438,8 +455,10 @@ impl Assembly {
             // systems (nv == 0) have no voltage to bound, so the damping
             // (a voltage limit) does not apply to them.
             let dv_max = if nv > 0 { norm_inf(&dx[..nv]) } else { 0.0 };
+            last_damping = 1.0;
             if nv > 0 && dv_max > opts.max_v_step {
                 let s = opts.max_v_step / dv_max;
+                last_damping = s;
                 // Branch currents are linear consequences of the node
                 // voltages; scale them the same way to stay consistent
                 // within the iteration.
@@ -458,15 +477,58 @@ impl Assembly {
             }
             let dv = if nv > 0 { norm_inf(&dx[..nv]) } else { 0.0 };
             if dv < opts.tol_v && res_kcl < opts.tol_i && res_branch < opts.tol_v {
+                // Per-solve telemetry: relaxed atomics only, nothing
+                // allocated, so the warm-path zero-allocation invariant
+                // holds with instrumentation on as well as off.
+                if let Some(tel) = opts.instr.get() {
+                    let iters = it + 1;
+                    tel.solver.solves.inc();
+                    tel.solver.newton_iterations.record_usize(iters);
+                    tel.solver.residual_at_convergence.record(res_kcl);
+                    tel.solver.factors_per_solve.record_usize(iters);
+                    // One factorization + one back-substitution per
+                    // Newton iteration, on whichever backend ran.
+                    if use_sparse {
+                        tel.solver.sparse_refactors.add(iters as u64);
+                    } else {
+                        tel.solver.dense_factors.add(iters as u64);
+                    }
+                    tel.solver.back_substitutions.add(iters as u64);
+                }
                 return Ok(it + 1);
             }
         }
-        Err(CktError::Convergence {
+        if let Some(tel) = opts.instr.get() {
+            tel.solver.failures.inc();
+        }
+        // Failure path: allocate freely to explain *where* the solve
+        // diverged. `res` still holds the residual stamped on the last
+        // iteration; its KCL span names the worst node.
+        let kcl = if nv > 0 { &res[..nv] } else { &res[..] };
+        let mut worst_node = 0usize;
+        let mut worst_residual = 0.0f64;
+        for (i, r) in kcl.iter().enumerate() {
+            if r.abs() > worst_residual {
+                worst_node = i;
+                worst_residual = r.abs();
+            }
+        }
+        let worst_node_name = if worst_node < nv {
+            ckt.node_name(Node(worst_node + 1)).to_string()
+        } else {
+            String::new()
+        };
+        Err(CktError::NewtonExhausted {
             time: t,
-            detail: format!(
-                "newton exhausted {} iterations (KCL residual {:.3e} A)",
-                opts.max_newton, last_res
-            ),
+            report: ConvergenceReport {
+                iterations: opts.max_newton,
+                worst_node,
+                worst_node_name,
+                worst_residual,
+                last_damping,
+                gmin: opts.gmin,
+                gmin_trajectory: Vec::new(),
+            },
         })
     }
 }

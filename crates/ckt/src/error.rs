@@ -1,5 +1,7 @@
 use std::fmt;
 
+use fefet_telemetry::ConvergenceReport;
+
 /// Error type for circuit construction and simulation.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -10,6 +12,23 @@ pub enum CktError {
         time: f64,
         /// Details from the solver.
         detail: String,
+    },
+    /// The Newton iteration exhausted its budget; carries structured
+    /// diagnostics (worst-residual node, last damping factor, gmin
+    /// trajectory) instead of a pre-formatted string.
+    NewtonExhausted {
+        /// Simulation time at which the solve gave up (0 for DC).
+        time: f64,
+        /// Where and how badly the iteration diverged.
+        report: ConvergenceReport,
+    },
+    /// A measurement on a trace is ill-posed (too few samples,
+    /// non-monotonic time axis, non-finite data, query out of range).
+    Measurement {
+        /// The signal being measured.
+        signal: String,
+        /// Why the measurement is ill-posed.
+        reason: String,
     },
     /// The netlist is malformed (duplicate element name, unknown node,
     /// non-positive component value, ...).
@@ -32,6 +51,12 @@ impl fmt::Display for CktError {
         match self {
             CktError::Convergence { time, detail } => {
                 write!(f, "no convergence at t={time:.3e}s: {detail}")
+            }
+            CktError::NewtonExhausted { time, report } => {
+                write!(f, "no convergence at t={time:.3e}s: {report}")
+            }
+            CktError::Measurement { signal, reason } => {
+                write!(f, "ill-posed measurement on {signal}: {reason}")
             }
             CktError::Netlist(msg) => write!(f, "netlist error: {msg}"),
             CktError::UnknownSignal(name) => write!(f, "unknown signal: {name}"),
@@ -78,6 +103,37 @@ mod tests {
             step: 2e-9,
         };
         assert!(n.to_string().contains("transient accept"));
+    }
+
+    #[test]
+    fn newton_exhausted_displays_report() {
+        let e = CktError::NewtonExhausted {
+            time: 3e-9,
+            report: ConvergenceReport {
+                iterations: 50,
+                worst_node: 2,
+                worst_node_name: "bl0".into(),
+                worst_residual: 4.2e-3,
+                last_damping: 0.5,
+                gmin: 1e-12,
+                gmin_trajectory: vec![],
+            },
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("50 iterations"), "{msg}");
+        assert!(msg.contains("\"bl0\""), "{msg}");
+        assert!(msg.contains("4.200e-3"), "{msg}");
+    }
+
+    #[test]
+    fn measurement_error_names_signal_and_reason() {
+        let e = CktError::Measurement {
+            signal: "v(out)".into(),
+            reason: "non-monotonic time axis at index 3".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("v(out)"), "{msg}");
+        assert!(msg.contains("non-monotonic"), "{msg}");
     }
 
     #[test]

@@ -183,6 +183,110 @@ impl Trace {
         any.then_some(acc)
     }
 
+    /// Validates that the named signal is measurable: at least two
+    /// samples, a strictly increasing time axis, and finite time and
+    /// data values throughout. Returns the samples on success.
+    ///
+    /// The unchecked helpers ([`Trace::value_at`], [`Trace::cross_time`])
+    /// silently clamp or skip over degenerate data; measurement code
+    /// that feeds committed results should use the `checked_*` variants,
+    /// which surface these conditions as typed
+    /// [`CktError::Measurement`] errors instead.
+    ///
+    /// # Errors
+    ///
+    /// [`CktError::UnknownSignal`] for a missing signal;
+    /// [`CktError::Measurement`] for a degenerate axis or data.
+    pub fn checked_signal(&self, name: &str) -> Result<&[f64]> {
+        let y = self.try_signal(name)?;
+        let ill = |reason: String| CktError::Measurement {
+            signal: name.to_string(),
+            reason,
+        };
+        if self.t.len() < 2 {
+            return Err(ill(format!(
+                "needs at least two samples, trace has {}",
+                self.t.len()
+            )));
+        }
+        for (i, w) in self.t.windows(2).enumerate() {
+            if !(w[1] > w[0]) {
+                return Err(ill(format!(
+                    "non-monotonic time axis at index {} ({:e} then {:e})",
+                    i + 1,
+                    w[0],
+                    w[1]
+                )));
+            }
+        }
+        if let Some(i) = self.t.iter().position(|v| !v.is_finite()) {
+            return Err(ill(format!("non-finite time at index {i}")));
+        }
+        if let Some(i) = y.iter().position(|v| !v.is_finite()) {
+            return Err(ill(format!("non-finite sample at index {i}")));
+        }
+        Ok(y)
+    }
+
+    /// Linearly interpolated value at time `t`, with validation: unlike
+    /// [`Trace::value_at`] this refuses degenerate traces and
+    /// out-of-range queries instead of clamping.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Trace::checked_signal`], plus [`CktError::Measurement`]
+    /// when `t` is non-finite or outside the recorded time axis.
+    pub fn checked_value_at(&self, name: &str, t: f64) -> Result<f64> {
+        self.checked_signal(name)?;
+        let ill = |reason: String| CktError::Measurement {
+            signal: name.to_string(),
+            reason,
+        };
+        if !t.is_finite() {
+            return Err(ill(format!("query time {t:?} is not finite")));
+        }
+        let (t0, t1) = (self.t[0], self.t[self.t.len() - 1]);
+        if t < t0 || t > t1 {
+            return Err(ill(format!(
+                "query time {t:e} outside recorded axis [{t0:e}, {t1:e}] \
+                 (value_at would clamp)"
+            )));
+        }
+        // The axis is validated and t is in range, so the unchecked
+        // interpolation cannot clamp and cannot miss.
+        self.value_at(name, t)
+            .ok_or_else(|| ill("empty trace".into()))
+    }
+
+    /// Threshold-crossing time with validation: like
+    /// [`Trace::cross_time`] (`Ok(None)` when no crossing exists) but
+    /// degenerate traces and queries are typed errors.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Trace::checked_signal`], plus [`CktError::Measurement`]
+    /// when `level` or `after` is non-finite.
+    pub fn checked_cross_time(
+        &self,
+        name: &str,
+        level: f64,
+        edge: Edge,
+        after: f64,
+    ) -> Result<Option<f64>> {
+        self.checked_signal(name)?;
+        let ill = |reason: String| CktError::Measurement {
+            signal: name.to_string(),
+            reason,
+        };
+        if !level.is_finite() {
+            return Err(ill(format!("crossing level {level:?} is not finite")));
+        }
+        if !after.is_finite() {
+            return Err(ill(format!("window start {after:?} is not finite")));
+        }
+        Ok(self.cross_time(name, level, edge, after))
+    }
+
     /// Time integral of the named signal over the whole trace.
     ///
     /// # Errors
@@ -326,6 +430,99 @@ mod tests {
         assert_eq!(lines.count(), 11);
         assert!(csv.contains("1.000000000e0,1.000000000e0,2.000000000e0"));
         assert!(tr.to_csv(&["nope"]).is_err());
+    }
+
+    fn measurement_err(r: Result<impl std::fmt::Debug>) -> String {
+        match r {
+            Err(CktError::Measurement { reason, .. }) => reason,
+            other => panic!("expected CktError::Measurement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_helpers_accept_well_formed_traces() {
+        let tr = ramp_trace();
+        assert!(tr.checked_signal("v(a)").is_ok());
+        assert!((tr.checked_value_at("v(a)", 0.55).unwrap() - 0.55).abs() < 1e-12);
+        let tc = tr
+            .checked_cross_time("v(a)", 0.5, Edge::Rising, 0.0)
+            .unwrap()
+            .unwrap();
+        assert!((tc - 0.5).abs() < 1e-12);
+        // No crossing is Ok(None), not an error.
+        assert_eq!(
+            tr.checked_cross_time("v(a)", 2.0, Edge::Any, 0.0).unwrap(),
+            None
+        );
+        // Unknown signals stay UnknownSignal, not Measurement.
+        assert!(matches!(
+            tr.checked_value_at("v(zz)", 0.5),
+            Err(CktError::UnknownSignal(_))
+        ));
+    }
+
+    #[test]
+    fn single_sample_trace_is_a_typed_error() {
+        let mut tr = Trace::new(vec!["s".into()]);
+        tr.push_sample(0.0, &[1.0]);
+        let reason = measurement_err(tr.checked_value_at("s", 0.0));
+        assert!(reason.contains("two samples"), "{reason}");
+        // The unchecked helper clamps instead — that silent fallback is
+        // exactly what checked_value_at exists to reject.
+        assert_eq!(tr.value_at("s", 99.0), Some(1.0));
+        let empty = Trace::new(vec!["s".into()]);
+        assert!(empty.checked_signal("s").is_err());
+    }
+
+    #[test]
+    fn non_monotonic_time_axis_is_a_typed_error() {
+        let mut tr = Trace::new(vec!["s".into()]);
+        for (t, v) in [(0.0, 0.0), (2.0, 1.0), (1.0, 2.0)] {
+            tr.push_sample(t, &[v]);
+        }
+        let reason = measurement_err(tr.checked_value_at("s", 0.5));
+        assert!(reason.contains("non-monotonic"), "{reason}");
+        assert!(reason.contains("index 2"), "{reason}");
+        // Duplicate timestamps are equally unmeasurable.
+        let mut dup = Trace::new(vec!["s".into()]);
+        for t in [0.0, 1.0, 1.0] {
+            dup.push_sample(t, &[t]);
+        }
+        let reason = measurement_err(dup.checked_cross_time("s", 0.5, Edge::Any, 0.0));
+        assert!(reason.contains("non-monotonic"), "{reason}");
+    }
+
+    #[test]
+    fn nan_samples_are_a_typed_error_not_a_panic() {
+        let mut tr = Trace::new(vec!["s".into()]);
+        for (t, v) in [(0.0, 0.0), (1.0, f64::NAN), (2.0, 1.0)] {
+            tr.push_sample(t, &[v]);
+        }
+        let reason = measurement_err(tr.checked_value_at("s", 0.5));
+        assert!(reason.contains("non-finite sample at index 1"), "{reason}");
+
+        let mut bad_t = Trace::new(vec!["s".into()]);
+        for (t, v) in [(0.0, 0.0), (f64::NAN, 1.0)] {
+            bad_t.push_sample(t, &[v]);
+        }
+        // A NaN timestamp breaks monotonicity before the finiteness
+        // check even runs; either way it is a typed error.
+        assert!(bad_t.checked_signal("s").is_err());
+    }
+
+    #[test]
+    fn out_of_range_and_non_finite_queries_are_typed_errors() {
+        let tr = ramp_trace();
+        let reason = measurement_err(tr.checked_value_at("v(a)", 5.0));
+        assert!(reason.contains("outside recorded axis"), "{reason}");
+        assert!(tr.checked_value_at("v(a)", -0.1).is_err());
+        assert!(tr.checked_value_at("v(a)", f64::NAN).is_err());
+        assert!(tr
+            .checked_cross_time("v(a)", f64::NAN, Edge::Any, 0.0)
+            .is_err());
+        assert!(tr
+            .checked_cross_time("v(a)", 0.5, Edge::Any, f64::INFINITY)
+            .is_err());
     }
 
     #[test]

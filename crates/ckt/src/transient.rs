@@ -150,6 +150,9 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
             "transient: t_end must be positive".into(),
         ));
     }
+    // Wall-time span for the whole run (no-op when instrumentation is
+    // off); recorded on drop, including early error returns.
+    let _span = opts.solver.instr.span("ckt.transient");
     let dt_nom = if opts.dt > 0.0 {
         opts.dt
     } else {
@@ -387,6 +390,9 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
                                 err = err.max((lte_est / scale).abs());
                             }
                             if err > 1.0 && dt_try > dt_min * 4.0 {
+                                if let Some(tel) = opts.solver.instr.get() {
+                                    tel.steps.rejected_lte.inc();
+                                }
                                 dt_try *= (0.9 / err.sqrt()).clamp(0.2, 0.9);
                                 continue;
                             }
@@ -409,6 +415,9 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
                 // steps cannot converge it.
                 Err(e @ CktError::NonFinite { .. }) => return Err(e),
                 Err(e) => {
+                    if let Some(tel) = opts.solver.instr.get() {
+                        tel.steps.rejected_newton.inc();
+                    }
                     dt_try *= 0.5;
                     if dt_try < dt_min {
                         return Err(CktError::Convergence {
@@ -447,6 +456,13 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
         }
         std::mem::swap(&mut x, &mut x_new);
         at_corner = bps.iter().any(|b| (b - t_new).abs() < snap_eps);
+        if let Some(tel) = opts.solver.instr.get() {
+            tel.steps.accepted.inc();
+            tel.steps.dt_seconds.record(h);
+            if at_corner {
+                tel.steps.corner_snaps.inc();
+            }
+        }
         if at_corner {
             // Restart the controller after a stimulus corner.
             dt_ctrl = dt_nom;

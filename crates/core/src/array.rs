@@ -15,6 +15,7 @@ use fefet_ckt::trace::Trace;
 use fefet_ckt::transient::{transient, TransientOptions};
 use fefet_ckt::waveform::Waveform;
 use fefet_ckt::{CktError, Result};
+use fefet_telemetry::Instrumentation;
 
 /// Edge time for control ramps (s).
 const T_EDGE: f64 = 50e-12;
@@ -36,6 +37,12 @@ pub struct FefetArray {
     /// and the pattern-cached sparse LU above it; force `Dense` or
     /// `Sparse` for A/B comparisons.
     pub solver_backend: SolverBackend,
+    /// Telemetry sink for every simulation this array runs. Off by
+    /// default; set to [`Instrumentation::enabled`] (or a shared
+    /// handle) to aggregate Newton/step/array statistics — the handle
+    /// is cloned into worker threads by [`FefetArray::read_rows`], so
+    /// one sink collects a whole parallel sweep.
+    pub instr: Instrumentation,
     state: Vec<f64>,
 }
 
@@ -94,6 +101,7 @@ impl FefetArray {
             cols,
             cell,
             solver_backend: SolverBackend::default(),
+            instr: Instrumentation::off(),
             state: vec![p_lo; rows * cols],
         }
     }
@@ -241,6 +249,7 @@ impl FefetArray {
                 node_ics: self.node_ics(c),
                 solver: SolverOptions {
                     backend: self.solver_backend,
+                    instr: self.instr.clone(),
                     ..SolverOptions::default()
                 },
                 ..TransientOptions::default()
@@ -321,8 +330,13 @@ impl FefetArray {
         }
         let c = self.build(&row_waves, &col_waves);
         let t_end = T_START + t_pulse + t_restore + 0.5e-9;
+        let _span = self.instr.span("array.write_row");
         let trace = self.run(&c, t_end)?;
         let max_disturb = self.collect_disturb(&trace, Some(row));
+        if let Some(tel) = self.instr.get() {
+            tel.array.row_writes.inc();
+            tel.array.disturb_max.update_max(max_disturb);
+        }
         // Commit new states.
         for i in 0..self.rows {
             for j in 0..self.cols {
@@ -378,6 +392,7 @@ impl FefetArray {
     pub fn read_row(&self, row: usize, t_read: f64) -> Result<ArrayRead> {
         let c = self.read_circuit(row, t_read)?;
         let t_end = T_START + t_read + 0.4e-9;
+        let _span = self.instr.span("array.read_row");
         let trace = self.run(&c, t_end)?;
 
         let t_sample = T_START + t_read - 2.0 * T_EDGE;
@@ -403,7 +418,27 @@ impl FefetArray {
         }
         let max_disturb = self.collect_disturb(&trace, None); // read must disturb nobody
         let i_threshold = 1e-7;
-        let bits = currents.iter().map(|i| *i > i_threshold).collect();
+        let bits: Vec<bool> = currents.iter().map(|i| *i > i_threshold).collect();
+        if let Some(tel) = self.instr.get() {
+            tel.array.row_reads.inc();
+            tel.array.sneak_current_max.update_max(max_sneak);
+            tel.array.disturb_max.update_max(max_disturb);
+            // Read margin: smallest ON-bit current over largest OFF-bit
+            // current for this row; only meaningful when both states
+            // appear, and the worst case across rows is kept.
+            let mut i_on_min = f64::INFINITY;
+            let mut i_off_max: f64 = 0.0;
+            for (i, &bit) in currents.iter().zip(&bits) {
+                if bit {
+                    i_on_min = i_on_min.min(*i);
+                } else {
+                    i_off_max = i_off_max.max(i.abs());
+                }
+            }
+            if i_on_min.is_finite() && i_off_max > 0.0 {
+                tel.array.read_margin_worst.update_min(i_on_min / i_off_max);
+            }
+        }
         Ok(ArrayRead {
             op: ArrayOp {
                 energy: trace.total_source_energy(),
@@ -585,6 +620,34 @@ mod tests {
             .mna_dims()
             .unwrap();
         assert!(big.n_unknowns > small.n_unknowns);
+    }
+
+    /// One enabled handle must collect a whole write + parallel read
+    /// sweep: op counters, Newton/step statistics from the engine, the
+    /// read margin, and the per-op spans.
+    #[test]
+    fn instrumented_sweep_aggregates_into_one_sink() {
+        let mut a = small_array();
+        a.instr = Instrumentation::enabled();
+        a.write_row(0, &[true, false, true], 1.0e-9).unwrap();
+        let reads = a.read_all_rows(3e-9, 2).unwrap();
+        assert_eq!(reads.len(), 2);
+        let tel = a.instr.get().unwrap();
+        assert_eq!(tel.array.row_writes.get(), 1);
+        assert_eq!(tel.array.row_reads.get(), 2);
+        assert!(tel.solver.solves.get() > 0);
+        assert!(tel.solver.newton_iterations.count() > 0);
+        assert!(tel.steps.accepted.get() > 0);
+        assert!(tel.steps.dt_seconds.count() > 0);
+        let margin = tel.array.read_margin_worst.get();
+        assert!(margin.is_finite() && margin > 1.0, "margin {margin}");
+        let spans = tel.spans.snapshot();
+        assert!(
+            spans
+                .iter()
+                .any(|(n, c, _)| n == "array.read_row" && *c == 2),
+            "spans: {spans:?}"
+        );
     }
 
     /// The solver-backend knob must reach the engine, and the two

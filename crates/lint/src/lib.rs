@@ -18,6 +18,10 @@
 //! - **R4 `solver-result`** — top-level `pub fn` items in solver
 //!   modules must not return bare `f64` / `Vec<f64>`; solver entry
 //!   points report failure through `Result`.
+//! - **R5 `print`** — no `println!` / `eprintln!` / `print!` /
+//!   `eprint!` in library code of the core crates. Libraries report
+//!   through return values and the telemetry sinks; stdout/stderr
+//!   belong to binaries and examples.
 //!
 //! The analysis is lexical: a scrubber strips comments, strings and
 //! character literals (understanding raw strings and lifetimes), a
@@ -51,10 +55,13 @@ pub const SOLVER_MODULES: &[&str] = &[
     "sparse.rs",
 ];
 
-/// Crate directory names whose library code must be panic-free (R1).
-pub const PANIC_FREE_CRATES: &[&str] = &["numerics", "ckt", "device", "core", "nvp"];
+/// Crate directory names whose library code must be panic-free (R1)
+/// and print-free (R5).
+pub const PANIC_FREE_CRATES: &[&str] = &["numerics", "ckt", "device", "core", "nvp", "telemetry"];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
 
 /// The lint rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,6 +74,8 @@ pub enum Rule {
     FloatEq,
     /// R4: solver entry points returning bare floats.
     SolverResult,
+    /// R5: stdout/stderr printing in library code.
+    Print,
     /// A malformed `fefet-lint:` directive.
     Directive,
 }
@@ -79,17 +88,19 @@ impl Rule {
             Rule::UnboundedLoop => "unbounded-loop",
             Rule::FloatEq => "float-eq",
             Rule::SolverResult => "solver-result",
+            Rule::Print => "print",
             Rule::Directive => "directive",
         }
     }
 
-    /// Parses a rule name or its `r1`-`r4` alias.
+    /// Parses a rule name or its `r1`-`r5` alias.
     pub fn parse(s: &str) -> Option<Rule> {
         match s {
             "panic" | "r1" => Some(Rule::Panic),
             "unbounded-loop" | "r2" => Some(Rule::UnboundedLoop),
             "float-eq" | "r3" => Some(Rule::FloatEq),
             "solver-result" | "r4" => Some(Rule::SolverResult),
+            "print" | "r5" => Some(Rule::Print),
             _ => None,
         }
     }
@@ -423,7 +434,7 @@ fn parse_directives(
         let rule_name = inner[..close].trim();
         let Some(rule) = Rule::parse(rule_name) else {
             findings.push(bad(&format!(
-                "unknown rule `{rule_name}` (expected panic, unbounded-loop, float-eq or solver-result)"
+                "unknown rule `{rule_name}` (expected panic, unbounded-loop, float-eq, solver-result or print)"
             )));
             continue;
         };
@@ -605,6 +616,30 @@ impl<'a> FileLint<'a> {
                     t.start,
                     Rule::Panic,
                     format!("`{name}!` in library code; return a typed error instead"),
+                );
+            }
+        }
+    }
+
+    /// R5: `println!` / `eprintln!` / `print!` / `eprint!` in library
+    /// code. `write!`/`writeln!` to a caller-supplied sink are fine.
+    fn rule_no_print(&mut self) {
+        for k in 0..self.toks.len() {
+            let t = self.toks[k];
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            let name = self.text(&t);
+            if PRINT_MACROS.contains(&name)
+                && self.toks.get(k + 1).map(|n| self.text(n)) == Some("!")
+            {
+                self.push(
+                    t.start,
+                    Rule::Print,
+                    format!(
+                        "`{name}!` in library code; report through return values \
+                         or a telemetry sink, not stdout/stderr"
+                    ),
                 );
             }
         }
@@ -813,6 +848,7 @@ pub fn lint_source(file: &str, src: &str, mode: Mode) -> Vec<Finding> {
     let strict = mode == Mode::Strict;
     if strict || in_panic_free_crate(file) {
         fl.rule_panic();
+        fl.rule_no_print();
     }
     if strict || is_solver_module(file) {
         fl.rule_unbounded_loop();
@@ -956,6 +992,31 @@ mod tests {
     }
 
     #[test]
+    fn print_macros_flagged_write_passes() {
+        let f = strict("fn f() { println!(\"x\"); eprintln!(\"y\"); }");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::Print));
+        // write!/writeln! target a caller-supplied sink.
+        assert!(strict("fn f(w: &mut W) { writeln!(w, \"x\").ok(); }").is_empty());
+        // Idents that merely contain the name don't fire.
+        assert!(strict("fn f() { pretty_print(x); let print = 1; }").is_empty());
+    }
+
+    #[test]
+    fn print_rule_scopes_to_library_crates() {
+        let src = "fn f() { println!(\"x\"); }";
+        // Binaries and tools may print.
+        assert!(lint_source("crates/bench/src/lib.rs", src, Mode::Workspace).is_empty());
+        let f = lint_source("crates/telemetry/src/lib.rs", src, Mode::Workspace);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::Print);
+        // The allow directive works for R5 like any rule.
+        let allowed =
+            "fn f() {\n // fefet-lint: allow(print) -- CLI progress\n println!(\"x\");\n}";
+        assert!(lint_source("crates/ckt/src/lib.rs", allowed, Mode::Workspace).is_empty());
+    }
+
+    #[test]
     fn bare_loop_flagged_while_bounded_passes() {
         let f = strict("fn f() { loop { step(); } }");
         assert_eq!(f.len(), 1);
@@ -1047,6 +1108,8 @@ mod tests {
         assert_eq!(Rule::parse("unbounded-loop"), Some(Rule::UnboundedLoop));
         assert_eq!(Rule::parse("r3"), Some(Rule::FloatEq));
         assert_eq!(Rule::parse("solver-result"), Some(Rule::SolverResult));
+        assert_eq!(Rule::parse("print"), Some(Rule::Print));
+        assert_eq!(Rule::parse("r5"), Some(Rule::Print));
         assert_eq!(Rule::parse("bogus"), None);
     }
 }

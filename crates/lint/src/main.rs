@@ -18,7 +18,8 @@ With no arguments, lints every library source file of the enclosing
 workspace (src/ and crates/*/src/) with path-scoped rules. With file
 arguments, lints those files in strict mode (all rules apply).
 
-Rules: panic (r1), unbounded-loop (r2), float-eq (r3), solver-result (r4).
+Rules: panic (r1), unbounded-loop (r2), float-eq (r3), solver-result (r4),
+print (r5).
 Suppress a finding with a justified directive on the line above it:
     // fefet-lint: allow(<rule>) -- <reason>";
 

@@ -236,6 +236,12 @@ pub struct SparseLu {
     work: Vec<f64>,
     /// Solve scratch (permuted RHS / solution).
     y: Vec<f64>,
+    /// Numeric refactorizations performed (observability; plain
+    /// counters keep this crate dependency-free — the engine harvests
+    /// them into telemetry).
+    refactors: u64,
+    /// Triangular solves performed.
+    solves: u64,
 }
 
 impl SparseLu {
@@ -452,6 +458,8 @@ impl SparseLu {
             a_row_ptr: pattern.row_ptr.clone(),
             work: vec![0.0; n],
             y: vec![0.0; n],
+            refactors: 0,
+            solves: 0,
         })
     }
 
@@ -479,6 +487,24 @@ impl SparseLu {
         self.lu_cols.len()
     }
 
+    /// Fill-in nonzeros added by symbolic analysis beyond the original
+    /// matrix pattern.
+    pub fn fill_nnz(&self) -> usize {
+        self.lu_cols
+            .len()
+            .saturating_sub(self.a_cols_permuted.len())
+    }
+
+    /// Numeric refactorizations performed over this analysis's lifetime.
+    pub fn refactor_count(&self) -> u64 {
+        self.refactors
+    }
+
+    /// Triangular solves performed over this analysis's lifetime.
+    pub fn solve_count(&self) -> u64 {
+        self.solves
+    }
+
     /// Numeric refactorization over the analyzed pattern. Allocation-free.
     ///
     /// `a` must have the same pattern the analysis was built from (order
@@ -492,6 +518,7 @@ impl SparseLu {
                 expected: (self.n, self.a_cols_permuted.len()),
             });
         }
+        self.refactors += 1;
         let av = a.values();
         for i in 0..self.n {
             // Scatter row `row_perm[i]` of A into the dense work array
@@ -537,6 +564,7 @@ impl SparseLu {
                 expected: (self.n, 1),
             });
         }
+        self.solves += 1;
         // Permute the RHS into factored row order.
         for i in 0..self.n {
             self.y[i] = b[self.row_perm[i]];
@@ -605,6 +633,26 @@ mod tests {
         let mut x = b.to_vec();
         lu.factor_solve_in_place(m, &mut x).unwrap();
         x
+    }
+
+    #[test]
+    fn counts_refactors_solves_and_fill() {
+        let m = csr_from_dense(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let mut lu = SparseLu::analyze(m.pattern()).unwrap();
+        assert_eq!(lu.refactor_count(), 0);
+        assert_eq!(lu.solve_count(), 0);
+        // Tridiagonal with a perfect elimination order: no fill.
+        assert_eq!(lu.fill_nnz(), lu.lu_nnz() - m.nnz());
+        let mut b = vec![1.0, 2.0, 3.0];
+        lu.factor_solve_in_place(&m, &mut b).unwrap();
+        assert_eq!(lu.refactor_count(), 1);
+        assert_eq!(lu.solve_count(), 1);
+        lu.refactor(&m).unwrap();
+        let mut b2 = vec![1.0, 0.0, 0.0];
+        lu.solve_in_place(&mut b2).unwrap();
+        lu.solve_in_place(&mut b2).unwrap();
+        assert_eq!(lu.refactor_count(), 2);
+        assert_eq!(lu.solve_count(), 3);
     }
 
     #[test]

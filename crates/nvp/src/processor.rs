@@ -15,6 +15,7 @@
 use crate::harvester::PowerTrace;
 use crate::workload::Benchmark;
 use fefet_mem::NvmParams;
+use fefet_telemetry::Instrumentation;
 
 /// Backup policy of the nonvolatile controller.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -141,6 +142,43 @@ enum Phase {
 /// Panics if the configuration is infeasible (the wake level cannot fit
 /// in the storage capacitor together with the reserve and restore costs).
 pub fn simulate(cfg: &NvpConfig, trace: &PowerTrace, bench: &Benchmark) -> NvpRun {
+    simulate_with(cfg, trace, bench, &Instrumentation::off())
+}
+
+/// [`simulate`], recording the run's aggregate statistics (backup and
+/// restore counts, NVM energy split, committed progress, retention
+/// losses) into `instr` when it is enabled. Repeated calls against a
+/// shared handle accumulate — that is how a policy sweep or a Fig 13
+/// study rolls many runs into one report.
+///
+/// # Panics
+///
+/// As for [`simulate`].
+pub fn simulate_with(
+    cfg: &NvpConfig,
+    trace: &PowerTrace,
+    bench: &Benchmark,
+    instr: &Instrumentation,
+) -> NvpRun {
+    let _span = instr.span("nvp.simulate");
+    let run = simulate_inner(cfg, trace, bench);
+    if let Some(tel) = instr.get() {
+        tel.nvp.runs.inc();
+        tel.nvp.backups.add(run.backups as u64);
+        tel.nvp.restores.add(run.restores as u64);
+        tel.nvp.retention_losses.add(run.retention_losses as u64);
+        tel.nvp
+            .backup_energy_j
+            .add(run.backups as f64 * cfg.backup_energy());
+        tel.nvp
+            .restore_energy_j
+            .add(run.restores as f64 * cfg.restore_energy());
+        tel.nvp.progress_s.add(run.committed_cycles / cfg.clock_hz);
+    }
+    run
+}
+
+fn simulate_inner(cfg: &NvpConfig, trace: &PowerTrace, bench: &Benchmark) -> NvpRun {
     let reserve = cfg.reserve_level();
     let wake = cfg.wake_level();
     let restore_e = cfg.restore_energy();
@@ -364,6 +402,36 @@ mod tests {
         assert!(run.restores >= 10, "restores {}", run.restores);
         assert!(run.forward_progress > 0.0);
         assert!(run.nvm_energy > 0.0);
+    }
+
+    #[test]
+    fn simulate_with_records_aggregate_stats() {
+        let mut segs = Vec::new();
+        for _ in 0..20 {
+            segs.push((300e-6, 300e-6));
+            segs.push((500e-6, 0.0));
+        }
+        let tr = PowerTrace::from_segments(segs);
+        let instr = Instrumentation::enabled();
+        let cfg = cfg_fefet();
+        let run = simulate_with(&cfg, &tr, &bench(), &instr);
+        // A second run accumulates into the same sink.
+        let run2 = simulate_with(&cfg, &tr, &bench(), &instr);
+        assert_eq!(run, run2, "simulation is deterministic");
+        let tel = instr.get().unwrap();
+        assert_eq!(tel.nvp.runs.get(), 2);
+        assert_eq!(tel.nvp.backups.get(), 2 * run.backups as u64);
+        assert_eq!(tel.nvp.restores.get(), 2 * run.restores as u64);
+        let e_backup = tel.nvp.backup_energy_j.get();
+        assert!(
+            (e_backup - 2.0 * run.backups as f64 * cfg.backup_energy()).abs() < 1e-18,
+            "backup energy {e_backup:e}"
+        );
+        assert!(tel.nvp.progress_s.get() > 0.0);
+        let spans = tel.spans.snapshot();
+        assert!(spans.iter().any(|(n, c, _)| n == "nvp.simulate" && *c == 2));
+        // The instrumented path must not perturb the result.
+        assert_eq!(run, simulate(&cfg, &tr, &bench()));
     }
 
     #[test]

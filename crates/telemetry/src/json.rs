@@ -1,0 +1,319 @@
+//! Hand-rolled JSON helpers: escaping, float formatting, and a small
+//! recursive-descent validator.
+//!
+//! The workspace is std-only, so run reports are serialized by hand
+//! (the same approach as `fefet-bench`'s tinybench). The validator
+//! exists so the CI smoke step — and the `telemetry_report` example it
+//! runs — can prove a committed artifact is well-formed JSON without
+//! any external parser.
+
+/// Escapes a string for embedding inside a JSON string literal
+/// (quotes are **not** added by this function).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value. Finite values use scientific
+/// notation (valid JSON numbers); non-finite values have no JSON
+/// number representation and become `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Maximum container nesting depth accepted by [`validate`]; our run
+/// reports nest 4–5 levels deep, so 64 is generous while still keeping
+/// the recursive parser stack-bounded.
+const MAX_DEPTH: usize = 64;
+
+/// Validates that `src` is exactly one well-formed JSON value (with
+/// optional surrounding whitespace). Returns a byte-offset-bearing
+/// message on the first error.
+pub fn validate(src: &str) -> Result<(), String> {
+    let mut p = Parser {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    p.value(0)?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), String> {
+        if depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.i
+            ));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected byte '{}' at {}", c as char, self.i)),
+            None => Err(format!("unexpected end of input at byte {}", self.i)),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<(), String> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        // Bounded: each member consumes at least one byte of input.
+        while self.i <= self.b.len() {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+        Err(format!("unterminated object at byte {}", self.i))
+    }
+
+    fn array(&mut self, depth: usize) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        // Bounded: each element consumes at least one byte of input.
+        while self.i <= self.b.len() {
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+        Err(format!("unterminated array at byte {}", self.i))
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => match self.peek() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                        self.i += 1;
+                    }
+                    Some(b'u') => {
+                        self.i += 1;
+                        for _ in 0..4 {
+                            match self.peek() {
+                                Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                _ => return Err(format!("bad \\u escape at byte {}", self.i)),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.i)),
+                },
+                b if b < 0x20 => {
+                    return Err(format!("raw control byte in string at {}", self.i - 1))
+                }
+                _ => {}
+            }
+        }
+        Err(format!("unterminated string at byte {}", self.i))
+    }
+
+    fn digits(&mut self) -> Result<(), String> {
+        let start = self.i;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+        if self.i == start {
+            Err(format!("expected digit at byte {}", self.i))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        // Integer part: "0" alone, or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.i += 1,
+            Some(b'1'..=b'9') => self.digits()?,
+            _ => return Err(format!("expected digit at byte {}", self.i)),
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            self.digits()?;
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        let end = self.i + word.len();
+        if self.b.get(self.i..end) == Some(word.as_bytes()) {
+            self.i = end;
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_values() {
+        for ok in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-1.5e-3",
+            "1e0",
+            "\"a \\\"quoted\\\" string\\n\"",
+            "[]",
+            "[1, 2, 3]",
+            "{}",
+            r#"{"a": {"b": [1.25e2, null]}, "c": "d"}"#,
+            "  { \"k\" : [ true , false ] }  ",
+        ] {
+            assert!(validate(ok).is_ok(), "rejected valid JSON: {ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{\"a\": 1,}",
+            "[1 2]",
+            "01",
+            "1.",
+            ".5",
+            "1e",
+            "nul",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "{} extra",
+            "NaN",
+            "inf",
+        ] {
+            assert!(validate(bad).is_err(), "accepted malformed JSON: {bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_excessive_nesting() {
+        let mut deep = String::new();
+        for _ in 0..(MAX_DEPTH + 2) {
+            deep.push('[');
+        }
+        deep.push('1');
+        for _ in 0..(MAX_DEPTH + 2) {
+            deep.push(']');
+        }
+        assert!(validate(&deep).is_err());
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        // Round-trip through the validator.
+        let quoted = format!("\"{}\"", escape("ctrl \u{2} tab\t quote\" back\\"));
+        assert!(validate(&quoted).is_ok());
+    }
+
+    #[test]
+    fn fmt_f64_emits_valid_json_numbers() {
+        for v in [0.0, 1.0, -1.5, 3.25e-12, 6.02e23, f64::MIN_POSITIVE] {
+            let s = fmt_f64(v);
+            assert!(validate(&s).is_ok(), "invalid number for {v}: {s}");
+            let back: f64 = s.parse().unwrap();
+            assert!(back.to_bits() == v.to_bits(), "{v} -> {s} -> {back}");
+        }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+}

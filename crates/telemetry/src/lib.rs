@@ -1,0 +1,475 @@
+//! fefet-telemetry — std-only instrumentation for the fefet stack.
+//!
+//! The solver pipeline (Newton → transient → array sweep → NVP study)
+//! runs thousands of SPICE-class solves per figure; this crate makes
+//! their health observable without giving up the zero-allocation warm
+//! path PR 2/3 established. It provides:
+//!
+//! - [`Counter`] / [`FloatCell`] / [`Histogram`]: lock-free atomic
+//!   metric primitives ([`metrics`]).
+//! - [`SpanRegistry`] / [`SpanGuard`]: wall-time span aggregation with
+//!   lock-free recording ([`span`]).
+//! - [`ConvergenceReport`]: structured "newton exhausted" diagnostics,
+//!   and [`RunReport`]: a hand-serialized JSON artifact ([`report`]).
+//! - [`json`]: escaping, float formatting, and a dependency-free JSON
+//!   validator used by the CI smoke step.
+//! - [`Telemetry`]: the domain aggregate (solver / step / array / NVP
+//!   stats plus spans), and [`Instrumentation`]: the near-zero-cost
+//!   handle threaded through `SolverOptions`.
+//!
+//! # Cost model
+//!
+//! `Instrumentation` is an `Option<Arc<Telemetry>>`. Off (the default)
+//! it is a `None` check — the solver's hot loop sees one predictable
+//! branch per *solve* (not per iteration) and no clock reads. On, all
+//! recording is relaxed-atomic and allocation-free, so one `Telemetry`
+//! shared across `parallel_map` workers aggregates without locks and
+//! the alloctrack warm-solve invariant holds in both states.
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use metrics::{Counter, FloatCell, Histogram};
+pub use report::{ConvergenceReport, RunReport};
+pub use span::{SpanGuard, SpanRegistry, SpanStats};
+
+use std::sync::Arc;
+
+/// Per-solve Newton and linear-algebra statistics, recorded by
+/// `fefet_ckt::engine` (one recording block per solve) with sparse
+/// structure counters harvested from `fefet_numerics::sparse`.
+#[derive(Debug)]
+pub struct SolverStats {
+    /// Converged Newton solves.
+    pub solves: Counter,
+    /// Solves that exhausted the iteration budget.
+    pub failures: Counter,
+    /// Newton iterations per converged solve.
+    pub newton_iterations: Histogram,
+    /// |KCL residual| (A) at convergence, per solve.
+    pub residual_at_convergence: Histogram,
+    /// Dense LU factorizations (one per Newton iteration on the dense
+    /// backend).
+    pub dense_factors: Counter,
+    /// Sparse LU numeric refactorizations (one per Newton iteration on
+    /// the sparse backend).
+    pub sparse_refactors: Counter,
+    /// Triangular back-substitutions (dense or sparse), total.
+    pub back_substitutions: Counter,
+    /// LU (re)factorizations per converged solve.
+    pub factors_per_solve: Histogram,
+    /// High-water mark: nonzeros in the sparse MNA pattern.
+    pub sparse_pattern_nnz: Counter,
+    /// High-water mark: fill-in nonzeros added by symbolic analysis
+    /// (LU nnz − pattern nnz).
+    pub sparse_fill_nnz: Counter,
+    /// One-time symbolic analyses performed.
+    pub sparse_symbolic_analyses: Counter,
+    /// Extra gmin-stepping passes taken after a direct solve failed.
+    pub gmin_retries: Counter,
+}
+
+impl Default for SolverStats {
+    fn default() -> Self {
+        let iteration_edges = || {
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 100.0,
+            ]
+        };
+        Self {
+            solves: Counter::new(),
+            failures: Counter::new(),
+            newton_iterations: Histogram::with_edges(iteration_edges()),
+            residual_at_convergence: Histogram::log10_decades(-18, 0),
+            dense_factors: Counter::new(),
+            sparse_refactors: Counter::new(),
+            back_substitutions: Counter::new(),
+            factors_per_solve: Histogram::with_edges(iteration_edges()),
+            sparse_pattern_nnz: Counter::new(),
+            sparse_fill_nnz: Counter::new(),
+            sparse_symbolic_analyses: Counter::new(),
+            gmin_retries: Counter::new(),
+        }
+    }
+}
+
+impl SolverStats {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"solves\":{},\"failures\":{},\"gmin_retries\":{},\
+             \"newton_iterations\":{},\"residual_at_convergence\":{},\
+             \"dense_factors\":{},\"sparse_refactors\":{},\
+             \"back_substitutions\":{},\"factors_per_solve\":{},\
+             \"sparse_pattern_nnz\":{},\"sparse_fill_nnz\":{},\
+             \"sparse_symbolic_analyses\":{}}}",
+            self.solves.get(),
+            self.failures.get(),
+            self.gmin_retries.get(),
+            self.newton_iterations.to_json(),
+            self.residual_at_convergence.to_json(),
+            self.dense_factors.get(),
+            self.sparse_refactors.get(),
+            self.back_substitutions.get(),
+            self.factors_per_solve.to_json(),
+            self.sparse_pattern_nnz.get(),
+            self.sparse_fill_nnz.get(),
+            self.sparse_symbolic_analyses.get(),
+        )
+    }
+}
+
+/// Transient time-stepping statistics, recorded by
+/// `fefet_ckt::transient`.
+#[derive(Debug)]
+pub struct StepStats {
+    /// Accepted timesteps.
+    pub accepted: Counter,
+    /// Steps rejected because Newton failed (dt halved).
+    pub rejected_newton: Counter,
+    /// Steps rejected by local-truncation-error control.
+    pub rejected_lte: Counter,
+    /// Accepted steps that landed on a waveform corner via snapping.
+    pub corner_snaps: Counter,
+    /// Accepted timestep sizes (s), one decade per bucket.
+    pub dt_seconds: Histogram,
+}
+
+impl Default for StepStats {
+    fn default() -> Self {
+        Self {
+            accepted: Counter::new(),
+            rejected_newton: Counter::new(),
+            rejected_lte: Counter::new(),
+            corner_snaps: Counter::new(),
+            dt_seconds: Histogram::log10_decades(-15, -3),
+        }
+    }
+}
+
+impl StepStats {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"accepted\":{},\"rejected_newton\":{},\"rejected_lte\":{},\
+             \"corner_snaps\":{},\"dt_seconds\":{}}}",
+            self.accepted.get(),
+            self.rejected_newton.get(),
+            self.rejected_lte.get(),
+            self.corner_snaps.get(),
+            self.dt_seconds.to_json(),
+        )
+    }
+}
+
+/// Array-sweep statistics, recorded by `fefet_core::array`.
+#[derive(Debug)]
+pub struct ArrayStats {
+    /// Row read operations (each is a full transient per column sense).
+    pub row_reads: Counter,
+    /// Row write operations.
+    pub row_writes: Counter,
+    /// Worst-case read margin across all reads: min over rows of
+    /// (smallest ON-bit current / largest OFF-bit current). `null`
+    /// until a read sees both states.
+    pub read_margin_worst: FloatCell,
+    /// Largest sneak-path current observed (A).
+    pub sneak_current_max: FloatCell,
+    /// Largest half-select polarization disturb observed (C/m²).
+    pub disturb_max: FloatCell,
+}
+
+impl Default for ArrayStats {
+    fn default() -> Self {
+        Self {
+            row_reads: Counter::new(),
+            row_writes: Counter::new(),
+            read_margin_worst: FloatCell::min_tracker(),
+            sneak_current_max: FloatCell::max_tracker(),
+            disturb_max: FloatCell::max_tracker(),
+        }
+    }
+}
+
+impl ArrayStats {
+    pub fn to_json(&self) -> String {
+        let finite_or_null = |v: f64| {
+            if v.is_finite() {
+                json::fmt_f64(v)
+            } else {
+                "null".to_string()
+            }
+        };
+        format!(
+            "{{\"row_reads\":{},\"row_writes\":{},\"read_margin_worst\":{},\
+             \"sneak_current_max_a\":{},\"disturb_max\":{}}}",
+            self.row_reads.get(),
+            self.row_writes.get(),
+            finite_or_null(self.read_margin_worst.get()),
+            finite_or_null(self.sneak_current_max.get()),
+            finite_or_null(self.disturb_max.get()),
+        )
+    }
+}
+
+/// Nonvolatile-processor simulation statistics, recorded by
+/// `fefet_nvp::processor::simulate_with`.
+#[derive(Debug)]
+pub struct NvpStats {
+    /// Completed `simulate` runs.
+    pub runs: Counter,
+    /// Backup operations across runs.
+    pub backups: Counter,
+    /// Restore operations across runs.
+    pub restores: Counter,
+    /// Retention losses (power returned after state decayed).
+    pub retention_losses: Counter,
+    /// Energy spent in backups (J), accumulated.
+    pub backup_energy_j: FloatCell,
+    /// Energy spent in restores (J), accumulated.
+    pub restore_energy_j: FloatCell,
+    /// Forward progress achieved (s of useful work), accumulated.
+    pub progress_s: FloatCell,
+}
+
+impl NvpStats {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"runs\":{},\"backups\":{},\"restores\":{},\
+             \"retention_losses\":{},\"backup_energy_j\":{},\
+             \"restore_energy_j\":{},\"progress_s\":{}}}",
+            self.runs.get(),
+            self.backups.get(),
+            self.restores.get(),
+            self.retention_losses.get(),
+            self.backup_energy_j.to_json(),
+            self.restore_energy_j.to_json(),
+            self.progress_s.to_json(),
+        )
+    }
+}
+
+impl Default for NvpStats {
+    fn default() -> Self {
+        Self {
+            runs: Counter::new(),
+            backups: Counter::new(),
+            restores: Counter::new(),
+            retention_losses: Counter::new(),
+            backup_energy_j: FloatCell::zero(),
+            restore_energy_j: FloatCell::zero(),
+            progress_s: FloatCell::zero(),
+        }
+    }
+}
+
+/// The domain aggregate: every stats group plus the span registry.
+/// Shared across threads through an `Arc` inside [`Instrumentation`].
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    pub solver: SolverStats,
+    pub steps: StepStats,
+    pub array: ArrayStats,
+    pub nvp: NvpStats,
+    pub spans: SpanRegistry,
+}
+
+impl Telemetry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serializes the full snapshot as one JSON object, suitable as a
+    /// [`RunReport`] section.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str(&format!("{{\"solver\":{}", self.solver.to_json()));
+        s.push_str(&format!(",\"steps\":{}", self.steps.to_json()));
+        s.push_str(&format!(",\"array\":{}", self.array.to_json()));
+        s.push_str(&format!(",\"nvp\":{}", self.nvp.to_json()));
+        s.push_str(",\"spans\":{");
+        for (i, (name, count, total_ns)) in self.spans.snapshot().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"total_ns\":{}}}",
+                json::escape(name),
+                count,
+                total_ns
+            ));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// The near-zero-cost instrumentation handle threaded through
+/// `SolverOptions` (and from there `DcOptions` / `TransientOptions` /
+/// `FefetArray`).
+///
+/// Defaults to **off** (`None`): the hot path pays one branch per
+/// solve/step and records nothing. [`Instrumentation::enabled`] turns
+/// it on with a fresh [`Telemetry`]; cloning the handle shares the same
+/// underlying `Arc<Telemetry>`, which is how `parallel_map` workers
+/// aggregate into one snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Instrumentation(Option<Arc<Telemetry>>);
+
+impl Instrumentation {
+    /// The default no-op handle.
+    pub fn off() -> Self {
+        Self(None)
+    }
+
+    /// A handle backed by a fresh, empty [`Telemetry`].
+    pub fn enabled() -> Self {
+        Self(Some(Arc::new(Telemetry::new())))
+    }
+
+    /// A handle sharing an existing aggregate.
+    pub fn shared(telemetry: Arc<Telemetry>) -> Self {
+        Self(Some(telemetry))
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The telemetry sink, if instrumentation is on. The recording
+    /// idiom is `if let Some(tel) = instr.get() { … }` — the off path
+    /// is a single `None` check.
+    #[inline]
+    pub fn get(&self) -> Option<&Telemetry> {
+        self.0.as_deref()
+    }
+
+    /// The shared aggregate itself (for snapshotting after a run).
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.0.as_ref()
+    }
+
+    /// Opens a wall-time span; the returned guard records on drop. Off
+    /// handles return a no-op guard without touching the clock.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        match &self.0 {
+            Some(tel) => SpanGuard::active(tel.spans.handle(name)),
+            None => SpanGuard::noop(),
+        }
+    }
+}
+
+/// Handles compare by *identity* of the underlying aggregate: two off
+/// handles are equal; two on handles are equal iff they share the same
+/// `Arc<Telemetry>`. This keeps `SolverOptions: PartialEq` meaningful
+/// (same config + same sink) without comparing live atomic state.
+impl PartialEq for Instrumentation {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_handle_is_default_and_records_nothing() {
+        let instr = Instrumentation::default();
+        assert!(!instr.is_enabled());
+        assert!(instr.get().is_none());
+        drop(instr.span("anything"));
+        assert_eq!(instr, Instrumentation::off());
+    }
+
+    #[test]
+    fn enabled_handle_aggregates_through_clones() {
+        let instr = Instrumentation::enabled();
+        let clone = instr.clone();
+        if let Some(tel) = clone.get() {
+            tel.solver.solves.inc();
+            tel.solver.newton_iterations.record_usize(4);
+        }
+        let tel = instr.get().unwrap();
+        assert_eq!(tel.solver.solves.get(), 1);
+        assert_eq!(tel.solver.newton_iterations.count(), 1);
+    }
+
+    #[test]
+    fn equality_is_sink_identity() {
+        let a = Instrumentation::enabled();
+        let b = Instrumentation::enabled();
+        assert_eq!(a, a.clone());
+        assert_ne!(a, b);
+        assert_ne!(a, Instrumentation::off());
+        assert_eq!(Instrumentation::off(), Instrumentation::default());
+    }
+
+    #[test]
+    fn spans_record_through_the_handle() {
+        let instr = Instrumentation::enabled();
+        {
+            let _g = instr.span("unit.test");
+        }
+        let snap = instr.get().unwrap().spans.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, "unit.test");
+        assert_eq!(snap[0].1, 1);
+    }
+
+    #[test]
+    fn telemetry_snapshot_is_valid_json() {
+        let tel = Telemetry::new();
+        assert!(json::validate(&tel.to_json()).is_ok(), "{}", tel.to_json());
+
+        tel.solver.solves.inc();
+        tel.solver.newton_iterations.record_usize(3);
+        tel.steps.accepted.add(10);
+        tel.steps.dt_seconds.record(4e-12);
+        tel.array.row_reads.inc();
+        tel.array.read_margin_worst.update_min(42.0);
+        tel.nvp.runs.inc();
+        tel.nvp.backup_energy_j.add(1.5e-9);
+        let _ = tel.spans.handle("x");
+        let j = tel.to_json();
+        assert!(json::validate(&j).is_ok(), "{j}");
+        assert!(j.contains("\"solves\":1"));
+        assert!(j.contains("\"accepted\":10"));
+        assert!(j.contains("\"x\":{\"count\":0"));
+    }
+
+    #[test]
+    fn empty_trackers_serialize_as_null_not_inf() {
+        // ±inf has no JSON representation; an untouched min/max tracker
+        // must not produce a malformed artifact.
+        let j = ArrayStats::default().to_json();
+        assert!(json::validate(&j).is_ok(), "{j}");
+        assert!(j.contains("\"read_margin_worst\":null"), "{j}");
+    }
+
+    #[test]
+    fn shared_telemetry_across_worker_threads() {
+        let instr = Instrumentation::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let worker = instr.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        if let Some(tel) = worker.get() {
+                            tel.solver.solves.inc();
+                            tel.solver.newton_iterations.record_usize(5);
+                        }
+                    }
+                });
+            }
+        });
+        let tel = instr.get().unwrap();
+        assert_eq!(tel.solver.solves.get(), 100);
+        assert_eq!(tel.solver.newton_iterations.count(), 100);
+    }
+}

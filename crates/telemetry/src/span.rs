@@ -1,0 +1,165 @@
+//! Lightweight span timing.
+//!
+//! A [`SpanRegistry`] maps span names to shared [`SpanStats`]. Looking
+//! a name up takes a short mutex hold (registration is rare — once per
+//! span name per worker, typically outside any inner loop); *recording*
+//! an observation is two relaxed atomic adds on an `Arc<SpanStats>`,
+//! so `parallel_map` workers never contend on a lock on the hot path.
+//! Time is measured with `std::time::Instant` only while a span is
+//! active; a no-op guard (instrumentation off) never reads the clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Aggregated timing for one span name: total nanoseconds and the
+/// number of completed observations.
+#[derive(Debug, Default)]
+pub struct SpanStats {
+    total_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl SpanStats {
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    pub fn total_s(&self) -> f64 {
+        self.total_ns() as f64 * 1e-9
+    }
+}
+
+/// A thread-safe name → [`SpanStats`] registry. The slot list is tiny
+/// (one entry per distinct span name), so linear search beats any map.
+#[derive(Debug, Default)]
+pub struct SpanRegistry {
+    slots: Mutex<Vec<(String, Arc<SpanStats>)>>,
+}
+
+impl SpanRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finds or creates the stats slot for `name`. Callers that time a
+    /// span in a loop should hoist this lookup out of the loop and
+    /// record through the returned `Arc` directly.
+    pub fn handle(&self, name: &str) -> Arc<SpanStats> {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some((_, stats)) = slots.iter().find(|(n, _)| n == name) {
+            return Arc::clone(stats);
+        }
+        let stats = Arc::new(SpanStats::default());
+        slots.push((name.to_string(), Arc::clone(&stats)));
+        stats
+    }
+
+    /// Snapshot of `(name, count, total_ns)` per span, in registration
+    /// order.
+    pub fn snapshot(&self) -> Vec<(String, u64, u64)> {
+        let slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        slots
+            .iter()
+            .map(|(n, s)| (n.clone(), s.count(), s.total_ns()))
+            .collect()
+    }
+}
+
+/// An RAII span timer. Created through
+/// [`crate::Instrumentation::span`]; records elapsed wall time into its
+/// [`SpanStats`] on drop. The no-op variant carries no clock read and
+/// records nothing.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<(Arc<SpanStats>, Instant)>,
+}
+
+impl SpanGuard {
+    /// A guard that does nothing on drop (instrumentation off).
+    pub fn noop() -> Self {
+        Self { active: None }
+    }
+
+    /// A guard that starts timing now and records into `stats` on drop.
+    pub fn active(stats: Arc<SpanStats>) -> Self {
+        Self {
+            active: Some((stats, Instant::now())),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((stats, start)) = self.active.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            stats.record_ns(ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_deduplicates_by_name() {
+        let reg = SpanRegistry::new();
+        let a = reg.handle("solve");
+        let b = reg.handle("solve");
+        let c = reg.handle("stamp");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        a.record_ns(10);
+        b.record_ns(20);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], ("solve".to_string(), 2, 30));
+        assert_eq!(snap[1], ("stamp".to_string(), 0, 0));
+    }
+
+    #[test]
+    fn guard_records_on_drop_noop_does_not() {
+        let reg = SpanRegistry::new();
+        {
+            let _g = SpanGuard::active(reg.handle("timed"));
+        }
+        {
+            let _g = SpanGuard::noop();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].1, 1, "exactly one observation recorded");
+    }
+
+    #[test]
+    fn workers_record_through_shared_handles_without_locking() {
+        let reg = Arc::new(SpanRegistry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    // One lock per worker to fetch the handle…
+                    let h = reg.handle("row");
+                    // …then lock-free recording.
+                    for _ in 0..50 {
+                        h.record_ns(1);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap[0].1, 200);
+        assert_eq!(snap[0].2, 200);
+    }
+}

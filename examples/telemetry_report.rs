@@ -1,0 +1,189 @@
+//! Observability smoke + artifact: runs the 16×16 array sweep with
+//! instrumentation enabled, provokes a Newton failure for its
+//! structured [`ConvergenceReport`], runs the NVP simulator against a
+//! harvesting trace, and writes the aggregate as `BENCH_telemetry.json`
+//! at the repository root.
+//!
+//! CI runs this example and fails the build if the artifact is
+//! malformed JSON or any expected histogram recorded zero samples —
+//! i.e. if an instrumentation hook silently stops recording.
+//!
+//! Run with `cargo run --release --example telemetry_report`.
+
+use fefet::ckt::circuit::Circuit;
+use fefet::ckt::dc::{dc_operating_point, DcOptions};
+use fefet::ckt::engine::SolverOptions;
+use fefet::ckt::waveform::Waveform;
+use fefet::ckt::CktError;
+use fefet::mem::array::FefetArray;
+use fefet::mem::cell::FefetCell;
+use fefet::mem::NvmParams;
+use fefet::numerics::rng::Rng;
+use fefet::nvp::harvester::PowerTrace;
+use fefet::nvp::processor::{simulate_with, NvpConfig};
+use fefet::nvp::workload::mibench_suite;
+use fefet::telemetry::{json, Instrumentation, RunReport};
+
+const ROWS: usize = 16;
+const COLS: usize = 16;
+/// Shortest read window that still digitizes correctly (see the bench
+/// suite's `seeded` fixture, which this mirrors).
+const T_READ: f64 = 0.3e-9;
+
+/// The bench suite's seeded 16×16 array: coarsened 40 ps grid, stored
+/// polarizations from a fixed-seed RNG so the workload is reproducible.
+fn seeded_array(instr: &Instrumentation) -> FefetArray {
+    let mut a = FefetArray::new(ROWS, COLS, FefetCell::default());
+    a.cell.dt = 40e-12;
+    a.instr = instr.clone();
+    let (p_lo, p_hi) = a.cell.memory_states();
+    let mut rng = Rng::seed_from_u64(0x8a_8a);
+    for i in 0..ROWS {
+        for j in 0..COLS {
+            let bit = rng.uniform() > 0.5;
+            a.set_polarization(i, j, if bit { p_hi } else { p_lo });
+        }
+    }
+    a
+}
+
+/// A diode clamp starved to two Newton iterations: deterministically
+/// non-convergent, so the solver must surface a populated
+/// [`fefet::telemetry::ConvergenceReport`].
+fn provoke_convergence_report(instr: &Instrumentation) -> Result<String, String> {
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    let b = c.node("b");
+    c.vsource("V1", a, Circuit::GND, Waveform::dc(3.0));
+    c.resistor("R1", a, b, 1e3);
+    c.diode("D1", b, Circuit::GND, 1e-14, 1.0);
+    let opts = DcOptions {
+        solver: SolverOptions {
+            max_newton: 2,
+            instr: instr.clone(),
+            ..SolverOptions::default()
+        },
+        ..DcOptions::default()
+    };
+    match dc_operating_point(&c, opts) {
+        Err(CktError::NewtonExhausted { report, .. }) => {
+            if report.worst_residual <= 0.0 {
+                return Err("convergence report carries no residual".into());
+            }
+            if report.gmin_trajectory.is_empty() {
+                return Err("convergence report lost its gmin trajectory".into());
+            }
+            println!("provoked failure: {report}");
+            Ok(report.to_json())
+        }
+        other => Err(format!(
+            "starved diode clamp should fail with NewtonExhausted, got {other:?}"
+        )),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let instr = Instrumentation::enabled();
+
+    // 1. Array sweep: one row write, then every row read (parallel
+    //    workers share the same telemetry sink).
+    let mut array = seeded_array(&instr);
+    let data: Vec<bool> = (0..COLS).map(|j| j % 3 != 0).collect();
+    array
+        .write_row(0, &data, 1.0e-9)
+        .map_err(|e| format!("write_row: {e}"))?;
+    let reads = array
+        .read_all_rows(T_READ, 0)
+        .map_err(|e| format!("read_all_rows: {e}"))?;
+    let row0: Vec<bool> = reads[0].bits.clone();
+    if row0 != data {
+        return Err(format!("row 0 read back {row0:?}, wrote {data:?}"));
+    }
+    println!("array sweep: wrote 1 row, read {} rows", reads.len());
+
+    // 2. A deliberately failing solve, for the diagnostics section.
+    let convergence = provoke_convergence_report(&instr)?;
+
+    // 3. NVP: intermittent harvesting over the FEFET backup block.
+    let mut segs = Vec::new();
+    for _ in 0..20 {
+        segs.push((300e-6, 300e-6));
+        segs.push((500e-6, 0.0));
+    }
+    let trace = PowerTrace::from_segments(segs);
+    let cfg = NvpConfig::with_nvm(NvmParams::paper_fefet());
+    let nvp_run = simulate_with(&cfg, &trace, &mibench_suite()[0], &instr);
+    println!(
+        "nvp: forward progress {:.3}, {} backups / {} restores",
+        nvp_run.forward_progress, nvp_run.backups, nvp_run.restores
+    );
+
+    // Assemble and self-check the artifact.
+    let tel = instr.get().ok_or("instrumentation handle is off")?;
+    let checks: &[(&str, bool)] = &[
+        ("row_writes == 1", tel.array.row_writes.get() == 1),
+        (
+            "row_reads == ROWS",
+            tel.array.row_reads.get() == ROWS as u64,
+        ),
+        (
+            "newton_iterations histogram nonempty",
+            tel.solver.newton_iterations.count() > 0,
+        ),
+        (
+            "residual_at_convergence histogram nonempty",
+            tel.solver.residual_at_convergence.count() > 0,
+        ),
+        (
+            "dt_seconds histogram nonempty",
+            tel.steps.dt_seconds.count() > 0,
+        ),
+        ("steps accepted", tel.steps.accepted.get() > 0),
+        (
+            "sparse refactors counted",
+            tel.solver.sparse_refactors.get() > 0,
+        ),
+        (
+            "read margin tracked",
+            tel.array.read_margin_worst.get().is_finite(),
+        ),
+        ("solver failures counted", tel.solver.failures.get() > 0),
+        ("nvp runs counted", tel.nvp.runs.get() == 1),
+    ];
+    for (what, ok) in checks {
+        if !ok {
+            return Err(format!("telemetry check failed: {what}"));
+        }
+    }
+
+    let mut report = RunReport::new("telemetry_16x16_sweep");
+    report.meta("rows", &ROWS.to_string());
+    report.meta("cols", &COLS.to_string());
+    report.meta("t_read_s", &format!("{T_READ:e}"));
+    report.meta(
+        "workloads",
+        "array write+sweep, starved diode clamp, nvp odab",
+    );
+    report.section("telemetry", tel.to_json());
+    report.section("convergence_failure", convergence);
+
+    let body = report.to_json();
+    json::validate(&body).map_err(|e| format!("artifact is malformed JSON: {e}"))?;
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_telemetry.json");
+    report
+        .write_json(&path)
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("telemetry_report: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

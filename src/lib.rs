@@ -13,6 +13,9 @@
 //!   baseline (paper §4-6).
 //! - [`nvp`] — the energy-harvesting nonvolatile-processor simulator
 //!   (paper §7, Fig 13).
+//! - [`telemetry`] — std-only instrumentation: counters, histograms,
+//!   span timing, convergence diagnostics, and JSON run reports
+//!   (enable via `Instrumentation::enabled()` on `SolverOptions`).
 //!
 //! # Quickstart
 //!
@@ -39,3 +42,4 @@ pub use fefet_device as device;
 pub use fefet_mem as mem;
 pub use fefet_numerics as numerics;
 pub use fefet_nvp as nvp;
+pub use fefet_telemetry as telemetry;
