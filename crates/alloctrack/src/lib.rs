@@ -9,6 +9,13 @@
 //! event, so integration tests can assert "this call allocated exactly
 //! zero times".
 //!
+//! Counting is kept **per thread** as well as globally:
+//! [`count_allocations`] reads the calling thread's counter, so the
+//! assertion is immune to unrelated allocations on other threads of
+//! the test process — in particular the libtest main thread, whose
+//! timeout watchdog occasionally allocates an `mpmc` parking context
+//! mid-window and would otherwise make zero-allocation tests flaky.
+//!
 //! The workspace forbids `unsafe_code`; this crate deliberately does
 //! not opt into that lint set (see its `Cargo.toml`) because
 //! implementing `GlobalAlloc` is impossible without `unsafe`. Nothing
@@ -16,27 +23,42 @@
 //! dev-dependencies onto the crates under test.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// System allocator wrapper that counts allocation events
-/// (`alloc`, `alloc_zeroed`, and growing `realloc` calls).
+/// (`alloc`, `alloc_zeroed`, and `realloc` calls).
 pub struct CountingAlloc;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+thread_local! {
+    // `const`-initialized and `!Drop`, so accessing it from inside the
+    // allocator neither allocates nor registers a TLS destructor.
+    static THREAD_ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn count_event() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    // `try_with` rather than `with`: allocation can happen while this
+    // thread's TLS block is being torn down, where access must fail
+    // softly instead of aborting.
+    let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_event();
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_event();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_event();
         System.realloc(ptr, layout, new_size)
     }
 
@@ -48,14 +70,25 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Total allocation events since process start.
+/// Total allocation events since process start, across all threads.
 pub fn allocation_count() -> usize {
     ALLOCATIONS.load(Ordering::SeqCst)
 }
 
+/// Allocation events performed by the calling thread since it started.
+pub fn thread_allocation_count() -> usize {
+    THREAD_ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
+}
+
 /// Runs `f` and returns `(allocation events during f, f's result)`.
+///
+/// Only allocations made by the **calling thread** are counted, so
+/// concurrent allocator traffic elsewhere in the process (test-harness
+/// bookkeeping, detached pool workers between sweeps) cannot leak into
+/// the measurement. Code under test that spawns threads and asserts on
+/// their allocations must count inside those threads.
 pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
-    let before = allocation_count();
+    let before = thread_allocation_count();
     let out = f();
-    (allocation_count() - before, out)
+    (thread_allocation_count() - before, out)
 }

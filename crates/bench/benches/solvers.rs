@@ -15,7 +15,7 @@ use fefet_ckt::transient::{transient, TransientOptions};
 use fefet_ckt::waveform::Waveform;
 use fefet_device::dynamics::integrate;
 use fefet_device::paper_fefet;
-use fefet_mem::array::FefetArray;
+use fefet_mem::array::{FastPathToggles, FefetArray};
 use fefet_mem::cell::FefetCell;
 use fefet_numerics::linalg::{norm_inf, LuWorkspace, Matrix};
 use fefet_numerics::rng::Rng;
@@ -526,6 +526,71 @@ fn seeded(rows: usize, cols: usize) -> FefetArray {
     a
 }
 
+/// The transient fast paths A/B: one row read on the seeded array with
+/// every fast path forced off vs. the defaults (Jacobian reuse + device
+/// bypass + step prediction), batches interleaved so the ratio survives
+/// host-load drift. The smoke run keeps the comparison as a hard gate:
+/// the fast path failing to at least break even is a regression.
+fn bench_fastpaths(report: &mut Report) {
+    let a = seeded(8, 8);
+    let mut exact_a = a.clone();
+    exact_a.fastpaths = FastPathToggles::exact();
+    let t_read = 0.3e-9;
+    report.bench_pair(
+        "array_read_row_8x8_exact",
+        "array_read_row_8x8_fastpath",
+        || {
+            exact_a
+                .read_row(0, t_read)
+                .expect("exact row read")
+                .bits
+                .len()
+        },
+        || a.read_row(0, t_read).expect("fastpath row read").bits.len(),
+    );
+    // One instrumented run per side: the fast path must do strictly
+    // fewer LU factorizations — that count is deterministic, so it
+    // gates even single-shot smoke runs where timing is noise.
+    let mut factors = [0u64; 2];
+    for (k, (name, arr)) in [
+        ("array_read_row_8x8_exact", &exact_a),
+        ("array_read_row_8x8_fastpath", &a),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut t = arr.clone();
+        t.instr = Instrumentation::enabled();
+        t.read_row(0, t_read).expect("instrumented row read");
+        if let Some(tel) = t.instr.get() {
+            factors[k] = tel.solver.sparse_refactors.get() + tel.solver.dense_factors.get();
+            report.attach_telemetry(name, tel.solver.newton_iterations.sum() as u64, factors[k]);
+        }
+    }
+    assert!(
+        factors[1] < factors[0],
+        "fast path must refactor less: {} vs exact {}",
+        factors[1],
+        factors[0]
+    );
+    let exact = report
+        .min_of("array_read_row_8x8_exact")
+        .expect("exact sample");
+    let fast = report
+        .min_of("array_read_row_8x8_fastpath")
+        .expect("fastpath sample");
+    assert!(
+        fast <= exact * 1.10,
+        "transient fast paths regressed the row read: {fast:.4} s vs exact {exact:.4} s"
+    );
+    println!(
+        "transient fastpath speedup (exact/fast, min): {:.2}x ({} -> {} refactors)",
+        exact / fast,
+        factors[0],
+        factors[1]
+    );
+}
+
 fn bench_array_sweep(report: &mut Report) {
     // `Auto` picks the sparse backend here (n > crossover); a forced-
     // dense copy is measured alongside as the seed-equivalent baseline.
@@ -535,16 +600,38 @@ fn bench_array_sweep(report: &mut Report) {
     let n8 = a.mna_dims().expect("8x8 dims").n_unknowns as u64;
     let rows: Vec<usize> = (0..8).collect();
     let t_read = 0.3e-9;
+    // Serial vs. pooled sweep with batches interleaved (the pre-pool
+    // harness timed them in separate windows, which let host-load drift
+    // manufacture a "speedup" — or hide a pessimization — between them).
     let mut serial = Vec::new();
-    report.bench_once("array_read_sweep_8x8_serial", || {
-        serial = a.read_rows(&rows, t_read, 1).expect("serial sweep");
-        serial.len()
-    });
     let mut par = Vec::new();
-    report.bench_once("array_read_sweep_8x8_par4", || {
-        par = a.read_rows(&rows, t_read, 4).expect("parallel sweep");
-        par.len()
-    });
+    report.bench_pair(
+        "array_read_sweep_8x8_serial",
+        "array_read_sweep_8x8_par4",
+        || {
+            serial = a.read_rows(&rows, t_read, 1).expect("serial sweep");
+            serial.len()
+        },
+        || {
+            par = a.read_rows(&rows, t_read, 4).expect("parallel sweep");
+            par.len()
+        },
+    );
+    // The pooled sweep's own telemetry, from one instrumented run.
+    let mut pooled = a.clone();
+    pooled.instr = Instrumentation::enabled();
+    pooled
+        .read_rows(&rows, t_read, 4)
+        .expect("instrumented sweep");
+    if let Some(tel) = pooled.instr.get() {
+        println!(
+            "pool telemetry: sweeps={} items={} workers_active(max)={} tasks_stolen={}",
+            tel.pool.sweeps.get(),
+            tel.pool.items.get(),
+            tel.pool.workers_active.get(),
+            tel.pool.tasks_stolen.get(),
+        );
+    }
     let mut dense = Vec::new();
     report.bench_once("array_read_sweep_8x8_dense_serial", || {
         dense = dense_a.read_rows(&rows, t_read, 1).expect("dense sweep");
@@ -567,7 +654,9 @@ fn bench_array_sweep(report: &mut Report) {
     }
     println!("array_read_sweep serial/par4: bit-identical over all 8 rows");
     // And for the sparse backend: same bits and step sequences as the
-    // dense reference, cell currents within 1e-9 relative.
+    // dense reference. With the fast paths on, the two backends stop at
+    // solver tolerance along different Newton trajectories, so currents
+    // agree to 1e-6 relative (tolerance-limited), not machine epsilon.
     assert_eq!(serial.len(), dense.len());
     for (s, d) in serial.iter().zip(&dense) {
         assert_eq!(s.bits, d.bits);
@@ -575,12 +664,12 @@ fn bench_array_sweep(report: &mut Report) {
         for (cs, cd) in s.currents.iter().zip(&d.currents) {
             let scale = cs.abs().max(cd.abs()).max(1e-30);
             assert!(
-                (cs - cd).abs() / scale < 1e-9,
+                (cs - cd).abs() / scale < 1e-6,
                 "sparse/dense current mismatch: {cs:e} vs {cd:e}"
             );
         }
     }
-    println!("array_read_sweep sparse/dense: bits + step counts agree, currents < 1e-9 rel");
+    println!("array_read_sweep sparse/dense: bits + step counts agree, currents < 1e-6 rel");
 
     // The scaling headline: a 16×16 sweep (4x the cells, ~3x the
     // unknowns) under the sparse backend.
@@ -614,6 +703,7 @@ fn main() {
     bench_instr_overhead(&mut report);
     bench_rc_transient(&mut report);
     bench_cell_write(&mut report);
+    bench_fastpaths(&mut report);
     bench_array_sweep(&mut report);
     bench_lk_stepper(&mut report);
 

@@ -334,6 +334,43 @@ mod tests {
         assert!((0.5..0.9).contains(&op.v(b)), "v(b) = {}", op.v(b));
     }
 
+    /// DC fast-path parity: the solver knobs (modified Newton; device
+    /// bypass is inert in DC by design) must not move a strongly
+    /// nonlinear operating point beyond solver tolerance.
+    #[test]
+    fn diode_clamp_parity_with_fast_paths_toggled() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::GND, Waveform::dc(3.0));
+        c.resistor("R1", a, b, 1e3);
+        c.diode("D1", b, Circuit::GND, 1e-14, 1.0);
+
+        let solve = |reuse: bool, bypass: bool| {
+            let opts = DcOptions {
+                solver: SolverOptions {
+                    jacobian_reuse: reuse,
+                    bypass,
+                    ..SolverOptions::default()
+                },
+                ..DcOptions::default()
+            };
+            dc_operating_point(&c, opts).unwrap()
+        };
+
+        let exact = solve(false, false);
+        for (reuse, bypass) in [(true, false), (false, true), (true, true)] {
+            let fast = solve(reuse, bypass);
+            for (i, (e, f)) in exact.unknowns().iter().zip(fast.unknowns()).enumerate() {
+                let scale = e.abs().max(1.0);
+                assert!(
+                    (f - e).abs() <= 1e-6 * scale,
+                    "reuse={reuse} bypass={bypass} unknown {i}: {f} vs {e}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn dc_sweep_tracks_diode_clamp() {
         // Sweep the source through the diode knee: the clamp engages.

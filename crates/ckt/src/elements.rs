@@ -13,6 +13,7 @@
 use crate::models::{FeCapParams, MosParams, MosPolarity};
 use crate::waveform::Waveform;
 use fefet_numerics::linalg::Matrix;
+use std::cell::Cell;
 
 /// A circuit node handle. Node 0 is ground.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -176,6 +177,10 @@ pub(crate) enum JacTarget<'a> {
     },
     /// Structural pass: record (row, col) of every add, in stamp order.
     Pattern(&'a mut Vec<(usize, usize)>),
+    /// Residual-only pass: every Jacobian add is discarded. Used by the
+    /// modified-Newton fast path, which re-solves against the stored
+    /// factorization and only needs a fresh residual.
+    Null,
 }
 
 /// Mutable view of the Newton system being assembled.
@@ -219,6 +224,7 @@ impl<'a> Sys<'a> {
                 *cursor += 1;
             }
             JacTarget::Pattern(v) => v.push((r, c)),
+            JacTarget::Null => {}
         }
     }
 
@@ -299,6 +305,109 @@ impl<'a> Sys<'a> {
     }
 }
 
+/// Cached outputs of one element's expensive model evaluation, keyed by
+/// the operating point they were computed at. Only the three nonlinear
+/// device models are cached — linear elements and sources are cheap or
+/// time-dependent, and caching them would buy nothing.
+///
+/// A *hit* (terminal voltages within the caller's `vtol` of the cached
+/// point, and for state-dependent models an identical previous state and
+/// step context) returns the cached derivatives with the current/charge
+/// linearized to first order around the cached point, so the bypass
+/// error is O(vtol²) — far below solver tolerance at the default
+/// `bypass_vtol`. Stamps are always issued either way, which preserves
+/// the slot-indexed stamping invariant untouched.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) enum ModelCache {
+    #[default]
+    Empty,
+    /// Diode: exponential current and conductance at the cached bias.
+    Diode { v: f64, i: f64, g: f64 },
+    /// MOSFET: channel current and conductances at the cached
+    /// polarity-normalized (vgs, vds), plus raw gate charge/capacitance
+    /// (state-free, so valid across timesteps).
+    Mos {
+        vgs: f64,
+        vds: f64,
+        i: f64,
+        gm: f64,
+        gds: f64,
+        q: f64,
+        c: f64,
+    },
+    /// FeCap: inner LK solve, additionally keyed on the exact previous
+    /// state and the (h, method) step context it was computed under.
+    Fe {
+        v: f64,
+        p_bits: u64,
+        dp_bits: u64,
+        h_bits: u64,
+        trap: bool,
+        j: f64,
+        dj_dv: f64,
+    },
+}
+
+/// Per-element model-evaluation cache for the device-bypass fast path.
+///
+/// Owned by the engine's `NewtonWorkspace` (one slot per netlist
+/// element, allocated once on the first bypass-enabled solve) and handed
+/// to [`Element::stamp_cached`] by index during assembly. Interior
+/// mutability keeps the stamping signature `&self`-clean; assembly is
+/// single-threaded per workspace, so `Cell` is exactly the right tool.
+#[derive(Debug, Default)]
+pub(crate) struct BypassBank {
+    slots: Vec<Cell<ModelCache>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl BypassBank {
+    pub(crate) fn new(n_elements: usize) -> Self {
+        Self {
+            slots: (0..n_elements)
+                .map(|_| Cell::new(ModelCache::Empty))
+                .collect(),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn record_hit(&self) {
+        self.hits.set(self.hits.get() + 1);
+    }
+
+    fn record_miss(&self) {
+        self.misses.set(self.misses.get() + 1);
+    }
+
+    /// Drains the hit/miss counters accumulated since the last call
+    /// (the engine harvests them into telemetry once per solve).
+    pub(crate) fn take_counts(&self) -> (u64, u64) {
+        (self.hits.replace(0), self.misses.replace(0))
+    }
+}
+
+/// One element's view into the bypass bank during a stamping pass.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BypassCtx<'a> {
+    pub(crate) bank: &'a BypassBank,
+    pub(crate) index: usize,
+    /// Terminal-voltage tolerance for a cache hit (V).
+    pub(crate) vtol: f64,
+}
+
+impl<'a> BypassCtx<'a> {
+    #[inline]
+    fn slot(&self) -> &'a Cell<ModelCache> {
+        &self.bank.slots[self.index]
+    }
+}
+
 /// Hard clamp on |P| during the inner ferroelectric solve; with the
 /// paper's coefficients the outer unstable branch sits near 3.1 C/m², so
 /// 2.0 keeps Newton away from it without affecting physical trajectories
@@ -354,6 +463,25 @@ impl Element {
     /// `branch0` is the element's first branch index (meaningful only when
     /// [`Element::n_branches`] is nonzero).
     pub fn stamp(&self, branch0: usize, ctx: &EvalCtx<'_>, sys: &mut Sys<'_>) {
+        self.stamp_cached(branch0, ctx, sys, None);
+    }
+
+    /// [`Element::stamp`] with an optional device-bypass cache slot.
+    ///
+    /// With `bypass` present, the nonlinear models (diode, MOSFET,
+    /// ferroelectric capacitor) answer from the cached operating point
+    /// when the terminal voltages moved less than the bypass tolerance,
+    /// skipping the expensive inner evaluation; everything else stamps
+    /// identically. Bypass is ignored during DC solves (the cached
+    /// entries would be missing their dynamic parts).
+    pub(crate) fn stamp_cached(
+        &self,
+        branch0: usize,
+        ctx: &EvalCtx<'_>,
+        sys: &mut Sys<'_>,
+        bypass: Option<BypassCtx<'_>>,
+    ) {
+        let bypass = if ctx.dc { None } else { bypass };
         match self {
             Element::Resistor { a, b, ohms } => {
                 let g = 1.0 / ohms;
@@ -466,23 +594,52 @@ impl Element {
                 i_sat,
                 n_ideality,
             } => {
-                let vt = n_ideality * 0.02585;
                 let v = ctx.v(*a) - ctx.v(*b);
-                let x = v / vt;
-                // Exponential with linear extension beyond x=40 to keep
-                // Newton bounded.
-                let (i, g) = if x > 40.0 {
-                    let e = 40f64.exp();
-                    (i_sat * (e * (1.0 + (x - 40.0)) - 1.0), i_sat * e / vt)
-                } else {
-                    let e = x.exp();
-                    (i_sat * (e - 1.0), i_sat * e / vt)
+                let mut hit = None;
+                if let Some(bp) = bypass {
+                    if let ModelCache::Diode {
+                        v: vc,
+                        i: ic,
+                        g: gc,
+                    } = bp.slot().get()
+                    {
+                        if (v - vc).abs() <= bp.vtol {
+                            // First-order update around the cached bias.
+                            hit = Some((ic + gc * (v - vc), gc));
+                        }
+                    }
+                }
+                let (i, g) = match hit {
+                    Some(ig) => {
+                        if let Some(bp) = bypass {
+                            bp.bank.record_hit();
+                        }
+                        ig
+                    }
+                    None => {
+                        let vt = n_ideality * 0.02585;
+                        let x = v / vt;
+                        // Exponential with linear extension beyond x=40 to
+                        // keep Newton bounded.
+                        let (i, g) = if x > 40.0 {
+                            let e = 40f64.exp();
+                            (i_sat * (e * (1.0 + (x - 40.0)) - 1.0), i_sat * e / vt)
+                        } else {
+                            let e = x.exp();
+                            (i_sat * (e - 1.0), i_sat * e / vt)
+                        };
+                        if let Some(bp) = bypass {
+                            bp.bank.record_miss();
+                            bp.slot().set(ModelCache::Diode { v, i, g });
+                        }
+                        (i, g)
+                    }
                 };
                 // Norton: i(v) ≈ i + g (v' - v)  => i0 = i - g v.
                 sys.stamp_conductance(*a, *b, g, i - g * v, ctx.v(*a), ctx.v(*b));
             }
             Element::Mosfet { d, g, s, params } => {
-                self.stamp_mosfet(*d, *g, *s, params, ctx, sys);
+                self.stamp_mosfet(*d, *g, *s, params, ctx, sys, bypass);
             }
             Element::FeCap { a, b, params, .. } => {
                 if ctx.dc {
@@ -493,7 +650,54 @@ impl Element {
                     _ => (0.0, 0.0),
                 };
                 let v = ctx.v(*a) - ctx.v(*b);
-                let (j, dj_dv) = fe_inner_solve(params, p_prev, dp_prev, v, ctx.h, ctx.method);
+                let trap = matches!(ctx.method, Integration::Trapezoidal);
+                let mut hit = None;
+                if let Some(bp) = bypass {
+                    if let ModelCache::Fe {
+                        v: vc,
+                        p_bits,
+                        dp_bits,
+                        h_bits,
+                        trap: trap_c,
+                        j: jc,
+                        dj_dv: djc,
+                    } = bp.slot().get()
+                    {
+                        if p_bits == p_prev.to_bits()
+                            && dp_bits == dp_prev.to_bits()
+                            && h_bits == ctx.h.to_bits()
+                            && trap_c == trap
+                            && (v - vc).abs() <= bp.vtol
+                        {
+                            hit = Some((jc + djc * (v - vc), djc));
+                        }
+                    }
+                }
+                let (j, dj_dv) = match hit {
+                    Some(jd) => {
+                        if let Some(bp) = bypass {
+                            bp.bank.record_hit();
+                        }
+                        jd
+                    }
+                    None => {
+                        let (j, dj_dv) =
+                            fe_inner_solve(params, p_prev, dp_prev, v, ctx.h, ctx.method);
+                        if let Some(bp) = bypass {
+                            bp.bank.record_miss();
+                            bp.slot().set(ModelCache::Fe {
+                                v,
+                                p_bits: p_prev.to_bits(),
+                                dp_bits: dp_prev.to_bits(),
+                                h_bits: ctx.h.to_bits(),
+                                trap,
+                                j,
+                                dj_dv,
+                            });
+                        }
+                        (j, dj_dv)
+                    }
+                };
                 let i = params.area * j;
                 let g = params.area * dj_dv;
                 sys.stamp_conductance(*a, *b, g, i - g * v, ctx.v(*a), ctx.v(*b));
@@ -501,6 +705,7 @@ impl Element {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn stamp_mosfet(
         &self,
         d: Node,
@@ -509,11 +714,73 @@ impl Element {
         params: &MosParams,
         ctx: &EvalCtx<'_>,
         sys: &mut Sys<'_>,
+        bypass: Option<BypassCtx<'_>>,
     ) {
         let (vd, vg, vs) = (ctx.v(d), ctx.v(g), ctx.v(s));
+        // Polarity-normalized terminal drives: a1 = sign·vgs, a2 =
+        // sign·vds — the arguments `ids`/`q_gate`/`c_gate` see for both
+        // polarities, which makes the cache key polarity-agnostic.
+        let (a1, a2) = match params.polarity {
+            MosPolarity::Nmos => (vg - vs, vd - vs),
+            MosPolarity::Pmos => (vs - vg, vs - vd),
+        };
+        let mut hit = None;
+        if let Some(bp) = bypass {
+            if let ModelCache::Mos {
+                vgs,
+                vds,
+                i,
+                gm,
+                gds,
+                q,
+                c,
+            } = bp.slot().get()
+            {
+                if (a1 - vgs).abs() <= bp.vtol && (a2 - vds).abs() <= bp.vtol {
+                    // First-order updates around the cached point.
+                    hit = Some((
+                        i + gm * (a1 - vgs) + gds * (a2 - vds),
+                        gm,
+                        gds,
+                        q + c * (a1 - vgs),
+                        c,
+                    ));
+                }
+            }
+        }
+        let (i, gm, gds, q_raw, c) = match hit {
+            Some(v) => {
+                if let Some(bp) = bypass {
+                    bp.bank.record_hit();
+                }
+                v
+            }
+            None => {
+                let (i, gm, gds) = params.ids(a1, a2);
+                // Gate charge is state-free, so cache it alongside the
+                // channel even though DC stamps never read it.
+                let (q_raw, c) = if ctx.dc && bypass.is_none() {
+                    (0.0, 0.0)
+                } else {
+                    (params.q_gate(a1), params.c_gate(a1))
+                };
+                if let Some(bp) = bypass {
+                    bp.bank.record_miss();
+                    bp.slot().set(ModelCache::Mos {
+                        vgs: a1,
+                        vds: a2,
+                        i,
+                        gm,
+                        gds,
+                        q: q_raw,
+                        c,
+                    });
+                }
+                (i, gm, gds, q_raw, c)
+            }
+        };
         match params.polarity {
             MosPolarity::Nmos => {
-                let (i, gm, gds) = params.ids(vg - vs, vd - vs);
                 // Current i flows d -> s through the channel.
                 sys.add_res_node(d, i);
                 sys.add_res_node(s, -i);
@@ -525,7 +792,6 @@ impl Element {
                 sys.add_jac_nn(s, s, gm + gds);
             }
             MosPolarity::Pmos => {
-                let (i, gm, gds) = params.ids(vs - vg, vs - vd);
                 // Current i flows s -> d through the channel.
                 sys.add_res_node(s, i);
                 sys.add_res_node(d, -i);
@@ -548,9 +814,7 @@ impl Element {
                 MosPolarity::Nmos => 1.0,
                 MosPolarity::Pmos => -1.0,
             };
-            let vgs = vg - vs;
-            let q = sign * params.q_gate(sign * vgs);
-            let c = params.c_gate(sign * vgs); // dq/dvgs, same for both signs
+            let q = sign * q_raw;
             let (i_g, di_dvgs) = match ctx.method {
                 Integration::BackwardEuler => ((q - q_prev) / ctx.h, c / ctx.h),
                 Integration::Trapezoidal => (2.0 * (q - q_prev) / ctx.h - ig_prev, 2.0 * c / ctx.h),

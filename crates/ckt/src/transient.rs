@@ -117,6 +117,13 @@ pub struct TransientOptions {
     pub start: StartMode,
     /// Optional adaptive step control; `None` keeps fixed stepping.
     pub lte: Option<LteControl>,
+    /// Step prediction: start each Newton solve from a linear
+    /// extrapolation of the last two accepted node vectors instead of
+    /// the previous solution. Cuts Newton iterations on smooth segments
+    /// and pairs with modified Newton (a better initial guess keeps the
+    /// residual contracting under stale factors). Off across waveform
+    /// corners, where the derivative is discontinuous. Default on.
+    pub predict: bool,
 }
 
 impl Default for TransientOptions {
@@ -129,6 +136,7 @@ impl Default for TransientOptions {
             node_ics: Vec::new(),
             start: StartMode::UseIcs,
             lte: None,
+            predict: true,
         }
     }
 }
@@ -358,6 +366,29 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
                 t + dt_try
             };
             x_new.copy_from_slice(&x);
+            // Transient prediction: linear extrapolation of the node
+            // voltages through the last two accepted points as the
+            // Newton initial guess. Branch currents keep their previous
+            // values — they are linear consequences of the voltages and
+            // converge in the same iteration either way. Skipped on the
+            // step after a corner (history was cleared there anyway) and
+            // clamped to the damping bound so a wild extrapolation can
+            // never fling the iterate further than Newton itself may.
+            if let (true, true, Some(((t0, x0), (t1, x1)))) =
+                (opts.predict, !at_corner, hist.last_two())
+            {
+                let h0 = t1 - t0;
+                if h0 > 0.0 {
+                    let w = (t_attempt - t1) / h0;
+                    let bound = opts.solver.max_v_step;
+                    for i in 0..nv {
+                        x_new[i] = x1[i] + (w * (x1[i] - x0[i])).clamp(-bound, bound);
+                    }
+                    if let Some(tel) = opts.solver.instr.get() {
+                        tel.steps.predicted.inc();
+                    }
+                }
+            }
             let solved = asm.solve_point_with(
                 ckt,
                 t_attempt,

@@ -22,6 +22,42 @@ const T_EDGE: f64 = 50e-12;
 /// Quiescent lead-in (s).
 const T_START: f64 = 0.2e-9;
 
+/// Per-array switches for the transient fast paths (modified-Newton
+/// Jacobian reuse, device bypass, step prediction). All default **on**;
+/// turning one off forces the corresponding exact path, which the parity
+/// tests use to bound the fast paths' error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastPathToggles {
+    /// Reuse factored Jacobians while the residual contracts.
+    pub jacobian_reuse: bool,
+    /// Skip model evaluation for elements at an unchanged operating
+    /// point.
+    pub bypass: bool,
+    /// Start each timestep's Newton from an extrapolated node vector.
+    pub predict: bool,
+}
+
+impl Default for FastPathToggles {
+    fn default() -> Self {
+        FastPathToggles {
+            jacobian_reuse: true,
+            bypass: true,
+            predict: true,
+        }
+    }
+}
+
+impl FastPathToggles {
+    /// Every fast path disabled: the exact PR-3 solver behavior.
+    pub fn exact() -> Self {
+        FastPathToggles {
+            jacobian_reuse: false,
+            bypass: false,
+            predict: false,
+        }
+    }
+}
+
 /// An m×n array of 2T FEFET cells with explicit stored polarization.
 #[derive(Debug, Clone)]
 pub struct FefetArray {
@@ -37,6 +73,9 @@ pub struct FefetArray {
     /// and the pattern-cached sparse LU above it; force `Dense` or
     /// `Sparse` for A/B comparisons.
     pub solver_backend: SolverBackend,
+    /// Transient fast-path switches for every simulation this array
+    /// runs; defaults to all on.
+    pub fastpaths: FastPathToggles,
     /// Telemetry sink for every simulation this array runs. Off by
     /// default; set to [`Instrumentation::enabled`] (or a shared
     /// handle) to aggregate Newton/step/array statistics — the handle
@@ -101,6 +140,7 @@ impl FefetArray {
             cols,
             cell,
             solver_backend: SolverBackend::default(),
+            fastpaths: FastPathToggles::default(),
             instr: Instrumentation::off(),
             state: vec![p_lo; rows * cols],
         }
@@ -247,8 +287,11 @@ impl FefetArray {
             TransientOptions {
                 dt: self.cell.dt,
                 node_ics: self.node_ics(c),
+                predict: self.fastpaths.predict,
                 solver: SolverOptions {
                     backend: self.solver_backend,
+                    jacobian_reuse: self.fastpaths.jacobian_reuse,
+                    bypass: self.fastpaths.bypass,
                     instr: self.instr.clone(),
                     ..SolverOptions::default()
                 },
@@ -452,19 +495,25 @@ impl FefetArray {
     }
 
     /// Reads several rows, fanning the independent row transients out
-    /// over up to `threads` scoped worker threads (`0` = one per
-    /// available hardware thread). Results are returned in the order of
-    /// `rows` and are bit-identical to calling [`FefetArray::read_row`]
-    /// serially — each read is a deterministic simulation of the same
-    /// stored state, and the fan-out preserves ordering.
+    /// over the persistent worker pool ([`crate::parallel::pool_map`];
+    /// `threads = 0` means one per available hardware thread). Results
+    /// are returned in the order of `rows` and are bit-identical to
+    /// calling [`FefetArray::read_row`] serially — each read is a
+    /// deterministic simulation of the same stored state, and the
+    /// fan-out preserves ordering. The array's telemetry handle is
+    /// shared into the pool workers, so one sink collects the whole
+    /// sweep.
     ///
     /// # Errors
     ///
     /// The first row-range or convergence error, in `rows` order.
     pub fn read_rows(&self, rows: &[usize], t_read: f64, threads: usize) -> Result<Vec<ArrayRead>> {
-        crate::parallel::parallel_map(rows, threads, |&row| self.read_row(row, t_read))
-            .into_iter()
-            .collect()
+        let this = std::sync::Arc::new(self.clone());
+        crate::parallel::pool_map(rows.to_vec(), threads, &self.instr, move |&row| {
+            this.read_row(row, t_read)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Reads every row of the array ([`FefetArray::read_rows`] over
@@ -481,8 +530,8 @@ impl FefetArray {
     /// Write-disturb sweep: for each row in turn, writes `data` into a
     /// **clone** of the array and records the worst unaccessed-cell
     /// polarization drift. The array itself is never modified, so the
-    /// per-row trials are independent and run on up to `threads` worker
-    /// threads (`0` = one per available hardware thread).
+    /// per-row trials are independent and run on the persistent worker
+    /// pool (`threads = 0` = one per available hardware thread).
     ///
     /// Returns the per-row `max_disturb` values (C/m²), indexed by the
     /// accessed row.
@@ -504,9 +553,13 @@ impl FefetArray {
             )));
         }
         let rows: Vec<usize> = (0..self.rows).collect();
-        crate::parallel::parallel_map(&rows, threads, |&row| {
-            let mut trial = self.clone();
-            trial.write_row(row, data, t_pulse).map(|op| op.max_disturb)
+        let this = std::sync::Arc::new(self.clone());
+        let data = data.to_vec();
+        crate::parallel::pool_map(rows, threads, &self.instr, move |&row| {
+            let mut trial = (*this).clone();
+            trial
+                .write_row(row, &data, t_pulse)
+                .map(|op| op.max_disturb)
         })
         .into_iter()
         .collect()
@@ -652,7 +705,10 @@ mod tests {
 
     /// The solver-backend knob must reach the engine, and the two
     /// backends must tell the same physical story: same digitized bits,
-    /// same step sequence, cell currents within 1e-9 relative.
+    /// same step sequence, cell currents within 1e-6 relative. (With
+    /// the fast paths on, each backend's Newton lands within solver
+    /// tolerance of the true solution rather than machine accuracy, so
+    /// the cross-backend bound is 1e-6, not 1e-9.)
     #[test]
     fn sparse_and_dense_backends_agree_on_a_read() {
         let mut a = small_array();
@@ -672,7 +728,7 @@ mod tests {
         for (d, s) in rd.currents.iter().zip(&rs.currents) {
             let scale = d.abs().max(s.abs()).max(1e-30);
             assert!(
-                (d - s).abs() / scale < 1e-9,
+                (d - s).abs() / scale < 1e-6,
                 "currents diverge: dense {d:e} vs sparse {s:e}"
             );
         }

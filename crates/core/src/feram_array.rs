@@ -302,8 +302,8 @@ impl FeramArray {
     /// Read-margin sweep: destructively reads each row of a **clone** of
     /// the array and returns the developed bit-line swings per row. The
     /// array itself keeps its state (no write-back needed), and because
-    /// each trial owns its clone, the rows are swept on up to `threads`
-    /// scoped worker threads (`0` = one per available hardware thread)
+    /// each trial owns its clone, the rows are swept on the persistent
+    /// worker pool (`threads = 0` = one per available hardware thread)
     /// with results bit-identical to a serial sweep.
     ///
     /// # Errors
@@ -311,10 +311,16 @@ impl FeramArray {
     /// The first convergence error, in row order.
     pub fn read_margins(&self, t_dev: f64, threads: usize) -> Result<Vec<Vec<f64>>> {
         let rows: Vec<usize> = (0..self.rows).collect();
-        crate::parallel::parallel_map(&rows, threads, |&row| {
-            let mut trial = self.clone();
-            trial.read_row(row, t_dev).map(|(_, swings)| swings)
-        })
+        let this = std::sync::Arc::new(self.clone());
+        crate::parallel::pool_map(
+            rows,
+            threads,
+            &fefet_telemetry::Instrumentation::off(),
+            move |&row| {
+                let mut trial = (*this).clone();
+                trial.read_row(row, t_dev).map(|(_, swings)| swings)
+            },
+        )
         .into_iter()
         .collect()
     }

@@ -467,6 +467,14 @@ impl LuWorkspace {
         self.lu.rows
     }
 
+    /// Whether the workspace holds a successful factorization, i.e.
+    /// whether [`LuWorkspace::solve_into`] can run against it without
+    /// refactoring. Modified-Newton callers use this to re-solve with a
+    /// stale Jacobian instead of paying a fresh elimination.
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+
     /// Factors `a` into the workspace's own storage without consuming or
     /// cloning it. Allocates only if `a`'s order differs from
     /// [`LuWorkspace::order`]; repeated same-size factorizations are

@@ -242,6 +242,9 @@ pub struct SparseLu {
     refactors: u64,
     /// Triangular solves performed.
     solves: u64,
+    /// Whether `lu_vals`/`inv_diag` hold a successful numeric
+    /// factorization (guards refactor-free re-solves).
+    factored: bool,
 }
 
 impl SparseLu {
@@ -460,6 +463,7 @@ impl SparseLu {
             y: vec![0.0; n],
             refactors: 0,
             solves: 0,
+            factored: false,
         })
     }
 
@@ -505,6 +509,14 @@ impl SparseLu {
         self.solves
     }
 
+    /// Whether the analysis holds a successful numeric factorization,
+    /// i.e. whether [`SparseLu::solve_in_place`] can run against it
+    /// without a fresh [`SparseLu::refactor`]. Modified-Newton callers
+    /// use this to re-solve with a stale Jacobian.
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+
     /// Numeric refactorization over the analyzed pattern. Allocation-free.
     ///
     /// `a` must have the same pattern the analysis was built from (order
@@ -519,6 +531,7 @@ impl SparseLu {
             });
         }
         self.refactors += 1;
+        self.factored = false;
         let av = a.values();
         for i in 0..self.n {
             // Scatter row `row_perm[i]` of A into the dense work array
@@ -552,12 +565,24 @@ impl SparseLu {
             }
             self.inv_diag[i] = 1.0 / d;
         }
+        self.factored = true;
         Ok(())
     }
 
     /// Solves `A·x = b` in place using the current factorization
     /// (`b` is overwritten with `x`). Allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] if the analysis holds no successful
+    /// numeric factorization; [`Error::DimensionMismatch`] on a wrong
+    /// right-hand-side length.
     pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<()> {
+        if !self.factored {
+            return Err(Error::InvalidArgument(
+                "solve_in_place: analysis holds no numeric factorization",
+            ));
+        }
         if b.len() != self.n {
             return Err(Error::DimensionMismatch {
                 found: (b.len(), 1),
@@ -653,6 +678,21 @@ mod tests {
         lu.solve_in_place(&mut b2).unwrap();
         assert_eq!(lu.refactor_count(), 2);
         assert_eq!(lu.solve_count(), 3);
+    }
+
+    #[test]
+    fn unfactored_solve_is_a_typed_error() {
+        let m = csr_from_dense(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let mut lu = SparseLu::analyze(m.pattern()).unwrap();
+        assert!(!lu.is_factored());
+        let mut b = vec![1.0, 1.0];
+        assert!(matches!(
+            lu.solve_in_place(&mut b),
+            Err(Error::InvalidArgument(_))
+        ));
+        lu.refactor(&m).unwrap();
+        assert!(lu.is_factored());
+        lu.solve_in_place(&mut b).unwrap();
     }
 
     #[test]

@@ -69,6 +69,15 @@ pub struct SolverStats {
     pub sparse_symbolic_analyses: Counter,
     /// Extra gmin-stepping passes taken after a direct solve failed.
     pub gmin_retries: Counter,
+    /// Newton iterations that reused the stored Jacobian factorization
+    /// (modified Newton: residual-only stamp + back-substitution).
+    pub jacobian_reuses: Counter,
+    /// Device model evaluations answered from the per-element bypass
+    /// cache (linearized around the cached operating point).
+    pub bypass_hits: Counter,
+    /// Device model evaluations that missed the bypass cache and ran
+    /// the full model.
+    pub bypass_misses: Counter,
 }
 
 impl Default for SolverStats {
@@ -91,6 +100,9 @@ impl Default for SolverStats {
             sparse_fill_nnz: Counter::new(),
             sparse_symbolic_analyses: Counter::new(),
             gmin_retries: Counter::new(),
+            jacobian_reuses: Counter::new(),
+            bypass_hits: Counter::new(),
+            bypass_misses: Counter::new(),
         }
     }
 }
@@ -102,6 +114,8 @@ impl SolverStats {
              \"newton_iterations\":{},\"residual_at_convergence\":{},\
              \"dense_factors\":{},\"sparse_refactors\":{},\
              \"back_substitutions\":{},\"factors_per_solve\":{},\
+             \"jacobian_reuses\":{},\"bypass_hits\":{},\
+             \"bypass_misses\":{},\
              \"sparse_pattern_nnz\":{},\"sparse_fill_nnz\":{},\
              \"sparse_symbolic_analyses\":{}}}",
             self.solves.get(),
@@ -113,6 +127,9 @@ impl SolverStats {
             self.sparse_refactors.get(),
             self.back_substitutions.get(),
             self.factors_per_solve.to_json(),
+            self.jacobian_reuses.get(),
+            self.bypass_hits.get(),
+            self.bypass_misses.get(),
             self.sparse_pattern_nnz.get(),
             self.sparse_fill_nnz.get(),
             self.sparse_symbolic_analyses.get(),
@@ -132,6 +149,9 @@ pub struct StepStats {
     pub rejected_lte: Counter,
     /// Accepted steps that landed on a waveform corner via snapping.
     pub corner_snaps: Counter,
+    /// Step attempts whose Newton initial guess was extrapolated from
+    /// the node-voltage history instead of copied from the last point.
+    pub predicted: Counter,
     /// Accepted timestep sizes (s), one decade per bucket.
     pub dt_seconds: Histogram,
 }
@@ -143,6 +163,7 @@ impl Default for StepStats {
             rejected_newton: Counter::new(),
             rejected_lte: Counter::new(),
             corner_snaps: Counter::new(),
+            predicted: Counter::new(),
             dt_seconds: Histogram::log10_decades(-15, -3),
         }
     }
@@ -152,11 +173,12 @@ impl StepStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"accepted\":{},\"rejected_newton\":{},\"rejected_lte\":{},\
-             \"corner_snaps\":{},\"dt_seconds\":{}}}",
+             \"corner_snaps\":{},\"predicted\":{},\"dt_seconds\":{}}}",
             self.accepted.get(),
             self.rejected_newton.get(),
             self.rejected_lte.get(),
             self.corner_snaps.get(),
+            self.predicted.get(),
             self.dt_seconds.to_json(),
         )
     }
@@ -263,6 +285,36 @@ impl Default for NvpStats {
     }
 }
 
+/// Persistent sweep-pool statistics, recorded by
+/// `fefet_core::parallel::pool_map`.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Pool sweeps dispatched (one per `pool_map` call that actually
+    /// fanned out; inline fallbacks are not counted).
+    pub sweeps: Counter,
+    /// Work items executed across all pool sweeps.
+    pub items: Counter,
+    /// High-water mark: participants (caller + pool workers) observed
+    /// running chunks of the same sweep concurrently.
+    pub workers_active: Counter,
+    /// Chunks a participant claimed beyond its first — work "stolen"
+    /// from the static equal split by the self-scheduling counter.
+    pub tasks_stolen: Counter,
+}
+
+impl PoolStats {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"sweeps\":{},\"items\":{},\"workers_active\":{},\
+             \"tasks_stolen\":{}}}",
+            self.sweeps.get(),
+            self.items.get(),
+            self.workers_active.get(),
+            self.tasks_stolen.get(),
+        )
+    }
+}
+
 /// The domain aggregate: every stats group plus the span registry.
 /// Shared across threads through an `Arc` inside [`Instrumentation`].
 #[derive(Debug, Default)]
@@ -271,6 +323,7 @@ pub struct Telemetry {
     pub steps: StepStats,
     pub array: ArrayStats,
     pub nvp: NvpStats,
+    pub pool: PoolStats,
     pub spans: SpanRegistry,
 }
 
@@ -287,6 +340,7 @@ impl Telemetry {
         s.push_str(&format!(",\"steps\":{}", self.steps.to_json()));
         s.push_str(&format!(",\"array\":{}", self.array.to_json()));
         s.push_str(&format!(",\"nvp\":{}", self.nvp.to_json()));
+        s.push_str(&format!(",\"pool\":{}", self.pool.to_json()));
         s.push_str(",\"spans\":{");
         for (i, (name, count, total_ns)) in self.spans.snapshot().iter().enumerate() {
             if i > 0 {
@@ -435,11 +489,20 @@ mod tests {
         tel.array.read_margin_worst.update_min(42.0);
         tel.nvp.runs.inc();
         tel.nvp.backup_energy_j.add(1.5e-9);
+        tel.solver.jacobian_reuses.add(7);
+        tel.solver.bypass_hits.add(3);
+        tel.steps.predicted.add(9);
+        tel.pool.sweeps.inc();
+        tel.pool.workers_active.record_max(4);
+        tel.pool.tasks_stolen.add(2);
         let _ = tel.spans.handle("x");
         let j = tel.to_json();
         assert!(json::validate(&j).is_ok(), "{j}");
         assert!(j.contains("\"solves\":1"));
         assert!(j.contains("\"accepted\":10"));
+        assert!(j.contains("\"jacobian_reuses\":7"));
+        assert!(j.contains("\"predicted\":9"));
+        assert!(j.contains("\"workers_active\":4"));
         assert!(j.contains("\"x\":{\"count\":0"));
     }
 
