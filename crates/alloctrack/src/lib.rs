@@ -71,8 +71,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Total allocation events since process start, across all threads.
+///
+/// Relaxed matches the `fetch_add` side: the counter is a monotonic
+/// statistic, not a synchronization point, and a `SeqCst` load cannot
+/// order anything against relaxed increments anyway.
 pub fn allocation_count() -> usize {
-    ALLOCATIONS.load(Ordering::SeqCst)
+    ALLOCATIONS.load(Ordering::Relaxed)
 }
 
 /// Allocation events performed by the calling thread since it started.

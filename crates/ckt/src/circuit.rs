@@ -127,8 +127,8 @@ impl Circuit {
         }
     }
 
-    /// Sets the initial polarization of an existing ferroelectric
-    /// capacitor.
+    /// Sets the initial polarization `p` (C/m²) of an existing
+    /// ferroelectric capacitor.
     ///
     /// # Errors
     ///
@@ -181,7 +181,7 @@ impl Circuit {
         self.push(name, Element::Capacitor { a, b, farads })
     }
 
-    /// Adds an inductor.
+    /// Adds an inductor of `henries` (H).
     ///
     /// # Panics
     ///
@@ -204,7 +204,7 @@ impl Circuit {
         self.push(name, Element::ISource { a, b, wave })
     }
 
-    /// Adds a voltage-controlled voltage source.
+    /// Adds a voltage-controlled voltage source with `gain` (V/V).
     pub fn vcvs(
         &mut self,
         name: &str,
@@ -217,12 +217,14 @@ impl Circuit {
         self.push(name, Element::Vcvs { p, n, cp, cn, gain })
     }
 
-    /// Adds a voltage-controlled current source.
+    /// Adds a voltage-controlled current source with transconductance
+    /// `gm` (A/V).
     pub fn vccs(&mut self, name: &str, p: Node, n: Node, cp: Node, cn: Node, gm: f64) -> &mut Self {
         self.push(name, Element::Vccs { p, n, cp, cn, gm })
     }
 
-    /// Adds a time-controlled switch (closed while `ctrl(t) > 0.5`).
+    /// Adds a time-controlled switch (closed while `ctrl(t) > 0.5`)
+    /// with on/off resistances `r_on` and `r_off` (Ω).
     ///
     /// # Panics
     ///
@@ -252,7 +254,8 @@ impl Circuit {
         )
     }
 
-    /// Adds a junction diode (anode `a`).
+    /// Adds a junction diode (anode `a`) with saturation current
+    /// `i_sat` (A) and dimensionless ideality factor `n_ideality`.
     ///
     /// # Panics
     ///
@@ -295,7 +298,7 @@ impl Circuit {
     }
 
     /// Adds a ferroelectric capacitor with initial polarization `p0`
-    /// (C/m²; positive `p0` = positive charge on terminal `a`).
+    /// (C/m²); positive `p0` means positive charge on terminal `a`.
     pub fn fecap(
         &mut self,
         name: &str,

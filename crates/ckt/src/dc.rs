@@ -17,7 +17,7 @@ use crate::{CktError, Result};
 pub struct DcOptions {
     /// Newton solver settings (the `gmin` field is the *final* gmin).
     pub solver: SolverOptions,
-    /// Starting gmin for gmin stepping when the direct solve fails.
+    /// Starting gmin (S) for gmin stepping when the direct solve fails.
     pub gmin_start: f64,
 }
 
@@ -90,6 +90,7 @@ impl DcSolution {
 /// # Ok(())
 /// # }
 /// ```
+// fefet-lint: allow-item(hot-alloc) -- analysis driver: assembly, state vector and workspace are built once per operating point
 pub fn dc_operating_point(ckt: &Circuit, opts: DcOptions) -> Result<DcSolution> {
     let asm = Assembly::new(ckt);
     let states: Vec<ElemState> = ckt.elements().iter().map(|_| ElemState::None).collect();
@@ -162,6 +163,7 @@ pub fn dc_operating_point(ckt: &Circuit, opts: DcOptions) -> Result<DcSolution> 
 /// # Ok(())
 /// # }
 /// ```
+// fefet-lint: allow-item(hot-alloc) -- sweep driver: per-point results accumulate into the output vector; the warm path is the solve underneath
 pub fn dc_sweep(
     ckt: &mut Circuit,
     source: &str,
@@ -185,6 +187,7 @@ pub fn dc_sweep(
     Ok(out)
 }
 
+// fefet-lint: allow-item(hot-alloc) -- continuation fallback for hard operating points: robustness, not throughput; clones the iterate to allow retry after a failed step
 fn gmin_stepping(
     ckt: &Circuit,
     asm: &Assembly,

@@ -126,9 +126,9 @@ pub enum ElemState {
 /// Everything an element needs to stamp itself at one Newton iterate.
 #[derive(Debug, Clone, Copy)]
 pub struct EvalCtx<'a> {
-    /// Absolute time of the step being solved (ignored for DC).
+    /// Absolute time (s) of the step being solved (ignored for DC).
     pub t: f64,
-    /// Step size; 0 for DC.
+    /// Step size (s); 0 for DC.
     pub h: f64,
     /// Integration method for dynamic elements.
     pub method: Integration,
@@ -242,7 +242,7 @@ impl<'a> Sys<'a> {
         self.n_nodes - 1 + b
     }
 
-    /// Adds `v` to the KCL residual of `node`.
+    /// Adds `v` (A) to the KCL residual of `node`.
     #[inline]
     pub fn add_res_node(&mut self, node: Node, v: f64) {
         if let Some(i) = self.node_idx(node) {
@@ -250,14 +250,14 @@ impl<'a> Sys<'a> {
         }
     }
 
-    /// Adds `v` to the residual of branch equation `b`.
+    /// Adds `v` (V) to the residual of branch equation `b`.
     #[inline]
     pub fn add_res_branch(&mut self, b: usize, v: f64) {
         let i = self.branch_idx(b);
         self.res[i] += v;
     }
 
-    /// Adds `dF(row_node)/dv(col_node) += g`.
+    /// Adds `dF(row_node)/dv(col_node) += g` (S).
     #[inline]
     pub fn add_jac_nn(&mut self, row: Node, col: Node, g: f64) {
         if let (Some(r), Some(c)) = (self.node_idx(row), self.node_idx(col)) {
@@ -265,7 +265,7 @@ impl<'a> Sys<'a> {
         }
     }
 
-    /// Adds `dF(row_node)/d i(branch) += g`.
+    /// Adds `dF(row_node)/d i(branch) += g` (dimensionless).
     #[inline]
     pub fn add_jac_nb(&mut self, row: Node, branch: usize, g: f64) {
         if let Some(r) = self.node_idx(row) {
@@ -274,7 +274,7 @@ impl<'a> Sys<'a> {
         }
     }
 
-    /// Adds `dF(branch)/dv(col_node) += g`.
+    /// Adds `dF(branch)/dv(col_node) += g` (dimensionless).
     #[inline]
     pub fn add_jac_bn(&mut self, branch: usize, col: Node, g: f64) {
         if let Some(c) = self.node_idx(col) {
@@ -283,7 +283,7 @@ impl<'a> Sys<'a> {
         }
     }
 
-    /// Adds `dF(branch)/d i(branch2) += g`.
+    /// Adds `dF(branch)/d i(branch2) += g` (Ω).
     #[inline]
     pub fn add_jac_bb(&mut self, branch: usize, branch2: usize, g: f64) {
         let r = self.branch_idx(branch);
@@ -291,9 +291,10 @@ impl<'a> Sys<'a> {
         self.jac_add(r, c, g);
     }
 
-    /// Stamps a conductance `g` between `a` and `b` carrying current
-    /// `i = g (v_a - v_b) + i0` (Norton companion), adding both the
-    /// residual and Jacobian entries.
+    /// Stamps a conductance `g` (S) between `a` and `b` carrying
+    /// current `i = g (v_a - v_b) + i0` (Norton companion, `i0` in A,
+    /// node voltages `va`/`vb` in V), adding both the residual and
+    /// Jacobian entries.
     pub fn stamp_conductance(&mut self, a: Node, b: Node, g: f64, i0: f64, va: f64, vb: f64) {
         let i = g * (va - vb) + i0;
         self.add_res_node(a, i);
@@ -423,7 +424,8 @@ impl Element {
         }
     }
 
-    /// Appends this element's waveform breakpoints within `[0, t_end]`.
+    /// Appends this element's waveform breakpoints (s) within
+    /// `[0, t_end]`.
     pub fn breakpoints(&self, t_end: f64, out: &mut Vec<f64>) {
         match self {
             Element::VSource { wave, .. }

@@ -159,6 +159,7 @@ struct SparseState {
 impl NewtonWorkspace {
     /// Creates a workspace for systems of `n` unknowns
     /// ([`Assembly::n_unknowns`]).
+    // fefet-lint: allow-item(hot-alloc) -- workspace construction IS the setup: it exists so the Newton loop itself never allocates
     pub fn new(n: usize) -> Self {
         NewtonWorkspace {
             n,
@@ -216,6 +217,7 @@ fn newton_accepted(opts: &SolverOptions, dv: f64, res_kcl: f64, res_branch: f64)
 
 impl Assembly {
     /// Builds the element/branch bookkeeping for `ckt`.
+    // fefet-lint: allow-item(hot-alloc) -- one-time assembly construction per circuit, before any solve
     pub fn new(ckt: &Circuit) -> Self {
         let mut branch0 = Vec::with_capacity(ckt.elements().len());
         let mut nb = 0;
@@ -236,7 +238,8 @@ impl Assembly {
         self.n_nodes - 1 + self.n_branches
     }
 
-    /// Assembles residual and Jacobian at iterate `x` (dense target).
+    /// Assembles residual and Jacobian at iterate `x` (dense target)
+    /// at time `t` (s) with step `h` (s) and diagonal leak `gmin` (S).
     #[allow(clippy::too_many_arguments)]
     pub fn stamp_all(
         &self,
@@ -315,6 +318,7 @@ impl Assembly {
     /// the Jacobian add sequence with a pattern-target stamp pass,
     /// assembles the CSR pattern, resolves every add to its value-array
     /// slot, and runs the one-time symbolic analysis.
+    // fefet-lint: allow-item(hot-alloc) -- first-use backend setup cached in the workspace; the Newton loop reuses it allocation-free
     #[allow(clippy::too_many_arguments)]
     fn build_sparse_state(
         &self,
@@ -359,10 +363,13 @@ impl Assembly {
     /// Convenience wrapper over [`Assembly::solve_point_with`] that
     /// allocates a fresh [`NewtonWorkspace`] per call; analysis drivers
     /// should own a workspace and call `solve_point_with` directly.
+    /// `t` is the absolute time (s) and `h` the step size (s), both 0
+    /// for DC.
     ///
     /// # Errors
     ///
     /// As for [`Assembly::solve_point_with`].
+    // fefet-lint: allow-item(hot-alloc) -- convenience wrapper that allocates a fresh workspace by documented contract; hot callers use solve_point_with
     #[allow(clippy::too_many_arguments)]
     pub fn solve_point(
         &self,
@@ -381,9 +388,10 @@ impl Assembly {
         Ok(x)
     }
 
-    /// Newton iteration for one solution point, in place. Returns the
-    /// number of Newton iterations performed (so callers can compare
-    /// iteration trajectories across solver backends).
+    /// Newton iteration for one solution point at time `t` (s) with
+    /// step `h` (s), in place. Returns the number of Newton iterations
+    /// performed (so callers can compare iteration trajectories across
+    /// solver backends).
     ///
     /// `x` holds the initial iterate on entry and the converged unknown
     /// vector on successful return (on error it holds the last partial
@@ -418,6 +426,7 @@ impl Assembly {
     ) -> Result<usize, CktError> {
         let n = self.n_unknowns();
         if x.len() != n || ws.order() != n {
+            // fefet-lint: allow(hot-alloc) -- cold error path: formatting happens once, on the way out
             return Err(CktError::Netlist(format!(
                 "solve_point: system has {n} unknowns but x has {} and workspace {}",
                 x.len(),
@@ -623,6 +632,7 @@ impl Assembly {
             if let Err(e) = solved {
                 return Err(CktError::Convergence {
                     time: t,
+                    // fefet-lint: allow(hot-alloc) -- cold error path: the iteration is already abandoned
                     detail: format!("jacobian factorization failed: {e}"),
                 });
             }
@@ -715,6 +725,7 @@ impl Assembly {
                 worst_residual,
                 last_damping,
                 gmin: opts.gmin,
+                // fefet-lint: allow(hot-alloc) -- cold error path: empty placeholder in the exhaustion report
                 gmin_trajectory: Vec::new(),
             },
         })

@@ -19,14 +19,14 @@
 /// Landau coefficients plus the kinetic (viscosity) coefficient ρ.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LkParams {
-    /// α in m/F (negative for a ferroelectric double well).
+    /// α (m/F); negative for a ferroelectric double well.
     pub alpha: f64,
-    /// β in m⁵/F/C².
+    /// β (m⁵/F/C²).
     pub beta: f64,
-    /// γ in m⁹/F/C⁴.
+    /// γ (m⁹/F/C⁴).
     pub gamma: f64,
-    /// Kinetic coefficient ρ in Ω·m (sets the polarization switching
-    /// speed; calibrated so a 0.68 V write completes in ≈550 ps, Table 3).
+    /// Kinetic coefficient ρ (Ω·m); sets the polarization switching
+    /// speed, calibrated so a 0.68 V write completes in ≈550 ps (Table 3).
     pub rho: f64,
 }
 
@@ -51,8 +51,9 @@ impl LkParams {
         p * (self.alpha + p2 * (self.beta + p2 * self.gamma))
     }
 
-    /// Derivative `dE/dP = α + 3βP² + 5γP⁴` (inverse capacitance density
-    /// times thickness); negative in the negative-capacitance region.
+    /// Derivative `dE/dP = α + 3βP² + 5γP⁴` at polarization `p` (C/m²),
+    /// in V·m/C: inverse capacitance density times thickness; negative
+    /// in the negative-capacitance region.
     #[inline]
     pub fn de_dp(&self, p: f64) -> f64 {
         let p2 = p * p;
@@ -149,15 +150,15 @@ where
 pub struct FeCapParams {
     /// Material/kinetic coefficients.
     pub lk: LkParams,
-    /// Film thickness `T_FE` in meters.
+    /// Film thickness `T_FE` (m).
     pub thickness: f64,
-    /// Plate area in m².
+    /// Plate area (m²).
     pub area: f64,
 }
 
 impl FeCapParams {
-    /// Ferroelectric capacitor with the paper's default material and the
-    /// given thickness/area.
+    /// Ferroelectric capacitor with the paper's default material and
+    /// the given `thickness` (m) and `area` (m²).
     pub fn new(thickness: f64, area: f64) -> Self {
         FeCapParams {
             lk: LkParams::default(),
@@ -166,13 +167,14 @@ impl FeCapParams {
         }
     }
 
-    /// Static voltage across the film at polarization `p`: `T_FE · E(P)`.
+    /// Static voltage (V) across the film at polarization `p` (C/m²):
+    /// `T_FE · E(P)`.
     #[inline]
     pub fn v_static(&self, p: f64) -> f64 {
         self.thickness * self.lk.e_static(p)
     }
 
-    /// `dV/dP` at polarization `p`.
+    /// `dV/dP` (V·m²/C) at polarization `p` (C/m²).
     #[inline]
     pub fn dv_dp(&self, p: f64) -> f64 {
         self.thickness * self.lk.de_dp(p)

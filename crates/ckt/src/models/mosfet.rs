@@ -46,7 +46,7 @@ pub struct MosParams {
     pub l: f64,
     /// Threshold voltage magnitude (V).
     pub vt0: f64,
-    /// Subthreshold slope factor `n` (SS = n·φt·ln10).
+    /// Subthreshold slope factor `n`, dimensionless (SS = n·φt·ln10).
     pub n: f64,
     /// Transconductance parameter µC_ox (A/V²).
     pub kp: f64,
@@ -124,13 +124,14 @@ impl MosParams {
         }
     }
 
-    /// Returns a copy with a different channel width.
+    /// Returns a copy with a different channel width `w` (m).
     pub fn with_width(mut self, w: f64) -> Self {
         self.w = w;
         self
     }
 
-    /// Returns a copy with a different current-threshold magnitude.
+    /// Returns a copy with a different current-threshold magnitude
+    /// `vt` (V).
     pub fn with_vt(mut self, vt: f64) -> Self {
         self.vt0 = vt;
         self

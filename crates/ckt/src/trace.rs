@@ -88,8 +88,8 @@ impl Trace {
         self.signal(name)?.last().copied()
     }
 
-    /// Linearly interpolated value of the named signal at time `t`
-    /// (clamped to the trace's ends).
+    /// Linearly interpolated value of the named signal at time `t` (s),
+    /// clamped to the trace's ends.
     pub fn value_at(&self, name: &str, t: f64) -> Option<f64> {
         let y = self.signal(name)?;
         if self.t.is_empty() {
@@ -111,8 +111,9 @@ impl Trace {
         Some(y[i] + frac * (y[i + 1] - y[i]))
     }
 
-    /// First time at or after `after` at which the signal crosses `level`
-    /// with the requested edge, linearly interpolated.
+    /// First time (s) at or after `after` (s) at which the signal
+    /// crosses `level` (in the signal's own units), with the requested
+    /// edge, linearly interpolated.
     pub fn cross_time(&self, name: &str, level: f64, edge: Edge, after: f64) -> Option<f64> {
         let y = self.signal(name)?;
         for i in 1..self.t.len() {
@@ -153,12 +154,12 @@ impl Trace {
         self.signal(name)?.iter().copied().max_by(f64::total_cmp)
     }
 
-    /// Minimum of the signal restricted to `t in [t0, t1]`.
+    /// Minimum of the signal restricted to `t in [t0, t1]` (s).
     pub fn window_min(&self, name: &str, t0: f64, t1: f64) -> Option<f64> {
         self.window_fold(name, t0, t1, f64::INFINITY, f64::min)
     }
 
-    /// Maximum of the signal restricted to `t in [t0, t1]`.
+    /// Maximum of the signal restricted to `t in [t0, t1]` (s).
     pub fn window_max(&self, name: &str, t0: f64, t1: f64) -> Option<f64> {
         self.window_fold(name, t0, t1, f64::NEG_INFINITY, f64::max)
     }
@@ -228,8 +229,8 @@ impl Trace {
         Ok(y)
     }
 
-    /// Linearly interpolated value at time `t`, with validation: unlike
-    /// [`Trace::value_at`] this refuses degenerate traces and
+    /// Linearly interpolated value at time `t` (s), with validation:
+    /// unlike [`Trace::value_at`] this refuses degenerate traces and
     /// out-of-range queries instead of clamping.
     ///
     /// # Errors
@@ -258,9 +259,10 @@ impl Trace {
             .ok_or_else(|| ill("empty trace".into()))
     }
 
-    /// Threshold-crossing time with validation: like
-    /// [`Trace::cross_time`] (`Ok(None)` when no crossing exists) but
-    /// degenerate traces and queries are typed errors.
+    /// Threshold-crossing time (s) at `level` (signal units) at or
+    /// after `after` (s), with validation: like [`Trace::cross_time`]
+    /// (`Ok(None)` when no crossing exists) but degenerate traces and
+    /// queries are typed errors.
     ///
     /// # Errors
     ///

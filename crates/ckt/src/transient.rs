@@ -20,6 +20,7 @@ struct NodeHistory {
 }
 
 impl NodeHistory {
+    // fefet-lint: allow-item(hot-alloc) -- history ring buffers are allocated once per run, then rotated in place
     fn new(nv: usize) -> Self {
         NodeHistory {
             times: [0.0; 3],
@@ -82,7 +83,7 @@ pub enum StartMode {
 /// LTE inside `atol + rtol·|v|`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LteControl {
-    /// Relative tolerance on node voltages.
+    /// Relative tolerance on node voltages (dimensionless).
     pub rtol: f64,
     /// Absolute tolerance on node voltages (V).
     pub atol: f64,
@@ -103,9 +104,9 @@ impl Default for LteControl {
 /// Options for [`transient`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransientOptions {
-    /// Nominal time step; `0.0` selects `t_end / 2000`.
+    /// Nominal time step (s); `0.0` selects `t_end / 2000`.
     pub dt: f64,
-    /// Smallest step before giving up; `0.0` selects `dt / 1e7`.
+    /// Smallest step (s) before giving up; `0.0` selects `dt / 1e7`.
     pub dt_min: f64,
     /// Integration method (backward Euler by default).
     pub method: Integration,
@@ -127,6 +128,7 @@ pub struct TransientOptions {
 }
 
 impl Default for TransientOptions {
+    // fefet-lint: allow-item(hot-alloc) -- options construction happens once per run, before stepping
     fn default() -> Self {
         TransientOptions {
             dt: 0.0,
@@ -141,7 +143,7 @@ impl Default for TransientOptions {
     }
 }
 
-/// Runs a transient analysis of `ckt` from 0 to `t_end`.
+/// Runs a transient analysis of `ckt` from 0 to `t_end` (s).
 ///
 /// Records every node voltage (`v(<node>)`), every element current
 /// (`i(<element>)`), and every ferroelectric polarization
@@ -151,6 +153,7 @@ impl Default for TransientOptions {
 ///
 /// [`CktError::Netlist`] for a non-positive `t_end`;
 /// [`CktError::Convergence`] if Newton fails even at the minimum step.
+// fefet-lint: allow-item(hot-alloc) -- run driver: allocates trace storage and per-run state up front and on cold error/accept paths; the per-step warm path is solve_point_with, pinned zero-alloc by the alloctrack gate
 #[allow(clippy::needless_range_loop)]
 pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Trace> {
     if !(t_end > 0.0) {

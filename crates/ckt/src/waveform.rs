@@ -27,20 +27,24 @@ pub enum Waveform {
     },
 }
 
-/// SPICE-style trapezoidal pulse description.
+/// SPICE-style trapezoidal pulse description. Levels are in the
+/// source's own units (volts for voltage sources, amperes for current
+/// sources); all edge timings are in seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pulse {
-    /// Initial (and final) level.
+    /// Initial (and final) level, in volts or amperes per the source
+    /// kind.
     pub v0: f64,
-    /// Pulsed level.
+    /// Pulsed level, in volts or amperes per the source kind.
     pub v1: f64,
-    /// Delay before the first edge.
+    /// Delay (s) before the first edge.
     pub delay: f64,
-    /// Rise time (0 is allowed; a 1 fs minimum is enforced internally).
+    /// Rise time (s); 0 is allowed (a 1 fs minimum is enforced
+    /// internally).
     pub rise: f64,
-    /// Fall time.
+    /// Fall time (s).
     pub fall: f64,
-    /// Time spent at `v1`.
+    /// Time (s) spent at `v1`.
     pub width: f64,
     /// Repetition period; `None` for a single pulse.
     pub period: Option<f64>,
@@ -51,12 +55,15 @@ pub struct Pulse {
 const MIN_EDGE: f64 = 1e-15;
 
 impl Waveform {
-    /// Constant waveform.
+    /// Constant waveform at level `v` (volts or amperes, per the
+    /// source kind).
     pub fn dc(v: f64) -> Self {
         Waveform::Dc(v)
     }
 
-    /// Single trapezoidal pulse.
+    /// Single trapezoidal pulse: levels `v0`/`v1` in the source's own
+    /// units (volts or amperes), timings `delay`/`rise`/`fall`/`width`
+    /// in seconds.
     pub fn pulse(v0: f64, v1: f64, delay: f64, rise: f64, fall: f64, width: f64) -> Self {
         Waveform::Pulse(Pulse {
             v0,
@@ -75,7 +82,7 @@ impl Waveform {
         Waveform::Pwl(points)
     }
 
-    /// Evaluates the waveform at time `t`.
+    /// Evaluates the waveform at time `t` (s).
     pub fn eval(&self, t: f64) -> f64 {
         match self {
             Waveform::Dc(v) => *v,
@@ -96,7 +103,8 @@ impl Waveform {
         }
     }
 
-    /// Appends slope-discontinuity times within `[0, t_end]` to `out`.
+    /// Appends slope-discontinuity times (s) within `[0, t_end]` to
+    /// `out`.
     pub fn breakpoints(&self, t_end: f64, out: &mut Vec<f64>) {
         match self {
             Waveform::Dc(_) => {}

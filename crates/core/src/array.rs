@@ -183,7 +183,8 @@ impl FefetArray {
         (p - p_hi).abs() < (p - p_lo).abs()
     }
 
-    /// Directly sets a stored polarization (test fixture / initialization).
+    /// Directly sets a stored polarization `p` (C/m²) — test fixture /
+    /// initialization.
     pub fn set_polarization(&mut self, row: usize, col: usize, p: f64) {
         assert!(
             row < self.rows && col < self.cols,
@@ -316,7 +317,8 @@ impl FefetArray {
     }
 
     /// Writes `data` into `row` (Table 1 write biasing) with a pulse of
-    /// width `t_pulse`, updating the stored state from the simulation.
+    /// width `t_pulse` (s), updating the stored state from the
+    /// simulation.
     ///
     /// # Errors
     ///
@@ -396,8 +398,9 @@ impl FefetArray {
     }
 
     /// Builds the read-phase circuit for `row` without running it: the
-    /// Table 1 read biasing applied to this array's stored state. Used
-    /// by the benches to exercise the Newton kernel at array size.
+    /// Table 1 read biasing applied to this array's stored state over a
+    /// window `t_read` (s). Used by the benches to exercise the Newton
+    /// kernel at array size.
     ///
     /// # Errors
     ///
@@ -421,8 +424,9 @@ impl FefetArray {
         Ok(self.build(&row_waves, &col_waves))
     }
 
-    /// Reads `row` (Table 1 read biasing) over a window `t_read`,
-    /// reporting per-column cell currents and the sneak-current maximum.
+    /// Reads `row` (Table 1 read biasing) over a window `t_read` (s),
+    /// reporting per-column cell currents and the sneak-current
+    /// maximum.
     ///
     /// Reads are non-destructive (that is the paper's point), so this
     /// takes `&self` and never touches the stored state — which is what
@@ -507,6 +511,7 @@ impl FefetArray {
     /// # Errors
     ///
     /// The first row-range or convergence error, in `rows` order.
+    /// `t_read` is the read window (s).
     pub fn read_rows(&self, rows: &[usize], t_read: f64, threads: usize) -> Result<Vec<ArrayRead>> {
         let this = std::sync::Arc::new(self.clone());
         crate::parallel::pool_map(rows.to_vec(), threads, &self.instr, move |&row| {
@@ -517,7 +522,7 @@ impl FefetArray {
     }
 
     /// Reads every row of the array ([`FefetArray::read_rows`] over
-    /// `0..rows`).
+    /// `0..rows`) with read window `t_read` (s).
     ///
     /// # Errors
     ///

@@ -60,13 +60,13 @@ impl Default for BiasSpec {
 /// The four line voltages applied to one row/column intersection.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LineBias {
-    /// Read-select line (row) voltage.
+    /// Read-select line (row) voltage (V).
     pub read_select: f64,
-    /// Write-select line (row) voltage.
+    /// Write-select line (row) voltage (V).
     pub write_select: f64,
-    /// Write bit line (column) voltage.
+    /// Write bit line (column) voltage (V).
     pub bit_line: f64,
-    /// Sense line (column) voltage.
+    /// Sense line (column) voltage (V).
     pub sense_line: f64,
 }
 

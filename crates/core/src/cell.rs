@@ -197,6 +197,9 @@ impl FefetCell {
     /// little past the bit-line pulse so the FEFET gate is restored to
     /// 0 V before isolation.
     ///
+    /// `p_from` is the initial polarization (C/m²) and `t_pulse` the
+    /// bit-line pulse width (s).
+    ///
     /// # Errors
     ///
     /// Propagates simulator convergence failures.
@@ -240,6 +243,9 @@ impl FefetCell {
     /// read select pulsed to V_read, sense line clamped at virtual
     /// ground.
     ///
+    /// `p0` is the stored polarization (C/m²) and `t_read` the read
+    /// window (s).
+    ///
     /// # Errors
     ///
     /// Propagates simulator convergence failures.
@@ -266,6 +272,9 @@ impl FefetCell {
     /// The full Fig 6 demonstration sequence on one cell:
     /// write '1' → read → write '0' → read, returning
     /// `(write1, read1, write0, read0)`.
+    ///
+    /// `t_pulse` is the write pulse width (s) and `t_read` the read
+    /// window (s).
     ///
     /// # Errors
     ///

@@ -129,7 +129,7 @@ pub fn feram_write_sweep(cell: &FeramCell, voltages: &[f64]) -> Result<Vec<Write
 }
 
 /// Finds the lowest voltage (within `v_grid`) whose write time meets
-/// `t_target` — the iso-write-time operating point of Table 3.
+/// `t_target` (s) — the iso-write-time operating point of Table 3.
 pub fn iso_write_voltage(points: &[WritePoint], t_target: f64) -> Option<WritePoint> {
     points
         .iter()
@@ -146,14 +146,14 @@ pub struct IsoComparison {
     pub fefet: NvmParams,
     /// FERAM operating point.
     pub feram: NvmParams,
-    /// Write-voltage reduction (paper: 58.5 %).
+    /// Write-voltage reduction, as a fraction (paper: 58.5 %).
     pub voltage_reduction: f64,
-    /// Write-energy reduction (paper: 67.7 %).
+    /// Write-energy reduction, as a fraction (paper: 67.7 %).
     pub write_energy_reduction: f64,
 }
 
-/// Runs the full iso-write-time comparison at `t_target` (550 ps in the
-/// paper) for a backup word of `word_bits` bits.
+/// Runs the full iso-write-time comparison at write time `t_target`
+/// (s), 550 ps in the paper, for a backup word of `word_bits` bits.
 ///
 /// # Errors
 ///

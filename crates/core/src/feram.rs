@@ -148,7 +148,7 @@ impl FeramCell {
     }
 
     /// Writes logic `data` starting from stored polarization `p_from`
-    /// with a pulse of width `t_pulse`.
+    /// (C/m²) with a pulse of width `t_pulse` (s).
     ///
     /// # Errors
     ///
@@ -205,9 +205,10 @@ impl FeramCell {
         })
     }
 
-    /// Destructive read: the bit line is grounded through a switch, then
-    /// released; the plate line pulses to `v_write` for `t_dev`. The
-    /// developed bit-line swing distinguishes the states.
+    /// Destructive read of stored polarization `p0` (C/m²): the bit line
+    /// is grounded through a switch, then released; the plate line pulses
+    /// to `v_write` for the develop window `t_dev` (s). The developed
+    /// bit-line swing distinguishes the states.
     ///
     /// # Errors
     ///
@@ -245,8 +246,10 @@ impl FeramCell {
         })
     }
 
-    /// Full read cycle including the write-back a destructive read
-    /// requires: returns `(read, restored_p, total_energy)`.
+    /// Full read cycle on stored polarization `p0` (C/m²) including the
+    /// write-back a destructive read requires — develop window `t_dev`
+    /// (s), write-back pulse `t_pulse` (s): returns
+    /// `(read, restored_p, total_energy)`.
     ///
     /// # Errors
     ///

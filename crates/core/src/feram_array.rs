@@ -181,9 +181,10 @@ impl FeramArray {
         worst
     }
 
-    /// Writes `data` into `row`: word line boosted, bit lines driven to
-    /// V_write for '1' columns, plate line pulsed for the '0' columns'
-    /// polarity (two-phase write: bit-line phase then plate phase).
+    /// Writes `data` into `row` with pulse width `t_pulse` (s): word line
+    /// boosted, bit lines driven to V_write for '1' columns, plate line
+    /// pulsed for the '0' columns' polarity (two-phase write: bit-line
+    /// phase then plate phase).
     ///
     /// # Errors
     ///
@@ -249,9 +250,10 @@ impl FeramArray {
         })
     }
 
-    /// Destructively reads `row`: bit lines released, plate pulsed; the
-    /// developed bit-line voltages are the sensed values. The stored
-    /// state is updated (the '1's flip) — callers must write back.
+    /// Destructively reads `row` with develop window `t_dev` (s): bit
+    /// lines released, plate pulsed; the developed bit-line voltages are
+    /// the sensed values. The stored state is updated (the '1's flip) —
+    /// callers must write back.
     ///
     /// Returns `(op, bit-line swings per column)`.
     ///
@@ -299,8 +301,9 @@ impl FeramArray {
         ))
     }
 
-    /// Read-margin sweep: destructively reads each row of a **clone** of
-    /// the array and returns the developed bit-line swings per row. The
+    /// Read-margin sweep with develop window `t_dev` (s): destructively
+    /// reads each row of a **clone** of the array and returns the
+    /// developed bit-line swings per row. The
     /// array itself keeps its state (no write-back needed), and because
     /// each trial owns its clone, the rows are swept on the persistent
     /// worker pool (`threads = 0` = one per available hardware thread)

@@ -39,7 +39,8 @@ pub struct Rect {
 }
 
 impl Rect {
-    /// Creates a rectangle; coordinates are normalized so `x0 <= x1`.
+    /// Creates a rectangle from corner coordinates (λ), normalized so
+    /// `x0 <= x1` and `y0 <= y1`.
     pub fn new(layer: Layer, x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
         Rect {
             layer,
@@ -65,7 +66,7 @@ impl Rect {
         self.width() * self.height()
     }
 
-    /// Translated copy.
+    /// Copy translated by `(dx, dy)` (λ).
     pub fn translated(&self, dx: f64, dy: f64) -> Rect {
         Rect {
             layer: self.layer,

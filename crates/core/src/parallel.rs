@@ -53,6 +53,7 @@ pub fn effective_threads(requested: usize, hardware: usize) -> usize {
 /// one CPU. With one effective thread (or one item) the map runs inline
 /// on the caller's thread — no spawn at all — which doubles as the
 /// serial reference path for determinism tests.
+// fefet-lint: allow-item(hot-alloc) -- per-sweep fan-out setup, amortized over the whole sweep; the per-point Newton loop underneath is the alloc-pinned path
 pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
@@ -114,6 +115,7 @@ fn lock_queue(shared: &PoolShared) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
 
 fn worker_loop(shared: &PoolShared) {
     let mut q = lock_queue(shared);
+    // fefet-lint: allow(unbounded-loop) -- persistent daemon worker: parks on the condvar when idle and lives for the process, by design
     loop {
         if let Some(job) = q.pop_front() {
             drop(q);
@@ -140,6 +142,7 @@ impl Pool {
 /// The shared pool, built on first use: one worker per hardware thread
 /// beyond the caller's own (the caller always helps, so a 1-core host
 /// gets zero workers and [`pool_map`] runs inline anyway).
+// fefet-lint: allow-item(hot-alloc) -- one-time pool construction behind OnceLock; never on a per-point path
 fn global_pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| {
@@ -185,18 +188,18 @@ enum Msg<U> {
     Panicked(Box<dyn std::any::Any + Send>),
 }
 
-/// The chunk-claiming loop run by the caller and every helper job.
+/// The chunk-claiming loop run by the caller and every helper job. The
+/// loop is bounded by construction: every `fetch_add` advances the
+/// cursor, so at most `ceil(n / chunk)` claims succeed per sweep.
+// fefet-lint: allow-item(atomic-ordering) -- claim cursor and telemetry counters only need atomicity: fetch_add hands out each index exactly once, and results synchronize through the mpsc channel, not the counters
 fn run_chunks<T, U, F>(ctx: &SweepCtx<T, F>, tx: &mpsc::Sender<Msg<U>>, helper: bool)
 where
     F: Fn(&T) -> U,
 {
     let n = ctx.items.len();
     let mut claims = 0usize;
-    loop {
-        let start = ctx.next.fetch_add(ctx.chunk, Ordering::Relaxed);
-        if start >= n {
-            break;
-        }
+    let mut start = ctx.next.fetch_add(ctx.chunk, Ordering::Relaxed);
+    while start < n {
         if claims == 0 {
             let now_active = ctx.active.fetch_add(1, Ordering::Relaxed) + 1;
             ctx.peak.fetch_max(now_active, Ordering::Relaxed);
@@ -222,6 +225,7 @@ where
                 return;
             }
         }
+        start = ctx.next.fetch_add(ctx.chunk, Ordering::Relaxed);
     }
     if claims > 0 {
         ctx.active.fetch_sub(1, Ordering::Relaxed);
@@ -249,6 +253,8 @@ where
 ///
 /// Re-raises the first panic from `f` on the caller's thread, after all
 /// in-flight items finish.
+// fefet-lint: allow-item(hot-alloc) -- per-sweep setup (context, channel, helper jobs, result buffer), amortized over the sweep; the warm per-point path is inside `f`
+// fefet-lint: allow-item(atomic-ordering) -- final telemetry loads happen after every sender retired; the channel teardown is the synchronization point
 pub fn pool_map<T, U, F>(items: Vec<T>, threads: usize, instr: &Instrumentation, f: F) -> Vec<U>
 where
     T: Send + Sync + 'static,

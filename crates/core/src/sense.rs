@@ -152,7 +152,8 @@ impl ReferenceWindow {
 
 impl SenseChain {
     /// Computes the reference-current design window from the two cell
-    /// state currents, requiring a `margin` (>1) separation on each side.
+    /// state currents `i_state0` and `i_state1` (A), requiring a
+    /// dimensionless `margin` (>1) separation on each side.
     ///
     /// # Panics
     ///
@@ -172,8 +173,9 @@ const T_START: f64 = 0.2e-9;
 const T_EDGE: f64 = 50e-12;
 
 impl SenseChain {
-    /// Reads one FEFET cell storing polarization `p0` through the full
-    /// chain; `t_eval` is the evaluation window after read-enable.
+    /// Reads one FEFET cell storing polarization `p0` (C/m²) through the
+    /// full chain; `t_eval` is the evaluation window (s) after
+    /// read-enable.
     ///
     /// # Errors
     ///

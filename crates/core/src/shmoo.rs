@@ -91,7 +91,7 @@ impl Shmoo {
 
 /// Runs the shmoo: for every (voltage, width) the cell is written in both
 /// polarities from the opposite state; a point passes if the final
-/// polarization lands within `tol` of the commanded state.
+/// polarization lands within `tol` (C/m²) of the commanded state.
 ///
 /// # Errors
 ///
@@ -134,7 +134,8 @@ pub fn write_shmoo(cell: &FefetCell, voltages: &[f64], widths: &[f64], tol: f64)
 /// # Errors
 ///
 /// Propagates simulator convergence failures (first failing row in
-/// voltage order).
+/// voltage order). `tol` is the pass tolerance on the final
+/// polarization (C/m²).
 pub fn write_shmoo_parallel(
     cell: &FefetCell,
     voltages: &[f64],

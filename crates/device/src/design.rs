@@ -20,7 +20,7 @@ pub struct DesignPoint {
     pub window: Option<(f64, f64)>,
 }
 
-/// Evaluates one thickness.
+/// Evaluates one ferroelectric thickness `t_fe` (m).
 pub fn design_point(base: &Fefet, t_fe: f64) -> DesignPoint {
     let dev = base.with_thickness(t_fe);
     // Fold criterion on the polarization axis: robust even when the
@@ -41,7 +41,7 @@ pub fn design_point(base: &Fefet, t_fe: f64) -> DesignPoint {
     }
 }
 
-/// Sweeps thickness over `[t_lo, t_hi]` with `steps` intervals.
+/// Sweeps thickness over `[t_lo, t_hi]` (m) with `steps` intervals.
 pub fn thickness_sweep(base: &Fefet, t_lo: f64, t_hi: f64, steps: usize) -> Vec<DesignPoint> {
     assert!(t_lo < t_hi && steps >= 1, "thickness_sweep: bad range");
     (0..=steps)
@@ -49,8 +49,9 @@ pub fn thickness_sweep(base: &Fefet, t_lo: f64, t_hi: f64, steps: usize) -> Vec<
         .collect()
 }
 
-/// The smallest thickness at which the device is nonvolatile, found by
-/// bisection between a volatile and a nonvolatile thickness.
+/// The smallest thickness (m) at which the device is nonvolatile,
+/// found by bisection between a volatile thickness `t_volatile` and a
+/// nonvolatile one `t_nonvolatile` (both in m).
 ///
 /// Returns `None` if the bracket does not actually bracket the boundary.
 pub fn nonvolatility_boundary(base: &Fefet, t_volatile: f64, t_nonvolatile: f64) -> Option<f64> {

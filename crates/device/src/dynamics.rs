@@ -26,8 +26,10 @@ pub struct PSample {
 
 /// Takes one backward-Euler step of `dP/dt = rate(t_new, P)`.
 ///
-/// Solves `g(p) = p - p_old - h·rate(t_new, p) = 0`, preferring the root
-/// nearest `p_old` (branch continuity) and falling back to bisection.
+/// Solves `g(p) = p - p_old - h·rate(t_new, p) = 0` at time `t_new`
+/// (s) with step `h` (s) from polarization `p_old` (C/m²), preferring
+/// the root nearest `p_old` (branch continuity) and falling back to
+/// bisection.
 ///
 /// # Errors
 ///
@@ -107,8 +109,8 @@ where
     Ok(0.5 * (lo + hi))
 }
 
-/// Integrates `dP/dt = rate(t, P)` from `p0` over `[0, t_end]` with
-/// `steps` fixed backward-Euler steps, returning all samples.
+/// Integrates `dP/dt = rate(t, P)` from `p0` (C/m²) over `[0, t_end]`
+/// (s) with `steps` fixed backward-Euler steps, returning all samples.
 ///
 /// # Errors
 ///

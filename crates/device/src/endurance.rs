@@ -21,9 +21,9 @@ use fefet_ckt::models::LkParams;
 /// Phenomenological endurance model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnduranceModel {
-    /// Cycle count at which fatigue onset begins.
+    /// Cycle count (dimensionless) at which fatigue onset begins.
     pub fatigue_onset: f64,
-    /// Fractional P_r loss per decade of cycles beyond onset.
+    /// Fraction of P_r lost per decade of cycles beyond onset.
     pub fatigue_per_decade: f64,
     /// Imprint field accumulated per decade of cycles (V/m).
     pub imprint_per_decade: f64,
@@ -58,7 +58,7 @@ impl EnduranceModel {
     ///
     /// # Panics
     ///
-    /// Panics if `cycles < 1`.
+    /// Panics if `cycles < 1` (dimensionless cycle count).
     pub fn cycled(&self, base: &LkParams, cycles: f64) -> CycledFilm {
         assert!(cycles >= 1.0, "cycled: cycle count must be >= 1");
         let decades = (cycles / self.fatigue_onset).max(1.0).log10();
@@ -75,8 +75,9 @@ impl EnduranceModel {
         }
     }
 
-    /// The device after cycling (fatigue applied to the gate ferroelectric;
-    /// imprint is reported separately since it acts as a bias offset).
+    /// The device after `cycles` write cycles (dimensionless): fatigue
+    /// is applied to the gate ferroelectric; the imprint offset (V) is
+    /// reported separately since it acts as a bias.
     pub fn fefet_after(&self, base: &Fefet, cycles: f64) -> (Fefet, f64) {
         let film = self.cycled(&base.fe.lk, cycles);
         let mut dev = *base;
@@ -85,8 +86,9 @@ impl EnduranceModel {
         (dev, film.imprint_field * dev.fe.thickness)
     }
 
-    /// True if the cycled device still functions as a memory: nonvolatile
-    /// and with both states' margins exceeding the imprint offset.
+    /// True if the device still functions as a memory after `cycles`
+    /// write cycles (dimensionless): nonvolatile and with both states'
+    /// margins exceeding the imprint offset.
     pub fn survives(&self, base: &Fefet, cycles: f64) -> bool {
         let (dev, v_imprint) = self.fefet_after(base, cycles);
         if !dev.is_nonvolatile() {
@@ -100,8 +102,9 @@ impl EnduranceModel {
         }
     }
 
-    /// Cycles-to-failure by bisection on a log grid between `lo` and `hi`
-    /// cycles; `None` if the device survives `hi`.
+    /// Cycles-to-failure by bisection on a log grid between `lo` and
+    /// `hi` cycle counts (dimensionless); `None` if the device survives
+    /// `hi`.
     pub fn cycles_to_failure(&self, base: &Fefet, lo: f64, hi: f64) -> Option<f64> {
         if self.survives(base, hi) {
             return None;

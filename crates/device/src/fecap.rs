@@ -74,7 +74,8 @@ fn cross_zero(branch: &[LoopPoint]) -> Option<f64> {
 ///
 /// # Errors
 ///
-/// [`Error::InvalidArgument`] if `v_max <= 0`, `t_ramp <= 0`, or
+/// [`Error::InvalidArgument`] if `v_max` (V) is non-positive,
+/// `t_ramp` (s) is non-positive, or
 /// `steps_per_branch == 0`; [`Error::NonFinite`] if the LK integration
 /// diverges.
 pub fn sweep_fecap(

@@ -57,18 +57,21 @@ pub struct IdVgSweep {
 }
 
 impl IdVgSweep {
-    /// Gate voltage of the largest polarization jump on the up branch
-    /// (the up-switching voltage), if any jump exceeds `min_dp`.
+    /// Gate voltage (V) of the largest polarization jump on the up
+    /// branch (the up-switching voltage), if any jump exceeds `min_dp`
+    /// (C/m²).
     pub fn v_switch_up(&self, min_dp: f64) -> Option<f64> {
         largest_jump(&self.up, min_dp)
     }
 
-    /// Gate voltage of the largest polarization jump on the down branch.
+    /// Gate voltage (V) of the largest polarization jump on the down
+    /// branch, if any jump exceeds `min_dp` (C/m²).
     pub fn v_switch_down(&self, min_dp: f64) -> Option<f64> {
         largest_jump(&self.down, min_dp)
     }
 
-    /// Hysteresis width `v_switch_up − v_switch_down`, if both exist.
+    /// Hysteresis window `(v_switch_down, v_switch_up)` (V), if both
+    /// exist at jump threshold `min_dp` (C/m²).
     pub fn window(&self, min_dp: f64) -> Option<(f64, f64)> {
         Some((self.v_switch_down(min_dp)?, self.v_switch_up(min_dp)?))
     }
@@ -141,19 +144,21 @@ impl Fefet {
         Fefet { fe, mos }
     }
 
-    /// The paper's FEFET with a different ferroelectric thickness.
+    /// The paper's FEFET with a different ferroelectric thickness
+    /// `t_fe` (m).
     pub fn with_thickness(mut self, t_fe: f64) -> Self {
         self.fe.thickness = t_fe;
         self
     }
 
-    /// Static gate voltage required to hold polarization `p`:
-    /// `V_G(P) = V_MOS(P) + T_FE·E_static(P)`.
+    /// Static gate voltage (V) required to hold polarization `p`
+    /// (C/m²): `V_G(P) = V_MOS(P) + T_FE·E_static(P)`.
     pub fn v_gate_static(&self, p: f64) -> f64 {
         self.mos.v_gate_of_density(p) + self.fe.v_static(p)
     }
 
-    /// Slope `dV_G/dP` of the static stack curve at polarization `p`:
+    /// Slope `dV_G/dP` (V·m²/C) of the static stack curve at
+    /// polarization `p` (C/m²):
     /// `1/C_MOS(V_MOS(P)) + T_FE·dE/dP`. A negative slope anywhere means
     /// the transfer curve folds — the §3 hysteresis criterion
     /// `|C_FE| < C_MOS` expressed on the polarization axis.
@@ -163,7 +168,8 @@ impl Fefet {
     }
 
     /// True if the static stack curve has a negative-slope (folded)
-    /// region within `|P| <= p_max` — i.e. the device is hysteretic.
+    /// region within `|P| <= p_max` (C/m²) — i.e. the device is
+    /// hysteretic.
     pub fn is_hysteretic(&self, p_max: f64, grid: usize) -> bool {
         (0..=grid).any(|i| {
             let p = -p_max + 2.0 * p_max * i as f64 / grid as f64;
@@ -171,7 +177,8 @@ impl Fefet {
         })
     }
 
-    /// Internal MOSFET gate voltage when the stack holds polarization `p`
+    /// Internal MOSFET gate voltage (V) when the stack holds
+    /// polarization `p` (C/m²)
     /// under applied gate voltage `v_g` (quasi-statically,
     /// `V_MOS = V_G − T_FE·E_static(P)` at equilibrium; here computed
     /// from the charge branch, which also holds off equilibrium).
@@ -179,8 +186,8 @@ impl Fefet {
         self.mos.v_gate_of_density(p)
     }
 
-    /// All equilibria at gate voltage `v_g`, found by scanning
-    /// `V_G(P) − v_g` for sign changes over `[-p_max, p_max]`.
+    /// All equilibria at gate voltage `v_g` (V), found by scanning
+    /// `V_G(P) − v_g` for sign changes over `[-p_max, p_max]` (C/m²).
     pub fn equilibria(&self, v_g: f64, p_max: f64, grid: usize) -> Vec<Equilibrium> {
         assert!(grid >= 3, "equilibria: grid too small");
         let mut out = Vec::new();
@@ -237,16 +244,16 @@ impl Fefet {
         has_low && has_high
     }
 
-    /// Drain current at applied `v_g`, drain bias `v_ds`, with the stack
-    /// holding polarization `p`.
+    /// Drain current (A) at drain bias `v_ds` (V), with the stack
+    /// holding polarization `p` (C/m²).
     pub fn drain_current(&self, p: f64, v_ds: f64) -> f64 {
         let v_mos = self.v_mos_of(p);
         self.mos.ids(v_mos, v_ds).0
     }
 
-    /// Quasi-static I_D-V_G hysteresis sweep at drain bias `v_ds`
-    /// (Fig 2a / Fig 3a): the polarization follows the nearest stable
-    /// equilibrium as `V_G` ramps `v_lo → v_hi → v_lo`.
+    /// Quasi-static I_D-V_G hysteresis sweep at drain bias `v_ds` (V),
+    /// Fig 2a / Fig 3a: the polarization follows the nearest stable
+    /// equilibrium as `V_G` ramps `v_lo → v_hi → v_lo` (V).
     ///
     /// # Panics
     ///
@@ -300,7 +307,8 @@ impl Fefet {
     }
 
     /// Nested minor-loop family (classic ferroelectric characterization):
-    /// quasi-static sweeps over ±`v_max` for each amplitude in `v_maxes`,
+    /// quasi-static sweeps over ±`v_max` for each amplitude (V) in
+    /// `v_maxes` at drain bias `v_ds` (V),
     /// all starting from the low memory state. Small amplitudes trace
     /// closed reversible curves; once the amplitude exceeds the switching
     /// voltages the loop opens into the full hysteresis loop.
@@ -319,7 +327,8 @@ impl Fefet {
     ///
     /// `dP/dt = (v_g(t) − V_MOS(P) − T_FE·E_static(P)) / (T_FE·ρ)`.
     ///
-    /// Returns `(t, P)` samples.
+    /// Returns `(t, P)` samples over `[0, t_end]` (s), starting from
+    /// polarization `p0` (C/m²).
     ///
     /// # Errors
     ///
@@ -342,7 +351,8 @@ impl Fefet {
     /// Faster ramps widen the apparent loop (kinetic broadening), the
     /// same effect Fig 10(a) exploits: shorter pulses need more voltage.
     ///
-    /// `t_ramp` is the time for one `v_lo → v_hi` ramp.
+    /// `t_ramp` (s) is the time for one `v_lo → v_hi` (V) ramp, at
+    /// drain bias `v_ds` (V).
     ///
     /// # Errors
     ///
@@ -431,8 +441,8 @@ impl Fefet {
     }
 
     /// Retention check (Fig 2b / Fig 3b): after writing with `v_pulse`
-    /// for `t_pulse`, hold `V_G = 0` for `t_hold` and return the final
-    /// polarization.
+    /// (V) for `t_pulse` (s) from polarization `p0` (C/m²), hold
+    /// `V_G = 0` for `t_hold` (s) and return the final polarization.
     ///
     /// # Errors
     ///

@@ -19,7 +19,7 @@ pub struct QvPoint {
 }
 
 /// The ferroelectric Q-V S-curve, parameterized by polarization:
-/// `(v, q) = (T_FE·E_static(P), P)` over `P ∈ [-p_max, p_max]`.
+/// `(v, q) = (T_FE·E_static(P), P)` over `P ∈ [-p_max, p_max]` (C/m²).
 pub fn fe_s_curve(dev: &Fefet, p_max: f64, n: usize) -> Vec<QvPoint> {
     assert!(n >= 2, "fe_s_curve: need n >= 2");
     (0..=n)
@@ -33,9 +33,9 @@ pub fn fe_s_curve(dev: &Fefet, p_max: f64, n: usize) -> Vec<QvPoint> {
         .collect()
 }
 
-/// The MOSFET load line in the (V_FE, Q) plane for applied gate voltage
-/// `v_g`: the charge the MOSFET holds when the ferroelectric drops `v`,
-/// i.e. `q = Q_MOS(v_g − v)`.
+/// The MOSFET load line in the (V_FE, Q) plane for applied gate
+/// voltage `v_g` (V): the charge the MOSFET holds when the
+/// ferroelectric drops `v`, i.e. `q = Q_MOS(v_g − v)`.
 pub fn mos_load_line(dev: &Fefet, v_g: f64, v_range: (f64, f64), n: usize) -> Vec<QvPoint> {
     assert!(n >= 2, "mos_load_line: need n >= 2");
     let (lo, hi) = v_range;
@@ -50,16 +50,18 @@ pub fn mos_load_line(dev: &Fefet, v_g: f64, v_range: (f64, f64), n: usize) -> Ve
         .collect()
 }
 
-/// Counts intersections between the ferroelectric S-curve and the MOSFET
-/// load line at gate voltage `v_g` — i.e. the number of static solutions
-/// of the series stack. One = single-valued; three = hysteretic.
+/// Counts intersections between the ferroelectric S-curve and the
+/// MOSFET load line at gate voltage `v_g` (V) — i.e. the number of
+/// static solutions of the series stack. One = single-valued; three =
+/// hysteretic.
 pub fn intersection_count(dev: &Fefet, v_g: f64) -> usize {
     // Solutions of v_gate_static(P) = v_g; reuse the equilibrium scan.
     dev.equilibria(v_g, 0.9, 6000).len()
 }
 
-/// The largest number of simultaneous intersections over a gate-voltage
-/// range — 1 for a hysteresis-free design, ≥3 for a hysteretic one.
+/// The largest number of simultaneous intersections over the
+/// gate-voltage range `[v_lo, v_hi]` (V) — 1 for a hysteresis-free
+/// design, ≥3 for a hysteretic one.
 pub fn max_intersections(dev: &Fefet, v_lo: f64, v_hi: f64, steps: usize) -> usize {
     assert!(steps >= 1, "max_intersections: need steps");
     (0..=steps)

@@ -54,7 +54,7 @@ impl ThermalModel {
         }
     }
 
-    /// The device re-evaluated at temperature `t`.
+    /// The device re-evaluated at temperature `t` (K).
     pub fn fefet_at(&self, base: &Fefet, t: f64) -> Fefet {
         let mut dev = *base;
         dev.fe.lk = self.lk_at(&base.fe.lk, t);
@@ -83,8 +83,9 @@ impl ThermalModel {
         Some(0.5 * (lo + hi))
     }
 
-    /// Retention time at temperature `t`, combining the Arrhenius
-    /// temperature in the retention model with the softened barrier.
+    /// Retention time (s) at temperature `t` (K), combining the
+    /// Arrhenius temperature in the retention model with the softened
+    /// barrier.
     pub fn fefet_retention_at(&self, base: &Fefet, t: f64) -> Option<f64> {
         let dev = self.fefet_at(base, t);
         let model = RetentionModel {

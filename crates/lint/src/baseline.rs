@@ -1,0 +1,572 @@
+//! The ratchet baseline: `LINT_BASELINE.json` at the workspace root
+//! records grandfathered findings as `(file, rule, count)` buckets.
+//!
+//! Semantics are a one-way ratchet:
+//!
+//! - a finding beyond its bucket's count is **fresh** and fails the
+//!   gate (new debt is rejected);
+//! - a bucket whose count exceeds the current findings is **stale** and
+//!   *also* fails the gate (paid-down debt must be struck from the
+//!   baseline via `--update-baseline`, so the ceiling only moves down);
+//! - `directive` findings (malformed or stale escape hatches) are never
+//!   baselineable.
+//!
+//! The crate is dependency-free, so this module carries its own tiny
+//! JSON reader — it accepts exactly the subset the baseline and report
+//! files use (objects, arrays, strings, unsigned integers, bools,
+//! null).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::{Finding, Rule};
+
+/// Name of the committed baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "LINT_BASELINE.json";
+
+/// One grandfathered bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Root-relative, `/`-separated file label.
+    pub file: String,
+    pub rule: Rule,
+    pub count: usize,
+}
+
+/// The committed ratchet state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// A bucket whose baseline and current counts disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketDiff {
+    pub file: String,
+    pub rule: Rule,
+    pub baseline: usize,
+    pub current: usize,
+}
+
+impl Baseline {
+    /// Loads the baseline at `path`; `Ok(None)` when the file does not
+    /// exist (an absent baseline means "no grandfathered findings").
+    pub fn load(path: &Path) -> io::Result<Option<Baseline>> {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Baseline::parse(&text)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))
+    }
+
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("top level must be an object")?;
+        let entries = obj
+            .iter()
+            .find(|(k, _)| k == "entries")
+            .and_then(|(_, v)| v.as_array())
+            .ok_or("missing `entries` array")?;
+        let mut out = Vec::new();
+        for entry in entries {
+            let e = entry.as_object().ok_or("entry must be an object")?;
+            let get = |name: &str| e.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            let file = get("file")
+                .and_then(|v| v.as_str())
+                .ok_or("entry missing `file`")?
+                .to_string();
+            let rule_name = get("rule")
+                .and_then(|v| v.as_str())
+                .ok_or("entry missing `rule`")?;
+            let rule =
+                Rule::parse(rule_name).ok_or_else(|| format!("unknown rule `{rule_name}`"))?;
+            if rule == Rule::Directive {
+                return Err("`directive` findings cannot be baselined".to_string());
+            }
+            let count = get("count")
+                .and_then(|v| v.as_uint())
+                .ok_or("entry missing `count`")? as usize;
+            out.push(BaselineEntry { file, rule, count });
+        }
+        Ok(Baseline { entries: out })
+    }
+
+    /// Builds a baseline from current findings (skipping `directive`
+    /// findings, which must always be fixed).
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut buckets: BTreeMap<(String, &'static str), (Rule, usize)> = BTreeMap::new();
+        for f in findings {
+            if f.rule == Rule::Directive {
+                continue;
+            }
+            buckets
+                .entry((f.file.clone(), f.rule.name()))
+                .and_modify(|(_, c)| *c += 1)
+                .or_insert((f.rule, 1));
+        }
+        Baseline {
+            entries: buckets
+                .into_iter()
+                .map(|((file, _), (rule, count))| BaselineEntry { file, rule, count })
+                .collect(),
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"file\": {}, \"rule\": {}, \"count\": {}}}",
+                json::escape(&e.file),
+                json::escape(e.rule.name()),
+                e.count
+            );
+        }
+        if !self.entries.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    pub fn total(&self) -> usize {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+
+    fn count_for(&self, file: &str, rule: Rule) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.file == file && e.rule == rule)
+            .map(|e| e.count)
+            .sum()
+    }
+}
+
+/// Result of applying a baseline to a set of findings.
+#[derive(Debug, Default)]
+pub struct BaselineStatus {
+    /// Findings covered by the baseline (grandfathered).
+    pub baselined: Vec<Finding>,
+    /// Findings beyond the baseline: these fail the gate.
+    pub fresh: Vec<Finding>,
+    /// Baseline buckets above the current count: the baseline must be
+    /// ratcheted down.
+    pub stale: Vec<BucketDiff>,
+}
+
+/// Applies `baseline` to `findings`: within each `(file, rule)` bucket
+/// (findings ordered by line) the first `count` findings are
+/// grandfathered, the rest are fresh. `directive` findings are always
+/// fresh.
+pub fn apply(findings: &[Finding], baseline: &Baseline) -> BaselineStatus {
+    let mut status = BaselineStatus::default();
+    let mut budget: BTreeMap<(String, &'static str), usize> = BTreeMap::new();
+    let mut seen: BTreeMap<(String, &'static str), (Rule, usize)> = BTreeMap::new();
+    for f in findings {
+        if f.rule == Rule::Directive {
+            status.fresh.push(f.clone());
+            continue;
+        }
+        let key = (f.file.clone(), f.rule.name());
+        seen.entry(key.clone())
+            .and_modify(|(_, c)| *c += 1)
+            .or_insert((f.rule, 1));
+        let left = budget
+            .entry(key.clone())
+            .or_insert_with(|| baseline.count_for(&f.file, f.rule));
+        if *left > 0 {
+            *left -= 1;
+            status.baselined.push(f.clone());
+        } else {
+            status.fresh.push(f.clone());
+        }
+    }
+    for e in &baseline.entries {
+        let current = seen
+            .get(&(e.file.clone(), e.rule.name()))
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        if current < e.count {
+            status.stale.push(BucketDiff {
+                file: e.file.clone(),
+                rule: e.rule,
+                baseline: e.count,
+                current,
+            });
+        }
+    }
+    status
+}
+
+/// Ratchet comparison between two baselines: buckets in `current` that
+/// exceed their count in `older` (including brand-new buckets).
+pub fn growth(current: &Baseline, older: &Baseline) -> Vec<BucketDiff> {
+    current
+        .entries
+        .iter()
+        .filter_map(|e| {
+            let old = older.count_for(&e.file, e.rule);
+            (e.count > old).then(|| BucketDiff {
+                file: e.file.clone(),
+                rule: e.rule,
+                baseline: old,
+                current: e.count,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader/escaper (the workspace is dependency-free)
+// ---------------------------------------------------------------------
+
+pub mod json {
+    pub enum Value {
+        Object(Vec<(String, Value)>),
+        Array(Vec<Value>),
+        Str(String),
+        Uint(u64),
+        Bool(bool),
+        Null,
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(v) => Some(v),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_uint(&self) -> Option<u64> {
+            match self {
+                Value::Uint(n) => Some(*n),
+                _ => None,
+            }
+        }
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut pos = 0usize;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, pos))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = string(b, pos)?;
+                    expect(b, pos, b':')?;
+                    fields.push((key, value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = *pos;
+                while *pos < b.len() && b[*pos].is_ascii_digit() {
+                    *pos += 1;
+                }
+                std::str::from_utf8(&b[start..*pos])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(Value::Uint)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            _ => Err(format!("unexpected byte at {pos}")),
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = Vec::new();
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return String::from_utf8(out).map_err(|_| "bad utf-8 in string".to_string());
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'/') => out.push(b'/'),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b'u') => {
+                            // \uXXXX — decode the code unit (the files
+                            // we write never emit surrogate pairs).
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            let c = char::from_u32(hex).ok_or("bad \\u code point")?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            *pos += 4;
+                        }
+                        _ => return Err("bad escape".to_string()),
+                    }
+                    *pos += 1;
+                }
+                c => {
+                    out.push(c);
+                    *pos += 1;
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    /// Escapes `s` as a JSON string literal (with quotes).
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: usize, rule: Rule) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let b = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    file: "crates/nvp/src/lib.rs".to_string(),
+                    rule: Rule::UnitHygiene,
+                    count: 3,
+                },
+                BaselineEntry {
+                    file: "crates/ckt/src/dc.rs".to_string(),
+                    rule: Rule::HotAlloc,
+                    count: 1,
+                },
+            ],
+        };
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.total(), 4);
+    }
+
+    #[test]
+    fn empty_baseline_roundtrip() {
+        let b = Baseline::default();
+        assert_eq!(Baseline::parse(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn apply_splits_fresh_and_baselined_and_flags_stale() {
+        let base = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    file: "a.rs".to_string(),
+                    rule: Rule::UnitHygiene,
+                    count: 2,
+                },
+                BaselineEntry {
+                    file: "gone.rs".to_string(),
+                    rule: Rule::Panic,
+                    count: 1,
+                },
+            ],
+        };
+        let findings = vec![
+            finding("a.rs", 1, Rule::UnitHygiene),
+            finding("a.rs", 5, Rule::UnitHygiene),
+            finding("a.rs", 9, Rule::UnitHygiene), // beyond budget
+            finding("b.rs", 2, Rule::FloatEq),     // no bucket at all
+            finding("a.rs", 3, Rule::Directive),   // never baselineable
+        ];
+        let status = apply(&findings, &base);
+        assert_eq!(status.baselined.len(), 2);
+        assert_eq!(status.fresh.len(), 3);
+        assert_eq!(status.stale.len(), 1);
+        assert_eq!(status.stale[0].file, "gone.rs");
+        assert_eq!(status.stale[0].current, 0);
+    }
+
+    #[test]
+    fn growth_detects_new_and_grown_buckets() {
+        let old = Baseline {
+            entries: vec![BaselineEntry {
+                file: "a.rs".to_string(),
+                rule: Rule::UnitHygiene,
+                count: 2,
+            }],
+        };
+        let shrunk = Baseline {
+            entries: vec![BaselineEntry {
+                file: "a.rs".to_string(),
+                rule: Rule::UnitHygiene,
+                count: 1,
+            }],
+        };
+        assert!(growth(&shrunk, &old).is_empty());
+        let grown = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    file: "a.rs".to_string(),
+                    rule: Rule::UnitHygiene,
+                    count: 3,
+                },
+                BaselineEntry {
+                    file: "new.rs".to_string(),
+                    rule: Rule::HotAlloc,
+                    count: 1,
+                },
+            ],
+        };
+        let g = growth(&grown, &old);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn directive_findings_are_rejected_in_baselines() {
+        let text =
+            r#"{"version": 1, "entries": [{"file": "x.rs", "rule": "directive", "count": 1}]}"#;
+        assert!(Baseline::parse(text).is_err());
+    }
+
+    #[test]
+    fn json_escape_roundtrip() {
+        let s = "a \"b\"\\\n\tc";
+        let escaped = json::escape(s);
+        match json::parse(&escaped).unwrap() {
+            json::Value::Str(back) => assert_eq!(back, s),
+            _ => panic!("expected string"),
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! `fefet-lint:` directive parsing and application.
+//!
+//! Two scopes exist:
+//!
+//! - `// fefet-lint: allow(<rule>) -- <reason>` suppresses the named
+//!   rule on the directive's own line and the line below (unchanged
+//!   from v1).
+//! - `// fefet-lint: allow-item(<rule>) -- <reason>` suppresses the
+//!   named rule for the whole of the *next item* (fn or struct,
+//!   attributes included) — the opt-out used to mark construction /
+//!   setup functions cold for R6 `hot-alloc` and to justify a relaxed
+//!   atomics protocol for R7 across one function.
+//!
+//! Directives only count when they come from plain `//` or `/* */`
+//! comments. Doc comments (`///`, `//!`, `/** */`, `/*! */`) are
+//! documentation — an example directive quoted in docs is not live.
+//!
+//! A directive that suppresses nothing is *stale* and is itself a
+//! `directive` finding: escape hatches must not outlive the code they
+//! excuse.
+
+use crate::items::Items;
+use crate::lexer::{in_regions, LineIndex};
+use crate::{Finding, Rule};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Scope {
+    /// Own line + the line below.
+    Line,
+    /// The next fn/struct item, resolved via [`attach`].
+    Item,
+}
+
+pub(crate) struct Directive {
+    pub line: usize,
+    pub offset: usize,
+    pub rule: Rule,
+    pub scope: Scope,
+    /// Byte range covered by an `Item`-scoped directive (set by
+    /// [`attach`]).
+    pub item_range: Option<(usize, usize)>,
+    /// Whether the directive suppressed at least one finding.
+    pub used: bool,
+}
+
+fn is_doc_comment(text: &str) -> bool {
+    // `////...` separators are treated as docs too: never directives.
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || { text.starts_with("/**") && !text.starts_with("/**/") }
+        || text.starts_with("/*!")
+}
+
+pub(crate) fn parse(
+    file: &str,
+    comments: &[(usize, String)],
+    lines: &LineIndex,
+) -> (Vec<Directive>, Vec<Finding>) {
+    let mut directives = Vec::new();
+    let mut findings = Vec::new();
+    for (offset, text) in comments {
+        if is_doc_comment(text) {
+            continue;
+        }
+        // Only comments *starting* with the marker (after the comment
+        // sigils) are directives; prose mentioning it is not.
+        let trimmed =
+            text.trim_start_matches(|c: char| matches!(c, '/' | '!' | '*') || c.is_whitespace());
+        let Some(marked) = trimmed.strip_prefix("fefet-lint:") else {
+            continue;
+        };
+        let line = lines.line_of(*offset);
+        let rest = marked.trim();
+        let bad = |msg: &str| Finding {
+            file: file.to_string(),
+            line,
+            rule: Rule::Directive,
+            message: msg.to_string(),
+        };
+        let (scope, inner) = if let Some(inner) = rest.strip_prefix("allow-item(") {
+            (Scope::Item, inner)
+        } else if let Some(inner) = rest.strip_prefix("allow(") {
+            (Scope::Line, inner)
+        } else {
+            findings.push(bad(
+                "malformed directive: expected `allow(<rule>) -- <reason>` \
+                 or `allow-item(<rule>) -- <reason>`",
+            ));
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            findings.push(bad("malformed directive: unclosed `allow(`"));
+            continue;
+        };
+        let rule_name = inner[..close].trim();
+        let Some(rule) = Rule::parse(rule_name) else {
+            findings.push(bad(&format!(
+                "unknown rule `{rule_name}` (expected panic, unbounded-loop, float-eq, \
+                 solver-result, print, hot-alloc, atomic-ordering or unit-hygiene)"
+            )));
+            continue;
+        };
+        let tail = inner[close + 1..].trim();
+        let reason_ok = tail
+            .strip_prefix("--")
+            .map(str::trim)
+            .is_some_and(|r| !r.is_empty());
+        if !reason_ok {
+            findings.push(bad(&format!(
+                "allow({rule_name}) needs a justification: `-- <reason>`"
+            )));
+            continue;
+        }
+        directives.push(Directive {
+            line,
+            offset: *offset,
+            rule,
+            scope,
+            item_range: None,
+            used: false,
+        });
+    }
+    (directives, findings)
+}
+
+/// How many lines of doc comments / attributes may sit between an
+/// `allow-item` directive and the item it governs.
+const ATTACH_WINDOW_LINES: usize = 8;
+
+/// Resolves every `Item`-scoped directive to the next item's byte
+/// range. A directive with no item in reach is malformed.
+pub(crate) fn attach(
+    file: &str,
+    directives: &mut [Directive],
+    items: &Items,
+    lines: &LineIndex,
+    findings: &mut Vec<Finding>,
+) {
+    for d in directives.iter_mut() {
+        if d.scope != Scope::Item {
+            continue;
+        }
+        let target = items.next_item_after(d.offset).filter(|(start, _)| {
+            lines.line_of(*start).saturating_sub(d.line) <= ATTACH_WINDOW_LINES
+        });
+        match target {
+            Some(range) => d.item_range = Some(range),
+            None => {
+                // Mark used so the stale pass does not double-report.
+                d.used = true;
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: d.line,
+                    rule: Rule::Directive,
+                    message: format!(
+                        "allow-item({}) must sit directly above the fn or struct it opts out",
+                        d.rule
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// True when some directive suppresses a finding of `rule` at
+/// `(line, offset)`; marks the matching directive used. Line-scoped
+/// directives take precedence so a redundant outer `allow-item` still
+/// shows up as stale.
+pub(crate) fn suppresses(
+    directives: &mut [Directive],
+    rule: Rule,
+    line: usize,
+    offset: usize,
+) -> bool {
+    if let Some(d) = directives.iter_mut().find(|d| {
+        d.scope == Scope::Line && d.rule == rule && (d.line == line || d.line + 1 == line)
+    }) {
+        d.used = true;
+        return true;
+    }
+    if let Some(d) = directives
+        .iter_mut()
+        .find(|d| d.rule == rule && d.item_range.is_some_and(|(a, b)| offset >= a && offset < b))
+    {
+        d.used = true;
+        return true;
+    }
+    false
+}
+
+/// Emits a `directive` finding for every live directive that suppressed
+/// nothing. Directives inside `#[cfg(test)]` regions are exempt (test
+/// code is outside every rule's scope to begin with).
+pub(crate) fn stale(
+    file: &str,
+    directives: &[Directive],
+    regions: &[(usize, usize)],
+    findings: &mut Vec<Finding>,
+) {
+    for d in directives {
+        if d.used || in_regions(regions, d.offset) {
+            continue;
+        }
+        let form = match d.scope {
+            Scope::Line => "allow",
+            Scope::Item => "allow-item",
+        };
+        findings.push(Finding {
+            file: file.to_string(),
+            line: d.line,
+            rule: Rule::Directive,
+            message: format!(
+                "stale directive: {form}({}) suppresses no finding here; remove it",
+                d.rule
+            ),
+        });
+    }
+}

@@ -1,0 +1,670 @@
+//! Token-tree item parser: recovers function and struct *items* (with
+//! byte ranges, visibility, parameters and fields) from the token
+//! stream, so rules can reason about scope — "is this allocation inside
+//! a warm-path function", "does this `pub fn` take an undocumented bare
+//! `f64`" — instead of single lines.
+//!
+//! The parser is deliberately shallow: it tracks brace/paren/angle
+//! nesting and item heads, not expressions. Anything it cannot shape
+//! into an item is skipped, which can only produce false *negatives*
+//! (a missed item), never a spurious finding.
+
+use crate::lexer::{Kind, Tok};
+
+/// One function parameter.
+pub(crate) struct Param {
+    pub name: String,
+    /// Byte offset of the parameter name.
+    pub offset: usize,
+    /// True when the declared type is exactly `f64` (not `&f64`,
+    /// `[f64]`, `Option<f64>`, ... — those are containers, not bare
+    /// physical quantities).
+    pub is_f64: bool,
+}
+
+/// One `fn` item (free function, impl/trait method, or nested fn).
+pub(crate) struct FnItem {
+    pub name: String,
+    /// Item start including attributes and visibility (directive
+    /// attachment and doc lookup anchor here).
+    pub start: usize,
+    /// Start excluding attributes (the `pub`/`fn` line — findings
+    /// anchor here so their line number matches the signature).
+    pub head: usize,
+    /// One past the end of the item (`}` of the body or the `;`).
+    pub end: usize,
+    /// Byte range of the `{ ... }` body, if the fn has one.
+    pub body: Option<(usize, usize)>,
+    /// Plain `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// Brace depth at the `fn` keyword; 0 = top-level item.
+    pub depth: i32,
+    pub params: Vec<Param>,
+    /// Whitespace-free return type text; empty when the fn returns `()`.
+    pub ret: String,
+}
+
+/// One named struct field.
+pub(crate) struct Field {
+    pub name: String,
+    /// Byte offset of the field name.
+    pub offset: usize,
+    /// Segment start (attributes included) for doc lookup.
+    pub start: usize,
+    pub is_pub: bool,
+    pub is_f64: bool,
+}
+
+/// One `struct` item.
+pub(crate) struct StructItem {
+    pub name: String,
+    pub start: usize,
+    pub end: usize,
+    pub is_pub: bool,
+    pub fields: Vec<Field>,
+}
+
+pub(crate) struct Items {
+    pub fns: Vec<FnItem>,
+    pub structs: Vec<StructItem>,
+}
+
+impl Items {
+    /// The innermost fn whose body contains `offset`.
+    pub fn enclosing_fn(&self, offset: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(a, b)| offset >= a && offset < b))
+            .max_by_key(|f| f.body.map(|(a, _)| a).unwrap_or(0))
+    }
+
+    /// The item (fn or struct) with the smallest start strictly after
+    /// `offset`, as `(start, end)` — the attachment target for an
+    /// `allow-item` directive.
+    pub fn next_item_after(&self, offset: usize) -> Option<(usize, usize)> {
+        let fns = self
+            .fns
+            .iter()
+            .filter(|f| f.start > offset)
+            .map(|f| (f.start, f.end));
+        let structs = self
+            .structs
+            .iter()
+            .filter(|s| s.start > offset)
+            .map(|s| (s.start, s.end));
+        fns.chain(structs).min_by_key(|(start, _)| *start)
+    }
+}
+
+/// Walks the token stream and collects fn / struct items. `text` is the
+/// scrubbed source the tokens index into.
+pub(crate) fn parse(text: &str, toks: &[Tok]) -> Items {
+    let s = |t: &Tok| &text[t.start..t.end];
+    let mut items = Items {
+        fns: Vec::new(),
+        structs: Vec::new(),
+    };
+    let mut depth = 0i32;
+    let mut k = 0;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.kind == Kind::Punct {
+            match s(t) {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                _ => {}
+            }
+        } else if t.kind == Kind::Ident {
+            match s(t) {
+                "fn" => {
+                    if let Some((item, resume)) = parse_fn(text, toks, k, depth) {
+                        items.fns.push(item);
+                        // Resume *before* any body brace so the main
+                        // loop keeps depth accurate and still discovers
+                        // nested items.
+                        k = resume;
+                        continue;
+                    }
+                }
+                "struct" => {
+                    if let Some((item, resume)) = parse_struct(text, toks, k) {
+                        items.structs.push(item);
+                        k = resume;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    items
+}
+
+/// Walks backwards from the token before index `k` over visibility /
+/// fn-qualifier keywords and attributes. Returns
+/// `(start_with_attrs, head_without_attrs, is_plain_pub)`.
+fn scan_modifiers(text: &str, toks: &[Tok], k: usize) -> (usize, usize, bool) {
+    let s = |t: &Tok| &text[t.start..t.end];
+    let mut start = toks[k].start;
+    let mut is_pub = false;
+    let mut j = k as isize - 1;
+    // Phase 1: qualifiers and visibility.
+    while j >= 0 {
+        let tj = &toks[j as usize];
+        match s(tj) {
+            "const" | "unsafe" | "async" | "extern" => {
+                start = tj.start;
+                j -= 1;
+            }
+            "pub" => {
+                is_pub = true;
+                start = tj.start;
+                j -= 1;
+            }
+            ")" => {
+                // Possibly a `pub(crate)`-style restriction.
+                let Some(open) = match_back(text, toks, j as usize, "(", ")") else {
+                    break;
+                };
+                if open >= 1 && s(&toks[open - 1]) == "pub" {
+                    start = toks[open - 1].start;
+                    j = open as isize - 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    let head = start;
+    // Phase 2: outer attributes `#[...]` above the qualifiers.
+    while j >= 0 && s(&toks[j as usize]) == "]" {
+        let Some(open) = match_back(text, toks, j as usize, "[", "]") else {
+            break;
+        };
+        if open >= 1 && s(&toks[open - 1]) == "#" {
+            start = toks[open - 1].start;
+            j = open as isize - 2;
+        } else {
+            break;
+        }
+    }
+    (start, head, is_pub)
+}
+
+/// Scans backwards from closing token `close_idx` to its matching
+/// opener. Returns the opener's token index.
+fn match_back(
+    text: &str,
+    toks: &[Tok],
+    close_idx: usize,
+    open: &str,
+    close: &str,
+) -> Option<usize> {
+    let s = |t: &Tok| &text[t.start..t.end];
+    let mut d = 0i32;
+    let mut m = close_idx;
+    loop {
+        let w = s(&toks[m]);
+        if w == close {
+            d += 1;
+        } else if w == open {
+            d -= 1;
+            if d == 0 {
+                return Some(m);
+            }
+        }
+        if m == 0 {
+            return None;
+        }
+        m -= 1;
+    }
+}
+
+/// Skips a generic parameter list starting at token `i` (which must be
+/// `<`); returns the index just past the matching `>`.
+fn skip_generics(text: &str, toks: &[Tok], mut i: usize) -> usize {
+    let s = |t: &Tok| &text[t.start..t.end];
+    let mut d = 0i32;
+    while i < toks.len() {
+        match s(&toks[i]) {
+            "<" => d += 1,
+            "<<" => d += 2,
+            ">" => d -= 1,
+            ">>" => d -= 2,
+            _ => {}
+        }
+        i += 1;
+        if d <= 0 {
+            break;
+        }
+    }
+    i
+}
+
+fn parse_fn(text: &str, toks: &[Tok], k: usize, depth: i32) -> Option<(FnItem, usize)> {
+    let s = |t: &Tok| &text[t.start..t.end];
+    // `fn` followed by `(` is a function-pointer type, not an item.
+    let name_tok = toks.get(k + 1)?;
+    if name_tok.kind != Kind::Ident {
+        return None;
+    }
+    let name = s(name_tok).to_string();
+    let (start, head, is_pub) = scan_modifiers(text, toks, k);
+
+    let mut i = k + 2;
+    if toks.get(i).map(s) == Some("<") {
+        i = skip_generics(text, toks, i);
+    }
+    if toks.get(i).map(s) != Some("(") {
+        return None;
+    }
+    let open = i;
+    let mut d = 0i32;
+    while i < toks.len() {
+        match s(&toks[i]) {
+            "(" => d += 1,
+            ")" => {
+                d -= 1;
+                if d == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        return None;
+    }
+    let close = i;
+    let params = parse_params(text, &toks[open + 1..close]);
+
+    // Return type: `-> ...` up to the body `{`, a `;`, or `where`.
+    let mut ret = String::new();
+    if toks.get(close + 1).map(s) == Some("->") {
+        let ret_start = toks[close + 1].end;
+        let mut ret_end = ret_start;
+        for n in &toks[close + 2..] {
+            let w = s(n);
+            if w == "{" || w == ";" || w == "where" {
+                break;
+            }
+            ret_end = n.end;
+        }
+        ret = text[ret_start..ret_end]
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+    }
+
+    // Body or `;` terminator.
+    let mut j = close + 1;
+    while j < toks.len() {
+        let w = s(&toks[j]);
+        if w == "{" {
+            let body_open = j;
+            let close_tok = match_forward(text, toks, body_open)?;
+            let item = FnItem {
+                name,
+                start,
+                head,
+                end: toks[close_tok].end,
+                body: Some((toks[body_open].start, toks[close_tok].end)),
+                is_pub,
+                depth,
+                params,
+                ret,
+            };
+            // Resume at the body brace: the main loop re-counts it.
+            return Some((item, body_open));
+        }
+        if w == ";" {
+            let item = FnItem {
+                name,
+                start,
+                head,
+                end: toks[j].end,
+                body: None,
+                is_pub,
+                depth,
+                params,
+                ret,
+            };
+            return Some((item, j + 1));
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Forward brace match: `open_idx` is a `{`; returns the index of its
+/// matching `}`.
+fn match_forward(text: &str, toks: &[Tok], open_idx: usize) -> Option<usize> {
+    let s = |t: &Tok| &text[t.start..t.end];
+    let mut d = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open_idx) {
+        match s(t) {
+            "{" => d += 1,
+            "}" => {
+                d -= 1;
+                if d == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits the parameter token slice at top-level commas and extracts
+/// `name: type` pairs. Receivers (`self` in any form) and destructuring
+/// patterns are skipped.
+fn parse_params(text: &str, toks: &[Tok]) -> Vec<Param> {
+    let s = |t: &Tok| &text[t.start..t.end];
+    let mut params = Vec::new();
+    let mut seg_start = 0usize;
+    let mut d = 0i32;
+    let mut bounds = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match s(t) {
+            "(" | "[" | "{" => d += 1,
+            ")" | "]" | "}" => d -= 1,
+            "<" => d += 1,
+            ">" => d -= 1,
+            "<<" => d += 2,
+            ">>" => d -= 2,
+            "," if d == 0 => {
+                bounds.push((seg_start, i));
+                seg_start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    bounds.push((seg_start, toks.len()));
+    for (a, b) in bounds {
+        let seg = &toks[a..b];
+        let mut p = 0;
+        if seg.get(p).map(s) == Some("mut") {
+            p += 1;
+        }
+        let (Some(name_tok), Some(colon)) = (seg.get(p), seg.get(p + 1)) else {
+            continue;
+        };
+        if name_tok.kind != Kind::Ident || s(colon) != ":" {
+            continue;
+        }
+        let name = s(name_tok);
+        if name == "self" {
+            continue;
+        }
+        let ty = &seg[p + 2..];
+        let is_f64 = ty.len() == 1 && s(&ty[0]) == "f64";
+        params.push(Param {
+            name: name.to_string(),
+            offset: name_tok.start,
+            is_f64,
+        });
+    }
+    params
+}
+
+fn parse_struct(text: &str, toks: &[Tok], k: usize) -> Option<(StructItem, usize)> {
+    let s = |t: &Tok| &text[t.start..t.end];
+    let name_tok = toks.get(k + 1)?;
+    if name_tok.kind != Kind::Ident {
+        return None;
+    }
+    let name = s(name_tok).to_string();
+    let (start, _head, is_pub) = scan_modifiers(text, toks, k);
+
+    let mut i = k + 2;
+    if toks.get(i).map(s) == Some("<") {
+        i = skip_generics(text, toks, i);
+    }
+    // `where` clauses may precede the body.
+    while i < toks.len() {
+        match s(&toks[i]) {
+            "{" => break,
+            // Tuple or unit struct: no named fields to check.
+            "(" | ";" => {
+                return Some((
+                    StructItem {
+                        name,
+                        start,
+                        end: toks[i].end,
+                        is_pub,
+                        fields: Vec::new(),
+                    },
+                    i,
+                ));
+            }
+            _ => i += 1,
+        }
+    }
+    if i >= toks.len() {
+        return None;
+    }
+    let body_open = i;
+    let body_close = match_forward(text, toks, body_open)?;
+    let fields = parse_fields(text, &toks[body_open + 1..body_close]);
+    Some((
+        StructItem {
+            name,
+            start,
+            end: toks[body_close].end,
+            is_pub,
+            fields,
+        },
+        body_open,
+    ))
+}
+
+/// Splits struct-body tokens at top-level commas and extracts
+/// `[#[attr]] [pub] name: type` fields.
+fn parse_fields(text: &str, toks: &[Tok]) -> Vec<Field> {
+    let s = |t: &Tok| &text[t.start..t.end];
+    let mut fields = Vec::new();
+    let mut seg_start = 0usize;
+    let mut d = 0i32;
+    let mut bounds = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match s(t) {
+            "(" | "[" | "{" => d += 1,
+            ")" | "]" | "}" => d -= 1,
+            "<" => d += 1,
+            ">" => d -= 1,
+            "<<" => d += 2,
+            ">>" => d -= 2,
+            "," if d == 0 => {
+                bounds.push((seg_start, i));
+                seg_start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    bounds.push((seg_start, toks.len()));
+    for (a, b) in bounds {
+        let seg = &toks[a..b];
+        if seg.is_empty() {
+            continue;
+        }
+        let start = seg[0].start;
+        let mut p = 0;
+        // Skip field attributes.
+        while seg.get(p).map(s) == Some("#") {
+            if seg.get(p + 1).map(s) != Some("[") {
+                break;
+            }
+            let mut depth = 0i32;
+            let mut q = p + 1;
+            while q < seg.len() {
+                match s(&seg[q]) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                q += 1;
+            }
+            p = q + 1;
+        }
+        let mut is_pub = false;
+        if seg.get(p).map(s) == Some("pub") {
+            if seg.get(p + 1).map(s) == Some("(") {
+                // Restricted visibility: not public API.
+                let mut depth = 0i32;
+                let mut q = p + 1;
+                while q < seg.len() {
+                    match s(&seg[q]) {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    q += 1;
+                }
+                p = q + 1;
+            } else {
+                is_pub = true;
+                p += 1;
+            }
+        }
+        let (Some(name_tok), Some(colon)) = (seg.get(p), seg.get(p + 1)) else {
+            continue;
+        };
+        if name_tok.kind != Kind::Ident || s(colon) != ":" {
+            continue;
+        }
+        let ty = &seg[p + 2..];
+        let is_f64 = ty.len() == 1 && s(&ty[0]) == "f64";
+        fields.push(Field {
+            name: s(name_tok).to_string(),
+            offset: name_tok.start,
+            start,
+            is_pub,
+            is_f64,
+        });
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{scrub, tokenize};
+
+    fn items_of(src: &str) -> Items {
+        let scrubbed = scrub(src);
+        let toks = tokenize(&scrubbed.text);
+        parse(&scrubbed.text, &toks)
+    }
+
+    #[test]
+    fn finds_top_level_and_method_fns() {
+        let its = items_of(
+            "pub fn top(a: f64, n: usize) -> f64 { a }\n\
+             struct S;\n\
+             impl S {\n    pub fn method(&self, x_v: f64) {}\n    fn private(&self) {}\n}\n",
+        );
+        let names: Vec<&str> = its.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["top", "method", "private"]);
+        assert_eq!(its.fns[0].depth, 0);
+        assert!(its.fns[0].is_pub);
+        assert_eq!(its.fns[0].ret, "f64");
+        assert_eq!(its.fns[1].depth, 1);
+        assert!(its.fns[1].is_pub);
+        assert!(!its.fns[2].is_pub);
+        // Params: f64 detection is exact-type.
+        assert!(its.fns[0].params[0].is_f64);
+        assert!(!its.fns[0].params[1].is_f64);
+        assert_eq!(its.fns[1].params.len(), 1, "self receiver skipped");
+    }
+
+    #[test]
+    fn restricted_pub_is_not_public() {
+        let its = items_of("pub(crate) fn helper(x: f64) {}");
+        assert_eq!(its.fns.len(), 1);
+        assert!(!its.fns[0].is_pub);
+    }
+
+    #[test]
+    fn qualifiers_and_attrs_extend_the_item_start() {
+        let src = "#[inline]\npub const fn f() -> usize { 1 }";
+        let its = items_of(src);
+        assert_eq!(its.fns[0].start, 0, "attr included");
+        assert_eq!(its.fns[0].head, src.find("pub").unwrap());
+        assert!(its.fns[0].is_pub);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let its = items_of("pub fn apply(f: fn(f64) -> f64, x: f64) -> f64 { f(x) }");
+        assert_eq!(its.fns.len(), 1);
+        assert_eq!(its.fns[0].name, "apply");
+    }
+
+    #[test]
+    fn generic_fns_and_nested_bodies() {
+        let its = items_of(
+            "pub fn outer<T: Into<Vec<u8>>>(t: T) {\n    fn inner(y: f64) {}\n    let c = |z: f64| z;\n}",
+        );
+        let names: Vec<&str> = its.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+        let outer = &its.fns[0];
+        let inner = &its.fns[1];
+        assert!(outer.body.unwrap().0 < inner.start);
+        assert!(inner.end < outer.body.unwrap().1);
+        // enclosing_fn picks the innermost.
+        let probe = inner.body.unwrap().0 + 1;
+        assert_eq!(its.enclosing_fn(probe).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn struct_fields_with_visibility_and_docs() {
+        let its = items_of(
+            "pub struct Cell {\n    /// Gate voltage (V).\n    pub v_g: f64,\n    pub n: usize,\n    pub(crate) secret: f64,\n    hidden: f64,\n}",
+        );
+        let st = &its.structs[0];
+        assert!(st.is_pub);
+        let f: Vec<(&str, bool, bool)> = st
+            .fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_pub, f.is_f64))
+            .collect();
+        assert_eq!(
+            f,
+            [
+                ("v_g", true, true),
+                ("n", true, false),
+                ("secret", false, true),
+                ("hidden", false, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_have_no_fields() {
+        let its = items_of("pub struct Wrap(f64);\nstruct Marker;\n");
+        assert_eq!(its.structs.len(), 2);
+        assert!(its.structs.iter().all(|s| s.fields.is_empty()));
+    }
+
+    #[test]
+    fn trait_methods_without_bodies() {
+        let its = items_of("pub trait Solver {\n    fn solve(&mut self, rhs_v: f64) -> f64;\n}");
+        assert_eq!(its.fns.len(), 1);
+        assert!(its.fns[0].body.is_none());
+        assert_eq!(its.fns[0].params.len(), 1);
+    }
+}

@@ -1,0 +1,409 @@
+//! Lexical layer: the comment/string scrubber, the tokenizer over
+//! scrubbed text, the line index, and `#[cfg(test)]` region detection.
+//!
+//! Scrubbing replaces comments, string literals and character literals
+//! with spaces while keeping newlines, so byte offsets and line numbers
+//! in the scrubbed text match the original source exactly. Everything
+//! downstream (tokenizer, item parser, rules) works on scrubbed text
+//! and can therefore never fire on prose.
+
+/// Scrubbed source plus the comments that were blanked out.
+pub(crate) struct Scrubbed {
+    /// Source with comments/strings/chars replaced by spaces (newlines
+    /// kept, so byte offsets and line numbers survive).
+    pub text: String,
+    /// `(byte_offset, comment_text)` for every comment.
+    pub comments: Vec<(usize, String)>,
+}
+
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    let to = to.min(out.len());
+    for byte in &mut out[from..to] {
+        if *byte != b'\n' {
+            *byte = b' ';
+        }
+    }
+}
+
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_raw_string(b: &[u8], mut i: usize) -> usize {
+    // `i` is at the first `#` or the opening quote.
+    let mut hashes = 0;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        return i;
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..].len() >= hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|c| *c == b'#')
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+pub(crate) fn scrub(src: &str) -> Scrubbed {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            comments.push((start, src[start..i].to_string()));
+            blank(&mut out, start, i);
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            comments.push((start, src[start..i].to_string()));
+            blank(&mut out, start, i);
+        } else if c == b'"' {
+            let end = skip_string(b, i);
+            blank(&mut out, i, end);
+            i = end;
+        } else if c == b'_' || c.is_ascii_alphabetic() {
+            // Consume the identifier wholesale, then check for raw /
+            // byte string prefixes.
+            let start = i;
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            let ident = &src[start..i];
+            let next = b.get(i).copied();
+            if (ident == "r" || ident == "br") && matches!(next, Some(b'"') | Some(b'#')) {
+                let end = skip_raw_string(b, i);
+                blank(&mut out, i, end);
+                i = end;
+            } else if ident == "b" && next == Some(b'"') {
+                let end = skip_string(b, i);
+                blank(&mut out, i, end);
+                i = end;
+            } else if ident == "b" && next == Some(b'\'') {
+                i = scrub_char(b, &mut out, i);
+            }
+        } else if c == b'\'' {
+            i = scrub_char(b, &mut out, i);
+        } else {
+            i += 1;
+        }
+    }
+    // Blanking only writes ASCII spaces over existing bytes; multibyte
+    // characters are either fully blanked or untouched, so this cannot
+    // produce invalid UTF-8 at region boundaries (regions start/end at
+    // ASCII delimiters).
+    let text = String::from_utf8_lossy(&out).into_owned();
+    Scrubbed { text, comments }
+}
+
+/// Handles a `'` at `i`: blanks a char literal, steps over a lifetime.
+fn scrub_char(b: &[u8], out: &mut [u8], i: usize) -> usize {
+    let j = i + 1;
+    if j < b.len() && b[j] == b'\\' {
+        // Escaped char literal: skip the backslash and escape body.
+        let mut k = j + 2;
+        if b.get(j + 1) == Some(&b'u') {
+            while k < b.len() && b[k - 1] != b'}' {
+                k += 1;
+            }
+        }
+        if b.get(k) == Some(&b'\'') {
+            blank(out, i, k + 1);
+            return k + 1;
+        }
+        i + 1
+    } else if j < b.len() && b[j] != b'\'' {
+        // Unescaped char literal: the body is one UTF-8 character
+        // (possibly multibyte, e.g. 'µ'), closed by a quote.
+        let width = utf8_width(b[j]);
+        if b.get(j + width) == Some(&b'\'') {
+            blank(out, i, j + width + 1);
+            return j + width + 1;
+        }
+        // Lifetime (or something weird): leave it.
+        i + 1
+    } else {
+        i + 1
+    }
+}
+
+/// Byte length of the UTF-8 character starting with `lead`.
+fn utf8_width(lead: u8) -> usize {
+    match lead {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer over scrubbed text
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    Ident,
+    Number,
+    Punct,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Tok {
+    pub kind: Kind,
+    pub start: usize,
+    pub end: usize,
+}
+
+const TWO_CHAR_PUNCT: &[&[u8; 2]] = &[
+    b"==", b"!=", b"<=", b">=", b"->", b"=>", b"::", b"&&", b"||", b"..", b"<<", b">>",
+];
+
+pub(crate) fn tokenize(s: &str) -> Vec<Tok> {
+    let b = s.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'_' || c.is_ascii_alphabetic() {
+            let start = i;
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: Kind::Ident,
+                start,
+                end: i,
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            let mut seen_dot = false;
+            while i < b.len() {
+                let d = b[i];
+                if d.is_ascii_digit() || d == b'_' {
+                    i += 1;
+                } else if (d == b'e' || d == b'E')
+                    && (b.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        || (matches!(b.get(i + 1), Some(b'+') | Some(b'-'))
+                            && b.get(i + 2).is_some_and(|n| n.is_ascii_digit())))
+                {
+                    i += if matches!(b.get(i + 1), Some(b'+') | Some(b'-')) {
+                        2
+                    } else {
+                        1
+                    };
+                } else if d.is_ascii_alphabetic() {
+                    i += 1; // type suffix or hex digits
+                } else if d == b'.'
+                    && !seen_dot
+                    && !matches!(b.get(i + 1), Some(b'.') | Some(b'_'))
+                    && !b.get(i + 1).is_some_and(|n| n.is_ascii_alphabetic())
+                {
+                    seen_dot = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: Kind::Number,
+                start,
+                end: i,
+            });
+        } else {
+            let start = i;
+            let end = if i + 1 < b.len() && TWO_CHAR_PUNCT.iter().any(|p| **p == [c, b[i + 1]]) {
+                i + 2
+            } else {
+                // Advance by the full UTF-8 character so token bounds
+                // always land on char boundaries (e.g. a stray 'µ').
+                i + utf8_width(c)
+            };
+            toks.push(Tok {
+                kind: Kind::Punct,
+                start,
+                end,
+            });
+            i = end;
+        }
+    }
+    toks
+}
+
+// ---------------------------------------------------------------------
+// Line index and cfg(test) regions
+// ---------------------------------------------------------------------
+
+pub(crate) struct LineIndex {
+    pub starts: Vec<usize>,
+}
+
+impl LineIndex {
+    pub fn new(src: &str) -> Self {
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.starts.partition_point(|s| *s <= offset)
+    }
+}
+
+/// Byte ranges covered by `#[cfg(test)]` items (attribute through the
+/// end of the item's body).
+pub(crate) fn test_regions(scrubbed: &str) -> Vec<(usize, usize)> {
+    let b = scrubbed.as_bytes();
+    let mut regions = Vec::new();
+    let mut search = 0;
+    while let Some(found) = scrubbed[search..].find("#[cfg(test)]") {
+        let start = search + found;
+        let mut i = start + "#[cfg(test)]".len();
+        // Skip whitespace and any further attributes.
+        loop {
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < b.len() && b[i] == b'#' {
+                // Balanced-bracket skip of the attribute.
+                while i < b.len() && b[i] != b'[' {
+                    i += 1;
+                }
+                let mut depth = 0usize;
+                while i < b.len() {
+                    match b[i] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // The item ends at the matching `}` of its first brace, or at a
+        // `;` that appears before any brace (e.g. `use` declarations).
+        let mut depth = 0usize;
+        let mut end = i;
+        while end < b.len() {
+            match b[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end += 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        regions.push((start, end));
+        search = end.max(start + 1);
+    }
+    regions
+}
+
+pub(crate) fn in_regions(regions: &[(usize, usize)], offset: usize) -> bool {
+    regions.iter().any(|(a, b)| offset >= *a && offset < *b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrubber_blanks_comments_and_strings() {
+        let s = scrub("let x = \"a // not a comment\"; // real\nlet y = 1;");
+        assert!(!s.text.contains("not a comment"));
+        assert!(!s.text.contains("real"));
+        assert!(s.text.contains("let y = 1;"));
+        assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn scrubber_handles_raw_strings_and_chars() {
+        let s = scrub("let r = r#\"unwrap() \"quoted\" \"#; let c = '\\''; let l: &'static str;");
+        assert!(!s.text.contains("unwrap"));
+        assert!(s.text.contains("'static"));
+    }
+
+    #[test]
+    fn scrubber_preserves_offsets() {
+        let src = "let a = \"xx\";\nlet b = 2;";
+        let s = scrub(src);
+        assert_eq!(s.text.len(), src.len());
+        assert_eq!(s.text.find("let b"), src.find("let b"));
+    }
+
+    #[test]
+    fn multibyte_chars_do_not_split_tokens() {
+        // 'µ' as a char literal must be scrubbed; a multibyte char left
+        // in scrubbed text must become one token, not a split byte.
+        let s = scrub("let u = 'µ'; // µs timing\nconst Ω: f64 = 1.0;");
+        assert!(!s.text.contains('µ'));
+        for t in tokenize(&s.text) {
+            let _ = &s.text[t.start..t.end]; // must not panic
+        }
+    }
+
+    #[test]
+    fn line_index_maps_offsets() {
+        let idx = LineIndex::new("ab\ncd\nef");
+        assert_eq!(idx.line_of(0), 1);
+        assert_eq!(idx.line_of(3), 2);
+        assert_eq!(idx.line_of(7), 3);
+    }
+}

@@ -1,7 +1,7 @@
 // Fixture: panicking constructs inside #[cfg(test)] are exempt from R1.
 
-pub fn double(x: f64) -> (f64, bool) {
-    (x * 2.0, true)
+pub fn double(x_v: f64) -> (f64, bool) {
+    (x_v * 2.0, true)
 }
 
 #[cfg(test)]

@@ -4,11 +4,11 @@ pub fn lookup(values: &[f64], idx: usize) -> Option<f64> {
     values.get(idx).copied()
 }
 
-pub fn describe(code: u8) -> Result<&'static str, String> {
+pub fn describe(code: u8) -> Result<&'static str, &'static str> {
     match code {
         0 => Ok("ok"),
         1 => Ok("warn"),
-        other => Err(format!("unknown code {other}")),
+        _ => Err("unknown code"),
     }
 }
 
@@ -16,8 +16,8 @@ pub fn pick(opt: Option<f64>) -> (f64, bool) {
     (opt.unwrap_or(0.0), opt.is_some())
 }
 
-pub fn checked(x: f64) -> (f64, bool) {
+pub fn checked(x_v: f64) -> (f64, bool) {
     // assert! is allowed: it states an invariant, not a lazy error path.
-    assert!(x.is_finite(), "input must be finite");
-    (x * 2.0, true)
+    assert!(x_v.is_finite(), "input must be finite");
+    (x_v * 2.0, true)
 }

@@ -13,10 +13,10 @@ pub fn describe(code: u8) -> &'static str {
     }
 }
 
-pub fn classify(x: f64) -> u8 {
-    if x < 0.0 {
+pub fn classify(x_v: f64) -> u8 {
+    if x_v < 0.0 {
         0
-    } else if x >= 0.0 {
+    } else if x_v >= 0.0 {
         1
     } else {
         unreachable!()

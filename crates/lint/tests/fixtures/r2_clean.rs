@@ -1,11 +1,11 @@
 // Fixture: bounded iteration that must NOT trip R2.
 
-pub fn converge(mut x: f64) -> (f64, usize) {
+pub fn converge(mut x_v: f64) -> (f64, usize) {
     const MAX_ITERS: usize = 100;
     for _ in 0..MAX_ITERS {
-        x = 0.5 * (x + 2.0 / x);
+        x_v = 0.5 * (x_v + 2.0 / x_v);
     }
-    (x, MAX_ITERS)
+    (x_v, MAX_ITERS)
 }
 
 pub fn countdown(mut budget: i32) -> i32 {

@@ -1,13 +1,13 @@
 // Fixture: float comparisons that must NOT trip R3.
 
-pub fn near_supply(v: f64) -> bool {
-    (v - 1.8).abs() < 1e-9
+pub fn near_supply(v_v: f64) -> bool {
+    (v_v - 1.8).abs() < 1e-9
 }
 
-pub fn is_zero_sentinel(x: f64) -> bool {
+pub fn is_zero_sentinel(x_v: f64) -> bool {
     // Exact-zero sentinels are exempt: 0.0 is exactly representable and
     // commonly used as "unset".
-    x == 0.0 || x != 0.0 && x < 1.0
+    x_v == 0.0 || x_v != 0.0 && x_v < 1.0
 }
 
 pub fn integer_equality(n: usize) -> bool {

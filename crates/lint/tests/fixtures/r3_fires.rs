@@ -1,13 +1,13 @@
 // Fixture: R3 (float-equality) violations.
 
-pub fn at_supply(v: f64) -> bool {
-    v == 1.8
+pub fn at_supply(v_v: f64) -> bool {
+    v_v == 1.8
 }
 
-pub fn not_half(x: f64) -> bool {
-    x != 0.5
+pub fn not_half(x_v: f64) -> bool {
+    x_v != 0.5
 }
 
-pub fn reversed(threshold: f64) -> bool {
-    2.5e-3 == threshold
+pub fn reversed(threshold_v: f64) -> bool {
+    2.5e-3 == threshold_v
 }

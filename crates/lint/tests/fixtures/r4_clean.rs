@@ -5,15 +5,17 @@ pub struct Solution {
     pub iterations: usize,
 }
 
-pub fn solve_residual(x0: f64) -> Result<f64, String> {
-    Ok(x0 * 0.5)
+pub fn solve_residual(x0_v: f64) -> Result<f64, String> {
+    Ok(x0_v * 0.5)
 }
 
-pub fn solve_system(n: usize) -> Result<Solution, String> {
-    Ok(Solution {
-        x: vec![0.0; n],
-        iterations: 1,
-    })
+// The solution buffer is hoisted into the caller's setup: the solver
+// reuses it instead of allocating on the warm path (R6-conformant).
+pub fn solve_system(mut x: Vec<f64>) -> Result<Solution, String> {
+    for v in &mut x {
+        *v = 0.0;
+    }
+    Ok(Solution { x, iterations: 1 })
 }
 
 pub(crate) fn helper_norm(v: &[f64]) -> f64 {

@@ -1,9 +1,11 @@
 // Fixture: R4 (bare-float solver return) violations.
 
-pub fn solve_residual(x0: f64) -> f64 {
-    x0 * 0.5
+pub fn solve_residual(x0_v: f64) -> f64 {
+    x0_v * 0.5
 }
 
 pub fn solve_system(n: usize) -> Vec<f64> {
-    vec![0.0; n]
+    let mut x = Vec::default();
+    x.resize(n, 0.0);
+    x
 }

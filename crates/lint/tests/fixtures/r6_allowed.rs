@@ -1,0 +1,14 @@
+// Fixture: R6 suppressed by line- and item-scoped directives.
+
+// fefet-lint: allow-item(hot-alloc) -- one-time setup: builds the buffers the warm path reuses
+pub fn build(n: usize) -> Result<Vec<f64>, &'static str> {
+    let mut buf = vec![0.0; n];
+    buf.shrink_to_fit();
+    Ok(buf)
+}
+
+pub fn warm(n: usize) -> usize {
+    // fefet-lint: allow(hot-alloc) -- cold error path, hit at most once per run
+    let msg = format!("n = {n}");
+    msg.len()
+}

@@ -1,0 +1,25 @@
+// Fixture: warm-path code with no allocation — must NOT trip R6.
+
+/// Preallocated solver scratch; the warm path only writes in place.
+pub struct Scratch {
+    buf: Vec<f64>,
+}
+
+impl Scratch {
+    /// Scales the hoisted buffer by `gain` (dimensionless) and returns
+    /// the running sum.
+    pub fn step(&mut self, gain: f64) -> f64 {
+        let mut acc = 0.0;
+        for v in &mut self.buf {
+            *v *= gain;
+            acc += *v;
+        }
+        acc
+    }
+
+    /// Swaps caller-owned storage in without allocating.
+    pub fn adopt(&mut self, mut buf: Vec<f64>) -> Vec<f64> {
+        std::mem::swap(&mut self.buf, &mut buf);
+        buf
+    }
+}

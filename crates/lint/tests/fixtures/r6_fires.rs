@@ -1,0 +1,16 @@
+// Fixture: R6 (hot-alloc) violations — allocation on the warm path.
+
+pub fn assemble(n: usize) -> usize {
+    let values = vec![0.0; n];
+    let mirror = values.clone();
+    let mut scratch = Vec::new();
+    scratch.extend_from_slice(&mirror);
+    let boxed = Box::new(scratch);
+    boxed.len() + values.capacity()
+}
+
+pub fn label(code: u8) -> String {
+    let mut out = String::with_capacity(16);
+    out.push_str(&format!("code {code}"));
+    out
+}

@@ -1,0 +1,15 @@
+// Fixture: R7 suppressed by justified directives.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+pub fn snapshot() -> usize {
+    // fefet-lint: allow(atomic-ordering) -- SeqCst: checkpoint barrier where the total order is the point
+    COUNTER.load(Ordering::SeqCst)
+}
+
+// fefet-lint: allow-item(atomic-ordering) -- statistics counter: needs atomicity only, never synchronizes data
+pub fn bump() -> usize {
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}

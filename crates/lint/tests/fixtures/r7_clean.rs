@@ -1,0 +1,15 @@
+// Fixture: atomics with explicit, justified orderings — must NOT trip R7.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static PENDING: AtomicUsize = AtomicUsize::new(0);
+
+/// Publishes one unit of work; Release pairs with the Acquire load.
+pub fn publish() -> usize {
+    PENDING.fetch_add(1, Ordering::Release)
+}
+
+/// Observes published work; Acquire pairs with the Release store.
+pub fn consume() -> usize {
+    PENDING.load(Ordering::Acquire)
+}

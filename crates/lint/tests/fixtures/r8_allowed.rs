@@ -1,0 +1,12 @@
+// Fixture: R8 suppressed by directives.
+
+// fefet-lint: allow-item(unit-hygiene) -- normalized device coordinates, scaled out of physical units by the solver
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+// fefet-lint: allow(unit-hygiene) -- scale-free blend weight in [0, 1]
+pub fn blend(alpha: f64) -> usize {
+    (alpha * 8.0) as usize
+}

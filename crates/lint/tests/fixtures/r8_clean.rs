@@ -1,0 +1,30 @@
+// Fixture: unit-hygienic pub API — must NOT trip R8.
+
+/// A biased storage node.
+pub struct Bias {
+    /// Gate voltage (V).
+    pub gate: f64,
+    /// Settling time in seconds.
+    pub settle: f64,
+    /// Iteration count, not a physical quantity.
+    pub rounds: usize,
+}
+
+/// Suffixed parameter: the `_v` suffix names the unit.
+pub fn set_gate(v_gate_v: f64) -> usize {
+    (v_gate_v * 8.0) as usize
+}
+
+/// Ramps the gate over `t_ramp` (s) to `v_end` (V).
+pub fn ramp(t_ramp: f64, v_end: f64) -> usize {
+    (t_ramp + v_end) as usize
+}
+
+// Non-pub items are exempt regardless of naming.
+fn helper(x: f64) -> f64 {
+    x + 1.0
+}
+
+pub fn call_helper() -> usize {
+    helper(1.0) as usize
+}

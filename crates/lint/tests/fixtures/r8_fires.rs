@@ -1,0 +1,16 @@
+// Fixture: R8 (unit-hygiene) violations.
+
+/// Sets the gate drive level.
+pub fn set_gate(v: f64) -> usize {
+    v as usize
+}
+
+pub fn schedule(delay: f64, width: f64) -> usize {
+    (delay + width) as usize
+}
+
+/// Per-line drive levels.
+pub struct Bias {
+    /// The gate drive.
+    pub gate: f64,
+}

@@ -1,6 +1,8 @@
-//! Fixture-driven integration tests: every rule must fire on its
-//! violation fixture, stay silent on its clean twin, and honour the
-//! `fefet-lint: allow(...)` escape hatch. The binary's exit codes are
+//! Fixture-driven integration tests: every rule (R1–R8) must fire on
+//! its violation fixture, stay silent on its clean twin, and honour the
+//! `fefet-lint: allow(...)` / `allow-item(...)` escape hatches. The
+//! binary's exit codes (0 clean, 1 findings, 2 usage/IO), `--rule`
+//! filtering, `--json` report, and `--ratchet` baseline comparison are
 //! exercised the same way.
 
 use fefet_lint::{lint_source, Mode, Rule};
@@ -82,6 +84,88 @@ fn r4_clean_is_silent() {
 }
 
 #[test]
+fn r6_fires_on_warm_path_allocation() {
+    let rules = rules_of("r6_fires.rs");
+    // vec!, .clone(), Vec::new, Box::new, with_capacity, format! —
+    // six distinct allocation constructs.
+    assert_eq!(rules.len(), 6, "{rules:?}");
+    assert!(rules.iter().all(|r| *r == Rule::HotAlloc), "{rules:?}");
+}
+
+#[test]
+fn r6_clean_is_silent() {
+    assert_eq!(lint_fixture("r6_clean.rs"), vec![]);
+}
+
+#[test]
+fn r6_directives_suppress_line_and_item_scope() {
+    assert_eq!(lint_fixture("r6_allowed.rs"), vec![]);
+}
+
+#[test]
+fn r7_fires_on_ordering_violations() {
+    let rules = rules_of("r7_fires.rs");
+    // Missing Ordering, SeqCst, and out-of-place Relaxed.
+    assert_eq!(rules.len(), 3, "{rules:?}");
+    assert!(
+        rules.iter().all(|r| *r == Rule::AtomicOrdering),
+        "{rules:?}"
+    );
+}
+
+#[test]
+fn r7_clean_is_silent() {
+    assert_eq!(lint_fixture("r7_clean.rs"), vec![]);
+}
+
+#[test]
+fn r7_directives_suppress_justified_orderings() {
+    assert_eq!(lint_fixture("r7_allowed.rs"), vec![]);
+}
+
+#[test]
+fn r8_fires_on_unitless_api() {
+    let rules = rules_of("r8_fires.rs");
+    // Undocumented param, two suffix-less params, one bare field.
+    assert_eq!(rules.len(), 4, "{rules:?}");
+    assert!(rules.iter().all(|r| *r == Rule::UnitHygiene), "{rules:?}");
+}
+
+#[test]
+fn r8_clean_is_silent() {
+    assert_eq!(lint_fixture("r8_clean.rs"), vec![]);
+}
+
+#[test]
+fn r8_directives_suppress_fields_and_params() {
+    assert_eq!(lint_fixture("r8_allowed.rs"), vec![]);
+}
+
+#[test]
+fn stale_directive_is_itself_a_finding() {
+    let src =
+        "// fefet-lint: allow(panic) -- nothing to suppress\npub fn ok() -> usize {\n    1\n}\n";
+    let findings = lint_source("stale.rs", src, Mode::Strict);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::Directive);
+    assert!(
+        findings[0].message.contains("stale"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn directive_without_reason_is_rejected() {
+    let src = "fn f() {\n    // fefet-lint: allow(panic)\n    x.unwrap();\n}\n";
+    let findings = lint_source("noreason.rs", src, Mode::Strict);
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::Directive),
+        "{findings:?}"
+    );
+}
+
+#[test]
 fn cfg_test_code_is_exempt() {
     assert_eq!(lint_fixture("cfg_test_skipped.rs"), vec![]);
 }
@@ -109,6 +193,91 @@ fn binary_exits_zero_on_clean_file() {
         .output()
         .expect("spawn fefet-lint");
     assert!(out.status.success(), "clean fixture must pass");
+}
+
+#[test]
+fn binary_rule_filter_isolates_one_rule() {
+    // r8_fires has only unit-hygiene findings: filtering to r6 must
+    // leave nothing (exit 0), filtering to r8 must still fail.
+    let out = Command::new(env!("CARGO_BIN_EXE_fefet-lint"))
+        .args(["--rule", "r6"])
+        .arg(fixture_path("r8_fires.rs"))
+        .output()
+        .expect("spawn fefet-lint");
+    assert!(out.status.success(), "r6 filter must drop r8 findings");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_fefet-lint"))
+        .args(["--rule", "unit-hygiene"])
+        .arg(fixture_path("r8_fires.rs"))
+        .output()
+        .expect("spawn fefet-lint");
+    assert_eq!(out.status.code(), Some(1), "r8 findings must remain");
+}
+
+#[test]
+fn binary_json_report_carries_findings() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fefet-lint"))
+        .args(["--json", "-"])
+        .arg(fixture_path("r7_fires.rs"))
+        .output()
+        .expect("spawn fefet-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"atomic-ordering\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"fresh\""), "stdout: {stdout}");
+}
+
+#[test]
+fn binary_exits_two_on_missing_file() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fefet-lint"))
+        .arg(fixture_path("no_such_fixture.rs"))
+        .output()
+        .expect("spawn fefet-lint");
+    assert_eq!(out.status.code(), Some(2), "I/O errors are exit 2");
+}
+
+#[test]
+fn binary_exits_two_on_unknown_option() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fefet-lint"))
+        .arg("--frobnicate")
+        .output()
+        .expect("spawn fefet-lint");
+    assert_eq!(out.status.code(), Some(2), "usage errors are exit 2");
+}
+
+#[test]
+fn binary_ratchet_rejects_baseline_growth() {
+    // An older, empty baseline: any committed grandfathered bucket is
+    // "growth" and must fail the ratchet.
+    let dir = std::env::temp_dir().join(format!("fefet-lint-ratchet-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let old = dir.join("old_baseline.json");
+    std::fs::write(&old, "{\n  \"version\": 1,\n  \"entries\": []\n}\n").expect("write");
+    let committed = fefet_lint::Baseline::load(
+        &PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../LINT_BASELINE.json"),
+    )
+    .expect("read committed baseline")
+    .unwrap_or_default();
+    let out = Command::new(env!("CARGO_BIN_EXE_fefet-lint"))
+        .arg(format!("--ratchet={}", old.display()))
+        .current_dir(PathBuf::from(env!("CARGO_MANIFEST_DIR")))
+        .output()
+        .expect("spawn fefet-lint");
+    if committed.total() > 0 {
+        assert_eq!(out.status.code(), Some(1), "grown baseline must fail");
+    } else {
+        assert!(out.status.success(), "empty-to-empty ratchet passes");
+    }
+    // Against itself the ratchet always passes.
+    let same = dir.join("same_baseline.json");
+    std::fs::write(&same, committed.to_json()).expect("write");
+    let out = Command::new(env!("CARGO_BIN_EXE_fefet-lint"))
+        .arg(format!("--ratchet={}", same.display()))
+        .current_dir(PathBuf::from(env!("CARGO_MANIFEST_DIR")))
+        .output()
+        .expect("spawn fefet-lint");
+    assert!(out.status.success(), "identical baselines must pass");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

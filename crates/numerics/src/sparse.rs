@@ -48,6 +48,7 @@ impl CsrPattern {
     /// least one structural entry; an empty row or column makes the
     /// matrix structurally singular and is reported as a typed error so
     /// callers can identify the offending unknown/equation.
+    // fefet-lint: allow-item(hot-alloc) -- one-time pattern construction; the numeric phase reuses it allocation-free
     pub fn from_entries(n: usize, entries: &[(usize, usize)]) -> Result<Self> {
         if n == 0 {
             return Err(Error::InvalidArgument("empty pattern (n == 0)"));
@@ -133,6 +134,7 @@ pub struct CsrMatrix {
 
 impl CsrMatrix {
     /// A zero matrix over the given pattern.
+    // fefet-lint: allow-item(hot-alloc) -- matrix storage is allocated once per pattern, then refilled in place
     pub fn from_pattern(pattern: CsrPattern) -> Self {
         let values = vec![0.0; pattern.nnz()];
         Self { pattern, values }
@@ -263,6 +265,7 @@ impl SparseLu {
     /// Returns [`Error::StructurallySingular`] when no structurally
     /// nonsingular permutation exists (the pattern has no perfect
     /// matching of rows to columns).
+    // fefet-lint: allow-item(hot-alloc) -- symbolic analysis runs once per pattern and precomputes all fill-in precisely so factor/solve never allocate
     pub fn analyze(pattern: &CsrPattern) -> Result<Self> {
         let n = pattern.n;
         // Growing per-row column sets (sorted; never lose members — the

@@ -1,21 +1,40 @@
-//! Gate: the whole workspace must satisfy the fefet-lint solver-safety
-//! invariants (R1-R4). This runs the same analysis as
-//! `cargo run -p fefet-lint` so a violation fails `cargo test` too.
+//! Gate: the whole workspace must satisfy the fefet-lint invariants
+//! (R1–R8) modulo the committed `LINT_BASELINE.json` ratchet. This runs
+//! the same analysis as `cargo run -p fefet-lint`, so a fresh finding
+//! or a stale baseline bucket fails `cargo test` too.
 
 use std::path::Path;
 
 #[test]
 fn workspace_is_lint_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let findings = fefet_lint::lint_workspace(root).expect("walk workspace sources");
+    let ws = fefet_lint::check_workspace(root).expect("walk workspace sources");
     assert!(
-        findings.is_empty(),
-        "fefet-lint found {} violation(s):\n{}",
-        findings.len(),
-        findings
+        ws.status.fresh.is_empty(),
+        "fefet-lint found {} fresh violation(s) (not in LINT_BASELINE.json):\n{}",
+        ws.status.fresh.len(),
+        ws.status
+            .fresh
             .iter()
             .map(|f| f.to_string())
             .collect::<Vec<_>>()
             .join("\n")
     );
+    assert!(
+        ws.status.stale.is_empty(),
+        "LINT_BASELINE.json is stale — {} bucket(s) grandfather more findings \
+         than currently exist; run `cargo run -p fefet-lint -- --update-baseline` \
+         to ratchet down:\n{}",
+        ws.status.stale.len(),
+        ws.status
+            .stale
+            .iter()
+            .map(|b| format!(
+                "{}: [{}] baseline {}, current {}",
+                b.file, b.rule, b.baseline, b.current
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(ws.is_clean());
 }
