@@ -283,23 +283,49 @@ fn bench_newton(report: &mut Report) {
     }
 }
 
-/// Dense vs pattern-cached sparse at growing array sizes: the per-step
-/// Newton workload (warm-started from the converged point, so each call
-/// is one stamp + factor + solve — the operation a transient runs
-/// thousands of times). Every sample records the MNA order, and the
-/// sparse sides record the pattern's nonzero count.
+/// Dense vs pattern-cached sparse vs BBD/Schur at growing array sizes,
+/// in two regimes:
+///
+/// **Warm exact** — from the converged point with Jacobian reuse off,
+/// so each call is one full stamp + factor + solve (the cost a
+/// transient pays on every Jacobian change). Here the global Markowitz
+/// ordering is excellent on the crossbar pattern and plain sparse
+/// stays ahead of the Schur path; the numbers are recorded so that
+/// tradeoff stays visible. Dense is measured alongside (once, above
+/// 16×16, where a dense factor costs seconds to minutes).
+///
+/// **Cold** — a fresh workspace solving from zeros: pattern recording,
+/// symbolic analysis, factorization, Newton iteration. This is where
+/// the BBD tier's shared symbolic state pays: one small block analysis
+/// per pattern class instead of a global Markowitz elimination whose
+/// cost grows superlinearly. The 32×32 and 64×64 cold solves are hard
+/// gates: BBD must beat plain sparse.
 fn bench_newton_scaling(report: &mut Report) {
     let t_bias = 0.5e-9;
-    for (rows, cols) in [(8usize, 8usize), (16, 16), (32, 32)] {
-        let (ckt, asm, states) = read_solve_fixture(rows, cols);
+    for (rows, cols) in [(8usize, 8usize), (16, 16), (32, 32), (64, 64)] {
+        let a = FefetArray::new(rows, cols, FefetCell::default());
+        let ckt = a.read_circuit(0, 3e-9).expect("read circuit");
+        let plan = std::sync::Arc::new(a.block_plan(&ckt).expect("block plan"));
+        let asm = Assembly::new(&ckt);
+        let states: Vec<ElemState> = ckt.elements().iter().map(|_| ElemState::None).collect();
         let n = asm.n_unknowns();
+        let exact = SolverOptions {
+            jacobian_reuse: false,
+            bypass: false,
+            ..SolverOptions::default()
+        };
         let opts_dense = SolverOptions {
             backend: SolverBackend::Dense,
-            ..SolverOptions::default()
+            ..exact.clone()
         };
         let opts_sparse = SolverOptions {
             backend: SolverBackend::Sparse,
-            ..SolverOptions::default()
+            ..exact.clone()
+        };
+        let opts_bbd = SolverOptions {
+            backend: SolverBackend::Bbd,
+            block_plan: Some(plan),
+            ..exact
         };
         // Converge once (cheaply, via the sparse path) for the warm start.
         let x0 = vec![0.0; n];
@@ -316,27 +342,20 @@ fn bench_newton_scaling(report: &mut Report) {
             &mut ws,
         );
         let nnz = ws.sparse_nnz(true).map(|z| z as u64);
-        let mut ws_dense = NewtonWorkspace::new(n);
-        let mut xd = vec![0.0; n];
+        let mut ws_bbd = NewtonWorkspace::new(n);
         let mut xs = vec![0.0; n];
+        let mut xb = vec![0.0; n];
+        // Warm the BBD workspace so its one-time structure analysis
+        // stays out of the timed region.
+        newton_inplace(
+            &asm, &ckt, t_bias, &opts_bbd, &mut xb, &x_star, &states, &mut ws_bbd,
+        );
         let name_dense = format!("newton_array_{rows}x{cols}_dense");
         let name_sparse = format!("newton_array_{rows}x{cols}_sparse");
+        let name_bbd = format!("newton_array_{rows}x{cols}_bbd");
         report.bench_pair(
-            &name_dense,
             &name_sparse,
-            || {
-                newton_inplace(
-                    &asm,
-                    &ckt,
-                    t_bias,
-                    &opts_dense,
-                    &mut xd,
-                    &x_star,
-                    &states,
-                    &mut ws_dense,
-                );
-                xd.last().copied()
-            },
+            &name_bbd,
             || {
                 newton_inplace(
                     &asm,
@@ -350,34 +369,170 @@ fn bench_newton_scaling(report: &mut Report) {
                 );
                 xs.last().copied()
             },
+            || {
+                newton_inplace(
+                    &asm, &ckt, t_bias, &opts_bbd, &mut xb, &x_star, &states, &mut ws_bbd,
+                );
+                xb.last().copied()
+            },
         );
-        report.annotate(&name_dense, n as u64, None);
+        // A dense exact factor is O(n³): ~seconds at 32×32, minutes at
+        // 64×64 — one measured sample records the scaling story without
+        // dominating the run; the 64×64 point is skipped in smoke runs.
+        let mut ws_dense = NewtonWorkspace::new(n);
+        let mut xd = vec![0.0; n];
+        let mut dense_measured = true;
+        let dense_solve = |xd: &mut Vec<f64>, ws_dense: &mut NewtonWorkspace| {
+            newton_inplace(
+                &asm, &ckt, t_bias, &opts_dense, xd, &x_star, &states, ws_dense,
+            );
+            xd.last().copied()
+        };
+        if rows <= 16 {
+            report.bench(&name_dense, || dense_solve(&mut xd, &mut ws_dense));
+        } else if rows <= 32 || !smoke() {
+            report.bench_once(&name_dense, || dense_solve(&mut xd, &mut ws_dense));
+        } else {
+            dense_measured = false;
+        }
+        if dense_measured {
+            report.annotate(&name_dense, n as u64, None);
+        }
         report.annotate(&name_sparse, n as u64, nnz);
-        // One instrumented warm solve per side records how many Newton
-        // iterations and factorizations the timed workload performs.
-        for (name, opts) in [(&name_dense, &opts_dense), (&name_sparse, &opts_sparse)] {
+        report.annotate(&name_bbd, n as u64, nnz);
+        // One instrumented solve per side records how many Newton
+        // iterations and factorizations the timed workload performs,
+        // plus the BBD partition the engine actually used.
+        for (name, opts) in [(&name_sparse, &opts_sparse), (&name_bbd, &opts_bbd)] {
             let instr = Instrumentation::enabled();
             let counted = SolverOptions {
                 instr: instr.clone(),
                 ..opts.clone()
             };
-            let ws_i = if counted.backend == SolverBackend::Dense {
-                &mut ws_dense
+            let ws_i = if counted.backend == SolverBackend::Bbd {
+                &mut ws_bbd
             } else {
                 &mut ws
             };
             newton_inplace(
-                &asm, &ckt, t_bias, &counted, &mut xd, &x_star, &states, ws_i,
+                &asm, &ckt, t_bias, &counted, &mut xs, &x_star, &states, ws_i,
             );
             if let Some(tel) = instr.get() {
                 report.attach_telemetry(
                     name,
                     tel.solver.newton_iterations.sum() as u64,
-                    tel.solver.sparse_refactors.get() + tel.solver.dense_factors.get(),
+                    tel.solver.sparse_refactors.get() + tel.solver.bbd_refactors.get(),
                 );
             }
         }
+        let (blocks, border, classes) = ws_bbd.bbd_dims(true).expect("BBD state");
+        println!(
+            "newton_array_{rows}x{cols} bbd partition: {blocks} blocks, border {border}, \
+             {classes} pattern class(es)"
+        );
+        // Cold point solves: workspace standup + analysis + factor +
+        // Newton from zeros, fresh every call (no AnalysisCache, so
+        // each sample pays the full first-solve cost an array of this
+        // shape costs the first time it is simulated).
+        let name_cold_sparse = format!("newton_array_{rows}x{cols}_cold_sparse");
+        let name_cold_bbd = format!("newton_array_{rows}x{cols}_cold_bbd");
+        report.bench_pair(
+            &name_cold_sparse,
+            &name_cold_bbd,
+            || {
+                let mut ws = NewtonWorkspace::new(n);
+                let mut xc = vec![0.0; n];
+                newton_inplace(
+                    &asm,
+                    &ckt,
+                    t_bias,
+                    &opts_sparse,
+                    &mut xc,
+                    &x0,
+                    &states,
+                    &mut ws,
+                );
+                xc.last().copied()
+            },
+            || {
+                let mut ws = NewtonWorkspace::new(n);
+                let mut xc = vec![0.0; n];
+                newton_inplace(
+                    &asm, &ckt, t_bias, &opts_bbd, &mut xc, &x0, &states, &mut ws,
+                );
+                xc.last().copied()
+            },
+        );
+        report.annotate(&name_cold_sparse, n as u64, nnz);
+        report.annotate(&name_cold_bbd, n as u64, nnz);
+        // The acceptance gate: at and above 32×32, the BBD cold solve
+        // must beat the plain sparse one (min-of-batches, interleaved,
+        // so host-load drift cannot manufacture a pass).
+        if rows >= 32 {
+            let s = report.min_of(&name_cold_sparse).expect("sparse sample");
+            let b = report.min_of(&name_cold_bbd).expect("bbd sample");
+            assert!(
+                b <= s,
+                "BBD must beat plain sparse on the {rows}x{cols} cold solve: {b:.6} s vs {s:.6} s"
+            );
+            println!(
+                "newton_array_{rows}x{cols} cold speedup (sparse/bbd, min): {:.2}x",
+                s / b
+            );
+        }
     }
+}
+
+/// The feasibility milestone: one exact point solve of the 256×256
+/// array's read circuit (133,888 unknowns) on the BBD backend. Dense
+/// is hopeless at this size and even the plain sparse factorization
+/// is painful; the block structure keeps it tractable. Full runs only.
+fn bench_newton_256(report: &mut Report) {
+    if smoke() {
+        return;
+    }
+    let a = FefetArray::new(256, 256, FefetCell::default());
+    let ckt = a.read_circuit(0, 3e-9).expect("read circuit");
+    let plan = std::sync::Arc::new(a.block_plan(&ckt).expect("block plan"));
+    let asm = Assembly::new(&ckt);
+    let states: Vec<ElemState> = ckt.elements().iter().map(|_| ElemState::None).collect();
+    let n = asm.n_unknowns();
+    let opts = SolverOptions {
+        backend: SolverBackend::Bbd,
+        block_plan: Some(plan),
+        jacobian_reuse: false,
+        bypass: false,
+        ..SolverOptions::default()
+    };
+    let t_bias = 0.5e-9;
+    let x0 = vec![0.0; n];
+    let mut x_star = vec![0.0; n];
+    let mut ws = NewtonWorkspace::new(n);
+    // The feasibility number itself: fresh workspace, full analysis,
+    // Newton from zeros. (The sparse backend's global analysis alone
+    // takes minutes at this order, which is why it is not measured.)
+    report.bench_once("newton_array_256x256_cold_bbd", || {
+        ws = NewtonWorkspace::new(n);
+        newton_inplace(
+            &asm, &ckt, t_bias, &opts, &mut x_star, &x0, &states, &mut ws,
+        );
+        x_star.last().copied()
+    });
+    let mut x = vec![0.0; n];
+    report.bench_once("newton_array_256x256_bbd", || {
+        newton_inplace(
+            &asm, &ckt, t_bias, &opts, &mut x, &x_star, &states, &mut ws,
+        );
+        x.last().copied()
+    });
+    let nnz = ws.sparse_nnz(true).map(|z| z as u64);
+    report.annotate("newton_array_256x256_cold_bbd", n as u64, nnz);
+    report.annotate("newton_array_256x256_bbd", n as u64, nnz);
+    let (blocks, border, classes) = ws.bbd_dims(true).expect("BBD state");
+    println!(
+        "newton_array_256x256 bbd partition: {blocks} blocks, border {border}, \
+         {classes} pattern class(es)"
+    );
 }
 
 /// Instrumentation-overhead A/B on the acceptance workload: the 16×16
@@ -682,6 +837,21 @@ fn bench_array_sweep(report: &mut Report) {
             .len()
     });
     report.annotate("array_read_sweep_16x16_serial", n16, None);
+
+    // The tentpole headline: a 64×64 serial read sweep (8,896 unknowns
+    // per solve). `Auto` promotes to the BBD backend at this size —
+    // the array supplies its column/driver block plan — and every
+    // pooled or serial trial shares one symbolic analysis per pattern.
+    // Smoke runs sweep a 4-row subset to keep CI fast.
+    let a64 = seeded(64, 64);
+    let n64 = a64.mna_dims().expect("64x64 dims").n_unknowns as u64;
+    let rows64: Vec<usize> = if smoke() { (0..4).collect() } else { (0..64).collect() };
+    report.bench_once("array_read_sweep_64x64_serial", || {
+        a64.read_rows(&rows64, t_read, 1)
+            .expect("64x64 sweep")
+            .len()
+    });
+    report.annotate("array_read_sweep_64x64_serial", n64, None);
 }
 
 fn bench_lk_stepper(report: &mut Report) {
@@ -700,6 +870,7 @@ fn main() {
     bench_lu(&mut report);
     bench_newton(&mut report);
     bench_newton_scaling(&mut report);
+    bench_newton_256(&mut report);
     bench_instr_overhead(&mut report);
     bench_rc_transient(&mut report);
     bench_cell_write(&mut report);
@@ -744,7 +915,7 @@ fn main() {
             serial / par
         );
     }
-    for size in ["8x8", "16x16", "32x32"] {
+    for size in ["8x8", "16x16", "32x32", "64x64"] {
         if let (Some(dense), Some(sparse)) = (
             report.median_of(&format!("newton_array_{size}_dense")),
             report.median_of(&format!("newton_array_{size}_sparse")),
@@ -752,6 +923,24 @@ fn main() {
             println!(
                 "newton_array_{size} speedup (dense/sparse):   {:.2}x",
                 dense / sparse
+            );
+        }
+        if let (Some(sparse), Some(bbd)) = (
+            report.median_of(&format!("newton_array_{size}_sparse")),
+            report.median_of(&format!("newton_array_{size}_bbd")),
+        ) {
+            println!(
+                "newton_array_{size} speedup (sparse/bbd):     {:.2}x",
+                sparse / bbd
+            );
+        }
+        if let (Some(sparse), Some(bbd)) = (
+            report.median_of(&format!("newton_array_{size}_cold_sparse")),
+            report.median_of(&format!("newton_array_{size}_cold_bbd")),
+        ) {
+            println!(
+                "newton_array_{size} cold speedup (sparse/bbd): {:.2}x",
+                sparse / bbd
             );
         }
     }

@@ -9,6 +9,15 @@
 //! its stored polarization — making the Salahuddin-Datta voltage
 //! amplification of the negative-capacitance region directly observable
 //! (see the `nc_voltage_amplification` test).
+//!
+//! The sweep stamps the frequency-independent part of the MNA system
+//! (conductances, small-signal transconductances, source incidence
+//! rows, gmin) exactly once into a base matrix, and collects the
+//! frequency-dependent contributions as a flat list of dynamic terms.
+//! Each frequency point then restores the base stamp with
+//! [`CMatrix::copy_from`], replays the dynamic terms at the new `ω`,
+//! and solves in place — no per-point re-stamping and no per-point
+//! allocation beyond the recorded solution row.
 
 use crate::circuit::Circuit;
 use crate::dc::{dc_operating_point, DcOptions, DcSolution};
@@ -96,29 +105,46 @@ pub fn ac_analysis(
         index.insert(format!("v({})", ckt.node_name(Node(k))), k - 1);
     }
 
+    // One static stamp pass: everything that does not depend on
+    // frequency goes into `base`/`rhs`; the jω terms are collected for
+    // replay at each point.
+    let mut base = CMatrix::zeros(n);
+    let mut rhs = vec![Complex::ZERO; n];
+    let mut dyn_terms: Vec<DynTerm> = Vec::new();
+    // gmin for conditioning, as in the real-valued engine.
+    for k in 0..nv {
+        base.add(k, k, Complex::real(opts.dc.solver.gmin.max(1e-12)));
+    }
+    for (i, (name, e)) in ckt.elements().iter().enumerate() {
+        stamp_static(
+            &mut base,
+            &mut rhs,
+            &mut dyn_terms,
+            e,
+            asm.branch0[i],
+            nv,
+            &v_of,
+            name == ac_source,
+        );
+    }
+    if let Some(tel) = opts.dc.solver.instr.get() {
+        tel.solver.ac_stamp_passes.inc();
+    }
+
+    let mut work = CMatrix::zeros(n);
     let mut data = Vec::with_capacity(freqs.len());
     for &f in freqs {
         let w = 2.0 * std::f64::consts::PI * f;
-        let mut m = CMatrix::zeros(n);
-        let mut rhs = vec![Complex::ZERO; n];
-        // gmin for conditioning, as in the real-valued engine.
-        for k in 0..nv {
-            m.add(k, k, Complex::real(opts.dc.solver.gmin.max(1e-12)));
+        work.copy_from(&base)?;
+        for term in &dyn_terms {
+            term.apply(&mut work, w);
         }
-        for (i, (name, e)) in ckt.elements().iter().enumerate() {
-            stamp_ac(
-                &mut m,
-                &mut rhs,
-                e,
-                asm.branch0[i],
-                nv,
-                w,
-                &v_of,
-                name == ac_source,
-            );
-        }
-        let x = m.solve(&rhs)?;
+        let mut x = rhs.clone();
+        work.solve_in_place(&mut x)?;
         data.push(x);
+        if let Some(tel) = opts.dc.solver.instr.get() {
+            tel.solver.ac_points.inc();
+        }
     }
     Ok(AcSweep {
         freqs: freqs.to_vec(),
@@ -128,14 +154,67 @@ pub fn ac_analysis(
     })
 }
 
+/// A frequency-dependent stamp, replayed per sweep point on top of the
+/// restored static base matrix.
+#[derive(Debug, Clone, Copy)]
+enum DynTerm {
+    /// Two-terminal admittance `jωC` (capacitors, MOSFET gate cap).
+    Cap {
+        ia: Option<usize>,
+        ib: Option<usize>,
+        farads: f64,
+    },
+    /// Ferroelectric capacitor: series impedance `r + s/(jω)` where
+    /// `r` is the viscosity resistance and `s = (dV/dP)/A` at the bias
+    /// polarization — stamped as the admittance `1/z`.
+    FeCapSeries {
+        ia: Option<usize>,
+        ib: Option<usize>,
+        r: f64,
+        s: f64,
+    },
+    /// Inductor branch equation term `-jωL` at `(br, br)`.
+    Ind { br: usize, henries: f64 },
+}
+
+impl DynTerm {
+    fn apply(&self, m: &mut CMatrix, w: f64) {
+        match *self {
+            DynTerm::Cap { ia, ib, farads } => {
+                admittance(m, ia, ib, Complex::imag(w * farads));
+            }
+            DynTerm::FeCapSeries { ia, ib, r, s } => {
+                let z = Complex::real(r) + Complex::real(s) / Complex::imag(w);
+                admittance(m, ia, ib, z.recip());
+            }
+            DynTerm::Ind { br, henries } => {
+                m.add(br, br, Complex::imag(-w * henries));
+            }
+        }
+    }
+}
+
+fn admittance(m: &mut CMatrix, ia: Option<usize>, ib: Option<usize>, y: Complex) {
+    if let Some(i) = ia {
+        m.add(i, i, y);
+    }
+    if let Some(j) = ib {
+        m.add(j, j, y);
+    }
+    if let (Some(i), Some(j)) = (ia, ib) {
+        m.add(i, j, -y);
+        m.add(j, i, -y);
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
-fn stamp_ac<F>(
+fn stamp_static<F>(
     m: &mut CMatrix,
     rhs: &mut [Complex],
+    dyn_terms: &mut Vec<DynTerm>,
     e: &Element,
     branch0: usize,
     nv: usize,
-    w: f64,
     v_of: &F,
     is_ac_source: bool,
 ) where
@@ -148,24 +227,16 @@ fn stamp_ac<F>(
             Some(node.index() - 1)
         }
     };
-    fn admittance(m: &mut CMatrix, ia: Option<usize>, ib: Option<usize>, y: Complex) {
-        if let Some(i) = ia {
-            m.add(i, i, y);
-        }
-        if let Some(j) = ib {
-            m.add(j, j, y);
-        }
-        if let (Some(i), Some(j)) = (ia, ib) {
-            m.add(i, j, -y);
-            m.add(j, i, -y);
-        }
-    }
     match e {
         Element::Resistor { a, b, ohms } => {
             admittance(m, idx(a), idx(b), Complex::real(1.0 / ohms))
         }
         Element::Capacitor { a, b, farads } => {
-            admittance(m, idx(a), idx(b), Complex::imag(w * farads))
+            dyn_terms.push(DynTerm::Cap {
+                ia: idx(a),
+                ib: idx(b),
+                farads: *farads,
+            });
         }
         Element::Switch {
             a,
@@ -192,11 +263,12 @@ fn stamp_ac<F>(
         Element::FeCap { a, b, params, p0 } => {
             // Z = T_FE·ρ/A + dV/dP/(jωA): series viscosity plus the
             // (possibly negative) small-signal capacitance at P = p0.
-            let r = params.series_resistance();
-            let dv_dp = params.dv_dp(*p0);
-            let z = Complex::real(r)
-                + Complex::real(dv_dp) / (Complex::imag(w) * Complex::real(params.area));
-            admittance(m, idx(a), idx(b), z.recip());
+            dyn_terms.push(DynTerm::FeCapSeries {
+                ia: idx(a),
+                ib: idx(b),
+                r: params.series_resistance(),
+                s: params.dv_dp(*p0) / params.area,
+            });
         }
         Element::Mosfet { d, g, s, params } => {
             let (vd, vg, vs) = (v_of(d), v_of(g), v_of(s));
@@ -230,8 +302,11 @@ fn stamp_ac<F>(
                 MosPolarity::Nmos => vg - vs,
                 MosPolarity::Pmos => vs - vg,
             };
-            let cg = params.c_gate(vgs);
-            admittance(m, idx(g), idx(s), Complex::imag(w * cg));
+            dyn_terms.push(DynTerm::Cap {
+                ia: idx(g),
+                ib: idx(s),
+                farads: params.c_gate(vgs),
+            });
         }
         Element::Vccs { p, n, cp, cn, gm } => {
             let add = |m: &mut CMatrix, r: Option<usize>, c: Option<usize>, v: f64| {
@@ -287,8 +362,11 @@ fn stamp_ac<F>(
                 m.add(j, br, -Complex::ONE);
                 m.add(br, j, -Complex::ONE);
             }
-            // v - jωL i = 0.
-            m.add(br, br, Complex::imag(-w * henries));
+            // v - jωL i = 0: the -jωL term replays per frequency.
+            dyn_terms.push(DynTerm::Ind {
+                br,
+                henries: *henries,
+            });
         }
         Element::ISource { .. } => {
             // AC-zeroed (open). AC current sources are not yet supported.
@@ -403,6 +481,49 @@ mod tests {
             "NC step-up {gain:.3} vs expected {expect:.3}"
         );
         assert!(gain > 1.0, "must amplify: {gain}");
+    }
+
+    #[test]
+    fn swept_points_match_single_point_runs() {
+        // The shared-base-stamp sweep must be numerically identical to
+        // running every frequency as its own one-point analysis, on a
+        // circuit exercising every dynamic term (C, FeCap, L, MOSFET).
+        use crate::models::MosParams;
+        use fefet_telemetry::Instrumentation;
+        let fe = FeCapParams::new(2.25e-9, 65e-9 * 45e-9);
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        let out = c.node("out");
+        let d = c.node("d");
+        c.vsource("V1", vin, Circuit::GND, Waveform::dc(0.7));
+        c.inductor("L1", vin, mid, 1e-6);
+        c.resistor("R1", mid, out, 1e3);
+        c.capacitor("C1", out, Circuit::GND, 1e-9);
+        c.fecap("F1", mid, out, fe, 0.0);
+        c.resistor("RD", vin, d, 20e3);
+        c.mosfet("M1", d, mid, Circuit::GND, MosParams::nmos_45nm());
+        c.diode("D1", out, Circuit::GND, 1e-14, 1.0);
+
+        let freqs = [1e3, 1e5, 1e6, 1e8];
+        let mut opts = AcOptions::default();
+        opts.dc.solver.instr = Instrumentation::enabled();
+        let sweep = ac_analysis(&c, "V1", &freqs, opts.clone()).unwrap();
+        let tel = opts.dc.solver.instr.get().unwrap();
+        assert_eq!(tel.solver.ac_stamp_passes.get(), 1, "one stamp pass");
+        assert_eq!(tel.solver.ac_points.get(), freqs.len() as u64);
+
+        for (k, &f) in freqs.iter().enumerate() {
+            let single = ac_analysis(&c, "V1", &[f], AcOptions::default()).unwrap();
+            for node in ["v(mid)", "v(out)", "v(d)"] {
+                let a = sweep.phasor(node, k).unwrap();
+                let b = single.phasor(node, 0).unwrap();
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "{node} at {f} Hz: sweep {a} vs single {b}"
+                );
+            }
+        }
     }
 
     #[test]

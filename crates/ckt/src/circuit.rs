@@ -102,6 +102,13 @@ impl Circuit {
         self.element_index.get(name).map(|&i| &self.elements[i].1)
     }
 
+    /// Position of an element in [`Circuit::elements`] order, by name —
+    /// the index used for per-element solver bookkeeping (branch
+    /// offsets, block-plan assignments).
+    pub fn element_position(&self, name: &str) -> Option<usize> {
+        self.element_index.get(name).copied()
+    }
+
     /// Replaces the waveform of an existing independent source, allowing
     /// one netlist to be re-simulated under different stimuli.
     ///

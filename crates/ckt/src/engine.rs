@@ -11,21 +11,29 @@ use crate::circuit::Circuit;
 use crate::elements::{
     BypassBank, BypassCtx, ElemState, EvalCtx, Integration, JacTarget, Node, Sys,
 };
+use crate::plan::{AnalysisCache, BlockPlan};
 use crate::CktError;
+use fefet_numerics::bbd::BbdLu;
 use fefet_numerics::linalg::{norm_inf, LuWorkspace, Matrix};
 use fefet_numerics::sparse::{CsrMatrix, CsrPattern, SparseLu};
 use fefet_telemetry::{ConvergenceReport, Instrumentation};
+use std::sync::Arc;
 
 /// Linear-solver backend for the Newton inner solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SolverBackend {
-    /// Dense LU below [`SPARSE_CROSSOVER`] unknowns, sparse LU above.
+    /// Dense LU below [`SPARSE_CROSSOVER`] unknowns, sparse LU above —
+    /// promoted to BBD at [`BBD_CROSSOVER`] when the options carry a
+    /// [`BlockPlan`].
     #[default]
     Auto,
     /// Dense LU with partial pivoting, regardless of size.
     Dense,
     /// Pattern-cached sparse LU, regardless of size.
     Sparse,
+    /// Bordered-block-diagonal Schur-complement LU over the partition in
+    /// [`SolverOptions::block_plan`] (required), regardless of size.
+    Bbd,
 }
 
 /// System order at which `Auto` switches from dense to sparse LU.
@@ -36,6 +44,17 @@ pub enum SolverBackend {
 /// The break-even sits near a few dozen unknowns; 64 is conservative in
 /// the safe direction on both sides.
 pub const SPARSE_CROSSOVER: usize = 64;
+
+/// System order at which `Auto` promotes sparse LU to the
+/// bordered-block-diagonal backend, provided the options carry a
+/// [`BlockPlan`] (without one there is nothing to exploit and `Auto`
+/// stays sparse).
+///
+/// Small arrays gain little — the global Markowitz ordering is already
+/// near-optimal there — while a 32×32 array (2400 unknowns) factors
+/// measurably faster block-by-block with the shared per-column symbolic
+/// analysis, so the crossover sits just below it.
+pub const BBD_CROSSOVER: usize = 2000;
 
 /// Newton solver tuning knobs shared by DC and transient analyses.
 ///
@@ -71,6 +90,16 @@ pub struct SolverOptions {
     /// Terminal-voltage tolerance for a device-bypass cache hit (V).
     /// The bypass error is O(vtol²) in the stamped currents.
     pub bypass_vtol: f64,
+    /// Bordered-block-diagonal partition hint, supplied by circuit
+    /// builders that know the layout (array constructors). Required for
+    /// [`SolverBackend::Bbd`]; its presence lets `Auto` promote to BBD
+    /// past [`BBD_CROSSOVER`] unknowns. `Arc`'d because options are
+    /// cloned per analysis and per sweep worker.
+    pub block_plan: Option<Arc<BlockPlan>>,
+    /// Shared analysis cache: workers solving structurally identical
+    /// systems (array clones in a pooled sweep) reuse one symbolic
+    /// analysis per pattern instead of re-analyzing per worker.
+    pub cache: Option<AnalysisCache>,
     /// Telemetry sink; defaults to off (a no-op on the hot path).
     pub instr: Instrumentation,
 }
@@ -87,6 +116,8 @@ impl Default for SolverOptions {
             jacobian_reuse: true,
             bypass: true,
             bypass_vtol: 1e-6,
+            block_plan: None,
+            cache: None,
             instr: Instrumentation::off(),
         }
     }
@@ -103,11 +134,20 @@ impl Default for SolverOptions {
 /// residual-contraction fallback instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct FactorKey {
-    sparse: bool,
+    backend: BackendKind,
     dc: bool,
     h_bits: u64,
     gmin_bits: u64,
     method: Integration,
+}
+
+/// Resolved backend for one solve — [`SolverBackend`] with `Auto`
+/// already decided by system order and plan availability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BackendKind {
+    Dense,
+    Sparse,
+    Bbd,
 }
 
 /// Reusable Newton-iteration buffers: Jacobian, residual, update vector,
@@ -131,6 +171,8 @@ pub struct NewtonWorkspace {
     dense: Option<DenseState>,
     sparse_dc: Option<SparseState>,
     sparse_tr: Option<SparseState>,
+    bbd_dc: Option<BbdState>,
+    bbd_tr: Option<BbdState>,
     /// Device-bypass operating-point cache, one slot per element; built
     /// lazily on the first bypass-enabled solve.
     bypass: Option<BypassBank>,
@@ -156,6 +198,17 @@ struct SparseState {
     lu: SparseLu,
 }
 
+/// BBD backend for one stamping mode: elements stamp the *global* CSR
+/// Jacobian exactly as for the sparse backend (same pattern, same slot
+/// table), and the factorization scatters it into block/border storage
+/// through its precomputed destination map.
+#[derive(Debug)]
+struct BbdState {
+    a: CsrMatrix,
+    slots: Vec<usize>,
+    lu: BbdLu,
+}
+
 impl NewtonWorkspace {
     /// Creates a workspace for systems of `n` unknowns
     /// ([`Assembly::n_unknowns`]).
@@ -168,6 +221,8 @@ impl NewtonWorkspace {
             dense: None,
             sparse_dc: None,
             sparse_tr: None,
+            bbd_dc: None,
+            bbd_tr: None,
             bypass: None,
             factor_key: None,
         }
@@ -183,6 +238,14 @@ impl NewtonWorkspace {
     pub fn sparse_nnz(&self, dc: bool) -> Option<usize> {
         let s = if dc { &self.sparse_dc } else { &self.sparse_tr };
         s.as_ref().map(|s| s.a.nnz())
+    }
+
+    /// BBD backend shape for the given stamping mode, if that state has
+    /// been built: `(diagonal blocks, border order, pattern classes)`.
+    pub fn bbd_dims(&self, dc: bool) -> Option<(usize, usize, usize)> {
+        let s = if dc { &self.bbd_dc } else { &self.bbd_tr };
+        s.as_ref()
+            .map(|s| (s.lu.block_count(), s.lu.border_len(), s.lu.pattern_classes()))
     }
 }
 
@@ -314,13 +377,12 @@ impl Assembly {
         }
     }
 
-    /// Builds the sparse backend state for one stamping mode: records
-    /// the Jacobian add sequence with a pattern-target stamp pass,
-    /// assembles the CSR pattern, resolves every add to its value-array
-    /// slot, and runs the one-time symbolic analysis.
+    /// Records the Jacobian add sequence with a pattern-target stamp
+    /// pass, assembles the CSR pattern, and resolves every add to its
+    /// value-array slot. Shared setup for the sparse and BBD backends.
     // fefet-lint: allow-item(hot-alloc) -- first-use backend setup cached in the workspace; the Newton loop reuses it allocation-free
     #[allow(clippy::too_many_arguments)]
-    fn build_sparse_state(
+    fn record_pattern(
         &self,
         ckt: &Circuit,
         t: f64,
@@ -330,7 +392,7 @@ impl Assembly {
         gmin: f64,
         x: &[f64],
         states: &[ElemState],
-    ) -> Result<SparseState, CktError> {
+    ) -> Result<(CsrPattern, Vec<usize>), CktError> {
         let n = self.n_unknowns();
         let mut entries: Vec<(usize, usize)> = Vec::new();
         let mut scratch_res = vec![0.0; n];
@@ -352,9 +414,90 @@ impl Assembly {
                 }
             }
         }
+        Ok((pattern, slots))
+    }
+
+    /// Builds the sparse backend state for one stamping mode. The
+    /// symbolic analysis goes through [`SolverOptions::cache`] when one
+    /// is attached, so pooled sweep workers solving the same pattern
+    /// share a single analysis (the cache clones its pristine proto:
+    /// fresh numeric buffers, `Arc`-shared symbolic state).
+    #[allow(clippy::too_many_arguments)]
+    fn build_sparse_state(
+        &self,
+        ckt: &Circuit,
+        t: f64,
+        h: f64,
+        method: Integration,
+        dc: bool,
+        opts: &SolverOptions,
+        x: &[f64],
+        states: &[ElemState],
+    ) -> Result<SparseState, CktError> {
+        let (pattern, slots) = self.record_pattern(ckt, t, h, method, dc, opts.gmin, x, states)?;
+        let (lu, cache_hit) = match &opts.cache {
+            Some(cache) => cache.sparse(&pattern, || SparseLu::analyze(&pattern))?,
+            None => (SparseLu::analyze(&pattern).map_err(CktError::from)?, false),
+        };
+        if let Some(tel) = opts.instr.get() {
+            if cache_hit {
+                tel.solver.analysis_cache_hits.inc();
+            } else {
+                tel.solver.sparse_symbolic_analyses.inc();
+            }
+            tel.solver.sparse_pattern_nnz.record_max(pattern.nnz() as u64);
+            let fill = lu.lu_nnz().saturating_sub(pattern.nnz());
+            tel.solver.sparse_fill_nnz.record_max(fill as u64);
+        }
         let a = CsrMatrix::from_pattern(pattern);
-        let lu = SparseLu::analyze(a.pattern()).map_err(CktError::from)?;
         Ok(SparseState { a, slots, lu })
+    }
+
+    /// Builds the BBD backend state for one stamping mode: the global
+    /// CSR pattern and slot table exactly as for sparse, plus the
+    /// bordered-block-diagonal factorization over the partition in
+    /// `plan`, cache-shared like the sparse analysis.
+    #[allow(clippy::too_many_arguments)]
+    fn build_bbd_state(
+        &self,
+        ckt: &Circuit,
+        t: f64,
+        h: f64,
+        method: Integration,
+        dc: bool,
+        opts: &SolverOptions,
+        plan: &BlockPlan,
+        x: &[f64],
+        states: &[ElemState],
+    ) -> Result<BbdState, CktError> {
+        let (pattern, slots) = self.record_pattern(ckt, t, h, method, dc, opts.gmin, x, states)?;
+        let structure = plan.block_structure(self)?;
+        let (lu, cache_hit) = match &opts.cache {
+            Some(cache) => cache.bbd(&pattern, &structure, || {
+                BbdLu::analyze(&pattern, &structure)
+            })?,
+            None => (
+                BbdLu::analyze(&pattern, &structure).map_err(CktError::from)?,
+                false,
+            ),
+        };
+        if let Some(tel) = opts.instr.get() {
+            if cache_hit {
+                tel.solver.analysis_cache_hits.inc();
+            } else {
+                tel.solver
+                    .bbd_pattern_classes
+                    .record_max(lu.pattern_classes() as u64);
+            }
+            tel.solver.bbd_blocks.record_max(lu.block_count() as u64);
+            tel.solver.bbd_border_len.record_max(lu.border_len() as u64);
+            tel.solver.sparse_pattern_nnz.record_max(pattern.nnz() as u64);
+            tel.solver
+                .sparse_fill_nnz
+                .record_max(lu.fill_nnz() as u64);
+        }
+        let a = CsrMatrix::from_pattern(pattern);
+        Ok(BbdState { a, slots, lu })
     }
 
     /// Newton iteration for one solution point. Returns the converged
@@ -433,32 +576,64 @@ impl Assembly {
                 ws.order()
             )));
         }
-        let use_sparse = match opts.backend {
-            SolverBackend::Dense => false,
-            SolverBackend::Sparse => true,
-            SolverBackend::Auto => n >= SPARSE_CROSSOVER,
-        };
-        // Lazy one-time backend setup; every later call reuses it.
-        if use_sparse {
-            let slot = if dc {
-                &mut ws.sparse_dc
-            } else {
-                &mut ws.sparse_tr
-            };
-            if slot.is_none() {
-                *slot = Some(self.build_sparse_state(ckt, t, h, method, dc, opts.gmin, x, states)?);
-                if let (Some(tel), Some(sp)) = (opts.instr.get(), slot.as_ref()) {
-                    tel.solver.sparse_symbolic_analyses.inc();
-                    tel.solver.sparse_pattern_nnz.record_max(sp.a.nnz() as u64);
-                    let fill = sp.lu.lu_nnz().saturating_sub(sp.a.nnz());
-                    tel.solver.sparse_fill_nnz.record_max(fill as u64);
+        let kind = match opts.backend {
+            SolverBackend::Dense => BackendKind::Dense,
+            SolverBackend::Sparse => BackendKind::Sparse,
+            SolverBackend::Bbd => BackendKind::Bbd,
+            SolverBackend::Auto => {
+                if opts.block_plan.is_some() && n >= BBD_CROSSOVER {
+                    BackendKind::Bbd
+                } else if n >= SPARSE_CROSSOVER {
+                    BackendKind::Sparse
+                } else {
+                    BackendKind::Dense
                 }
             }
-        } else if ws.dense.is_none() {
-            ws.dense = Some(DenseState {
-                jac: Matrix::zeros(n, n),
-                lu: LuWorkspace::new(n),
-            });
+        };
+        if kind == BackendKind::Bbd && opts.block_plan.is_none() {
+            return Err(CktError::Netlist(
+                "bbd backend requires a block plan in SolverOptions".into(),
+            ));
+        }
+        // Lazy one-time backend setup; every later call reuses it.
+        match kind {
+            BackendKind::Sparse => {
+                let slot = if dc {
+                    &mut ws.sparse_dc
+                } else {
+                    &mut ws.sparse_tr
+                };
+                if slot.is_none() {
+                    *slot = Some(self.build_sparse_state(ckt, t, h, method, dc, opts, x, states)?);
+                }
+            }
+            BackendKind::Bbd => {
+                let built = if dc {
+                    ws.bbd_dc.is_some()
+                } else {
+                    ws.bbd_tr.is_some()
+                };
+                if !built {
+                    let plan = opts.block_plan.as_deref().ok_or_else(|| {
+                        CktError::Netlist("bbd backend requires a block plan".into())
+                    })?;
+                    let state =
+                        self.build_bbd_state(ckt, t, h, method, dc, opts, plan, x, states)?;
+                    if dc {
+                        ws.bbd_dc = Some(state);
+                    } else {
+                        ws.bbd_tr = Some(state);
+                    }
+                }
+            }
+            BackendKind::Dense => {
+                if ws.dense.is_none() {
+                    ws.dense = Some(DenseState {
+                        jac: Matrix::zeros(n, n),
+                        lu: LuWorkspace::new(n),
+                    });
+                }
+            }
         }
         let NewtonWorkspace {
             res,
@@ -466,11 +641,14 @@ impl Assembly {
             dense,
             sparse_dc,
             sparse_tr,
+            bbd_dc,
+            bbd_tr,
             bypass,
             factor_key,
             ..
         } = ws;
         let sparse = if dc { sparse_dc } else { sparse_tr };
+        let bbd = if dc { bbd_dc } else { bbd_tr };
 
         // Device bypass: per-element operating-point cache, built lazily
         // on the first bypass-enabled transient solve and rebuilt if the
@@ -494,7 +672,7 @@ impl Assembly {
         // Configuration this solve's factorizations belong to. Factors
         // stored by a previous solve are reusable iff the keys match.
         let key = FactorKey {
-            sparse: use_sparse,
+            backend: kind,
             dc,
             h_bits: h.to_bits(),
             gmin_bits: opts.gmin.to_bits(),
@@ -515,10 +693,10 @@ impl Assembly {
         for it in 0..opts.max_newton {
             // Is the stored factorization valid for this configuration?
             let stored_ok = *factor_key == Some(key)
-                && if use_sparse {
-                    sparse.as_ref().is_some_and(|sp| sp.lu.is_factored())
-                } else {
-                    dense.as_ref().is_some_and(|dn| dn.lu.is_factored())
+                && match kind {
+                    BackendKind::Sparse => sparse.as_ref().is_some_and(|sp| sp.lu.is_factored()),
+                    BackendKind::Bbd => bbd.as_ref().is_some_and(|st| st.lu.is_factored()),
+                    BackendKind::Dense => dense.as_ref().is_some_and(|dn| dn.lu.is_factored()),
                 };
             // Fast path: residual-only stamp (Jacobian adds discarded by
             // the Null target), accepted only while the residual keeps
@@ -552,21 +730,32 @@ impl Assembly {
                 Some(norms) => norms,
                 None => {
                     // Exact iteration: assemble into the active
-                    // backend's Jacobian storage.
-                    if let (true, Some(sp)) = (use_sparse, sparse.as_mut()) {
-                        sp.a.clear();
+                    // backend's Jacobian storage. The sparse and BBD
+                    // backends stamp the same global CSR shape.
+                    let csr: Option<(&mut CsrMatrix, &[usize])> = match kind {
+                        BackendKind::Sparse => sparse
+                            .as_mut()
+                            .map(|sp| (&mut sp.a, sp.slots.as_slice())),
+                        BackendKind::Bbd => {
+                            bbd.as_mut().map(|st| (&mut st.a, st.slots.as_slice()))
+                        }
+                        BackendKind::Dense => None,
+                    };
+                    if let Some((a, slots)) = csr {
+                        a.clear();
                         res.fill(0.0);
+                        let n_slots = slots.len();
                         let mut sys = Sys {
                             jac: JacTarget::Sparse {
-                                values: sp.a.values_mut(),
-                                slots: &sp.slots,
+                                values: a.values_mut(),
+                                slots,
                                 cursor: 0,
                             },
                             res,
                             n_nodes: self.n_nodes,
                         };
                         self.stamp_sys(ckt, t, h, method, dc, opts.gmin, x, states, &mut sys, bank);
-                        if sys.sparse_cursor() != Some(sp.slots.len()) {
+                        if sys.sparse_cursor() != Some(n_slots) {
                             return Err(CktError::Netlist(
                                 "stamp sequence diverged from the cached sparse pattern".into(),
                             ));
@@ -602,26 +791,64 @@ impl Assembly {
             }
             let solved = if fast {
                 reuses += 1;
-                if let (true, Some(sp)) = (use_sparse, sparse.as_mut()) {
-                    sp.lu.solve_in_place(dx)
-                } else if let Some(dn) = dense.as_mut() {
-                    dn.lu.solve_into(dx)
-                } else {
-                    // `stored_ok` proved the backend state exists.
-                    return Err(CktError::Netlist("newton workspace has no backend".into()));
+                match kind {
+                    BackendKind::Sparse => match sparse.as_mut() {
+                        Some(sp) => sp.lu.solve_in_place(dx),
+                        // `stored_ok` proved the backend state exists.
+                        None => {
+                            return Err(CktError::Netlist(
+                                "newton workspace has no backend".into(),
+                            ))
+                        }
+                    },
+                    BackendKind::Bbd => match bbd.as_mut() {
+                        Some(st) => st.lu.solve_in_place(dx),
+                        None => {
+                            return Err(CktError::Netlist(
+                                "newton workspace has no backend".into(),
+                            ))
+                        }
+                    },
+                    BackendKind::Dense => match dense.as_mut() {
+                        Some(dn) => dn.lu.solve_into(dx),
+                        None => {
+                            return Err(CktError::Netlist(
+                                "newton workspace has no backend".into(),
+                            ))
+                        }
+                    },
                 }
             } else {
                 // The stored factors are about to be overwritten; clear
                 // the key first so a factorization error cannot leave a
                 // stale key pointing at garbage.
                 *factor_key = None;
-                let r = if let (true, Some(sp)) = (use_sparse, sparse.as_mut()) {
-                    sp.lu.factor_solve_in_place(&sp.a, dx)
-                } else if let Some(dn) = dense.as_mut() {
-                    dn.lu.factor_solve_in_place(&mut dn.jac, dx)
-                } else {
-                    // One of the two setup branches always built its state.
-                    return Err(CktError::Netlist("newton workspace has no backend".into()));
+                let r = match kind {
+                    BackendKind::Sparse => match sparse.as_mut() {
+                        Some(sp) => sp.lu.factor_solve_in_place(&sp.a, dx),
+                        None => {
+                            return Err(CktError::Netlist(
+                                "newton workspace has no backend".into(),
+                            ))
+                        }
+                    },
+                    BackendKind::Bbd => match bbd.as_mut() {
+                        Some(st) => st.lu.factor_solve_in_place(&st.a, dx),
+                        None => {
+                            return Err(CktError::Netlist(
+                                "newton workspace has no backend".into(),
+                            ))
+                        }
+                    },
+                    // One of the setup branches always built its state.
+                    BackendKind::Dense => match dense.as_mut() {
+                        Some(dn) => dn.lu.factor_solve_in_place(&mut dn.jac, dx),
+                        None => {
+                            return Err(CktError::Netlist(
+                                "newton workspace has no backend".into(),
+                            ))
+                        }
+                    },
                 };
                 if r.is_ok() {
                     factors += 1;
@@ -674,10 +901,23 @@ impl Assembly {
                     // Fresh factorizations on whichever backend ran (a
                     // fully reused solve records zero); one
                     // back-substitution per iteration on either path.
-                    if use_sparse {
-                        tel.solver.sparse_refactors.add(factors as u64);
-                    } else {
-                        tel.solver.dense_factors.add(factors as u64);
+                    match kind {
+                        BackendKind::Sparse => {
+                            tel.solver.sparse_refactors.add(factors as u64);
+                        }
+                        BackendKind::Bbd => {
+                            tel.solver.bbd_refactors.add(factors as u64);
+                            if let Some(st) = bbd.as_ref() {
+                                // Two triangular solves per block per
+                                // iteration (forward + back).
+                                tel.solver.bbd_block_solves.add(
+                                    2 * (iters as u64) * st.lu.block_count() as u64,
+                                );
+                            }
+                        }
+                        BackendKind::Dense => {
+                            tel.solver.dense_factors.add(factors as u64);
+                        }
                     }
                     tel.solver.back_substitutions.add(iters as u64);
                     tel.solver.jacobian_reuses.add(reuses as u64);
@@ -1211,6 +1451,248 @@ mod tests {
             tel.solver.bypass_hits.get() > 0,
             "warm re-solves at an unchanged operating point never hit the cache"
         );
+    }
+
+    /// Star-of-blocks circuit: `k` two-node branches (series resistors
+    /// into a diode + capacitor) hanging off one driven center node —
+    /// the bordered-block-diagonal shape, where blocks couple only
+    /// through the border (center node and source branch).
+    fn star_circuit(k: usize, nonlinear: bool) -> (Circuit, BlockPlan) {
+        let mut c = Circuit::new();
+        let center = c.node("c");
+        c.vsource("V1", center, Circuit::GND, Waveform::dc(1.0));
+        for j in 0..k {
+            let a = c.node(&format!("a{j}"));
+            let b = c.node(&format!("b{j}"));
+            c.resistor(&format!("Ra{j}"), center, a, 1e3);
+            c.resistor(&format!("Rab{j}"), a, b, 2e3);
+            if nonlinear {
+                c.diode(&format!("D{j}"), b, Circuit::GND, 1e-14, 1.0);
+            } else {
+                c.resistor(&format!("Rb{j}"), b, Circuit::GND, 3e3);
+            }
+            c.capacitor(&format!("Cb{j}"), b, Circuit::GND, 1e-12);
+        }
+        let mut plan = BlockPlan::for_circuit(&c);
+        for j in 0..k {
+            plan.assign_node_name(&c, &format!("a{j}"), j).unwrap();
+            plan.assign_node_name(&c, &format!("b{j}"), j).unwrap();
+        }
+        (c, plan)
+    }
+
+    /// The BBD backend must track the sparse one exactly: same Newton
+    /// iteration counts (same Jacobian, only factored block-wise) and
+    /// solutions within 1e-9, in both stamping modes — and the workspace
+    /// must report the expected partition (k blocks, center + source
+    /// branch border, one shared pattern class).
+    #[test]
+    fn bbd_backend_matches_sparse_newton() {
+        let k = 5;
+        let (c, plan) = star_circuit(k, true);
+        let asm = Assembly::new(&c);
+        let states: Vec<ElemState> = c.elements().iter().map(|_| ElemState::None).collect();
+        let n = asm.n_unknowns();
+
+        for (dc, t, h) in [(true, 0.0, 0.0), (false, 1e-9, 1e-9)] {
+            let sparse_opts = SolverOptions {
+                backend: SolverBackend::Sparse,
+                jacobian_reuse: false,
+                bypass: false,
+                ..SolverOptions::default()
+            };
+            let bbd_opts = SolverOptions {
+                backend: SolverBackend::Bbd,
+                block_plan: Some(Arc::new(plan.clone())),
+                jacobian_reuse: false,
+                bypass: false,
+                ..SolverOptions::default()
+            };
+            let mut xs = vec![0.0; n];
+            let mut ws_s = NewtonWorkspace::new(n);
+            let it_s = asm
+                .solve_point_with(
+                    &c,
+                    t,
+                    h,
+                    Integration::BackwardEuler,
+                    dc,
+                    &sparse_opts,
+                    &mut xs,
+                    &states,
+                    &mut ws_s,
+                )
+                .unwrap();
+            let mut xb = vec![0.0; n];
+            let mut ws_b = NewtonWorkspace::new(n);
+            let it_b = asm
+                .solve_point_with(
+                    &c,
+                    t,
+                    h,
+                    Integration::BackwardEuler,
+                    dc,
+                    &bbd_opts,
+                    &mut xb,
+                    &states,
+                    &mut ws_b,
+                )
+                .unwrap();
+            assert_eq!(it_s, it_b, "newton iteration counts diverged (dc={dc})");
+            for i in 0..n {
+                let scale = xs[i].abs().max(1.0);
+                assert!(
+                    (xb[i] - xs[i]).abs() <= 1e-9 * scale,
+                    "dc={dc} unknown {i}: bbd {} vs sparse {}",
+                    xb[i],
+                    xs[i]
+                );
+            }
+            let (blocks, border, classes) = ws_b.bbd_dims(dc).unwrap();
+            assert_eq!(blocks, k);
+            assert_eq!(border, 2, "border = center node + source branch");
+            assert_eq!(
+                classes, 1,
+                "structurally identical blocks must share one symbolic analysis"
+            );
+            assert!(ws_b.bbd_dims(!dc).is_none());
+        }
+    }
+
+    /// `SolverBackend::Bbd` without a block plan is a configuration
+    /// error, not a silent fallback.
+    #[test]
+    fn bbd_without_plan_is_an_error() {
+        let (c, _plan) = star_circuit(2, false);
+        let asm = Assembly::new(&c);
+        let states: Vec<ElemState> = c.elements().iter().map(|_| ElemState::None).collect();
+        let mut x = vec![0.0; asm.n_unknowns()];
+        let mut ws = NewtonWorkspace::new(asm.n_unknowns());
+        let r = asm.solve_point_with(
+            &c,
+            0.0,
+            0.0,
+            Integration::BackwardEuler,
+            true,
+            &SolverOptions {
+                backend: SolverBackend::Bbd,
+                ..SolverOptions::default()
+            },
+            &mut x,
+            &states,
+            &mut ws,
+        );
+        assert!(matches!(r, Err(CktError::Netlist(_))));
+    }
+
+    /// With a plan attached, `Auto` promotes to BBD past
+    /// [`BBD_CROSSOVER`] unknowns and stays sparse below it.
+    #[test]
+    fn auto_backend_promotes_to_bbd_with_plan() {
+        // 1000 blocks of 2 nodes + center + source branch = 2002 >= 2000.
+        let big = (BBD_CROSSOVER - 2).div_ceil(2);
+        let (c, plan) = star_circuit(big, false);
+        let asm = Assembly::new(&c);
+        assert!(asm.n_unknowns() >= BBD_CROSSOVER);
+        let states: Vec<ElemState> = c.elements().iter().map(|_| ElemState::None).collect();
+        let opts = SolverOptions {
+            block_plan: Some(Arc::new(plan)),
+            ..SolverOptions::default()
+        };
+        let mut x = vec![0.0; asm.n_unknowns()];
+        let mut ws = NewtonWorkspace::new(asm.n_unknowns());
+        asm.solve_point_with(
+            &c,
+            0.0,
+            0.0,
+            Integration::BackwardEuler,
+            true,
+            &opts,
+            &mut x,
+            &states,
+            &mut ws,
+        )
+        .unwrap();
+        let (blocks, _, classes) = ws.bbd_dims(true).unwrap();
+        assert_eq!(blocks, big);
+        assert_eq!(classes, 1);
+        assert!(ws.sparse_nnz(true).is_none(), "sparse state must not build");
+
+        // Below the crossover the same plan stays on sparse.
+        let (c2, plan2) = star_circuit(4, false);
+        let asm2 = Assembly::new(&c2);
+        assert!(asm2.n_unknowns() < BBD_CROSSOVER);
+        let states2: Vec<ElemState> = c2.elements().iter().map(|_| ElemState::None).collect();
+        let opts2 = SolverOptions {
+            block_plan: Some(Arc::new(plan2)),
+            backend: SolverBackend::Auto,
+            ..SolverOptions::default()
+        };
+        let mut x2 = vec![0.0; asm2.n_unknowns()];
+        let mut ws2 = NewtonWorkspace::new(asm2.n_unknowns());
+        asm2.solve_point_with(
+            &c2,
+            0.0,
+            0.0,
+            Integration::BackwardEuler,
+            true,
+            &opts2,
+            &mut x2,
+            &states2,
+            &mut ws2,
+        )
+        .unwrap();
+        assert!(ws2.bbd_dims(true).is_none());
+    }
+
+    /// Workspaces sharing an [`AnalysisCache`] run the symbolic analysis
+    /// once: the first build analyzes, every later identical build hits
+    /// the cache — the invariant pooled sweep workers rely on.
+    #[test]
+    fn analysis_cache_shares_symbolic_work_across_workspaces() {
+        let (c, plan) = star_circuit(3, true);
+        let asm = Assembly::new(&c);
+        let states: Vec<ElemState> = c.elements().iter().map(|_| ElemState::None).collect();
+        let n = asm.n_unknowns();
+
+        for backend in [SolverBackend::Sparse, SolverBackend::Bbd] {
+            let opts = SolverOptions {
+                backend,
+                block_plan: Some(Arc::new(plan.clone())),
+                cache: Some(AnalysisCache::new()),
+                instr: Instrumentation::enabled(),
+                ..SolverOptions::default()
+            };
+            for _worker in 0..3 {
+                let mut x = vec![0.0; n];
+                let mut ws = NewtonWorkspace::new(n);
+                asm.solve_point_with(
+                    &c,
+                    0.0,
+                    0.0,
+                    Integration::BackwardEuler,
+                    true,
+                    &opts,
+                    &mut x,
+                    &states,
+                    &mut ws,
+                )
+                .unwrap();
+            }
+            let tel = opts.instr.get().unwrap();
+            let analyses = if backend == SolverBackend::Sparse {
+                tel.solver.sparse_symbolic_analyses.get()
+            } else {
+                // BBD counts distinct block-pattern classes instead.
+                u64::from(tel.solver.bbd_pattern_classes.get() > 0)
+            };
+            assert_eq!(analyses, 1, "{backend:?}: symbolic analysis must run once");
+            assert_eq!(
+                tel.solver.analysis_cache_hits.get(),
+                2,
+                "{backend:?}: workers 2 and 3 must hit the cache"
+            );
+        }
     }
 
     /// Changing the timestep invalidates the stored factorization's key:

@@ -16,6 +16,10 @@
 //! - [`engine`] — the shared Newton kernel: MNA assembly plus the
 //!   reusable [`engine::NewtonWorkspace`] buffers that make the
 //!   iteration allocation-free.
+//! - [`plan`] — solver structure hints: [`plan::BlockPlan`] carries the
+//!   array-supplied bordered-block-diagonal partition to the engine, and
+//!   [`plan::AnalysisCache`] shares one symbolic analysis per pattern
+//!   across parallel sweep workers.
 //! - [`dc`] — DC operating point via Newton with gmin stepping, plus
 //!   source sweeps.
 //! - [`ac`] — small-signal frequency-domain analysis around a bias
@@ -57,6 +61,7 @@ pub mod dc;
 pub mod elements;
 pub mod engine;
 pub mod models;
+pub mod plan;
 pub mod trace;
 pub mod transient;
 pub mod waveform;

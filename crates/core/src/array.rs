@@ -11,11 +11,13 @@ use crate::bias::Operation;
 use crate::cell::FefetCell;
 use fefet_ckt::circuit::Circuit;
 use fefet_ckt::engine::{Assembly, SolverBackend, SolverOptions};
+use fefet_ckt::plan::{AnalysisCache, BlockPlan};
 use fefet_ckt::trace::Trace;
 use fefet_ckt::transient::{transient, TransientOptions};
 use fefet_ckt::waveform::Waveform;
 use fefet_ckt::{CktError, Result};
 use fefet_telemetry::Instrumentation;
+use std::sync::Arc;
 
 /// Edge time for control ramps (s).
 const T_EDGE: f64 = 50e-12;
@@ -82,6 +84,11 @@ pub struct FefetArray {
     /// is cloned into worker threads by [`FefetArray::read_rows`], so
     /// one sink collects a whole parallel sweep.
     pub instr: Instrumentation,
+    /// Shared symbolic-analysis cache: one analysis per matrix pattern
+    /// for this array's lifetime, shared (by `Arc`) into every clone —
+    /// including the pooled sweep workers of [`FefetArray::read_rows`]
+    /// and [`FefetArray::write_disturb_map`].
+    cache: AnalysisCache,
     state: Vec<f64>,
 }
 
@@ -142,6 +149,7 @@ impl FefetArray {
             solver_backend: SolverBackend::default(),
             fastpaths: FastPathToggles::default(),
             instr: Instrumentation::off(),
+            cache: AnalysisCache::new(),
             state: vec![p_lo; rows * cols],
         }
     }
@@ -281,7 +289,46 @@ impl FefetArray {
         ics
     }
 
+    /// The bordered-block-diagonal partition of an array circuit, for
+    /// the engine's BBD backend: one block per column (bit/sense lines,
+    /// their drivers, and every cell-internal node down the column — the
+    /// cells only talk to each other through the row lines), one tiny
+    /// block per row-line driver, and the shared `rs`/`ws` row lines
+    /// left unassigned as the coupling border. `c` must be a circuit
+    /// built by this array (e.g. [`FefetArray::read_circuit`]); every
+    /// simulation this array runs uses this plan automatically — the
+    /// public method exists so benches can drive the engine directly.
+    ///
+    /// # Errors
+    ///
+    /// [`CktError::UnknownSignal`] if `c` is not an array circuit of
+    /// this shape.
+    pub fn block_plan(&self, c: &Circuit) -> Result<BlockPlan> {
+        let mut plan = BlockPlan::for_circuit(c);
+        for j in 0..self.cols {
+            plan.assign_node_name(c, &format!("bl{j}"), j)?;
+            plan.assign_node_name(c, &format!("sl{j}"), j)?;
+            plan.assign_node_name(c, &format!("bl{j}_drv"), j)?;
+            plan.assign_element(c, &format!("Vbl{j}"), j)?;
+            plan.assign_element(c, &format!("Vsl{j}"), j)?;
+            for i in 0..self.rows {
+                plan.assign_node_name(c, &format!("g{i}_{j}"), j)?;
+                plan.assign_node_name(c, &format!("gi{i}_{j}"), j)?;
+            }
+        }
+        for i in 0..self.rows {
+            let b_rs = self.cols + 2 * i;
+            let b_ws = b_rs + 1;
+            plan.assign_node_name(c, &format!("rs{i}_drv"), b_rs)?;
+            plan.assign_element(c, &format!("Vrs{i}"), b_rs)?;
+            plan.assign_node_name(c, &format!("ws{i}_drv"), b_ws)?;
+            plan.assign_element(c, &format!("Vws{i}"), b_ws)?;
+        }
+        Ok(plan)
+    }
+
     fn run(&self, c: &Circuit, t_end: f64) -> Result<Trace> {
+        let plan = self.block_plan(c)?;
         transient(
             c,
             t_end,
@@ -294,6 +341,8 @@ impl FefetArray {
                     jacobian_reuse: self.fastpaths.jacobian_reuse,
                     bypass: self.fastpaths.bypass,
                     instr: self.instr.clone(),
+                    block_plan: Some(Arc::new(plan)),
+                    cache: Some(self.cache.clone()),
                     ..SolverOptions::default()
                 },
                 ..TransientOptions::default()
@@ -325,6 +374,24 @@ impl FefetArray {
     /// [`CktError::Netlist`] if `data.len() != cols`, or a simulator
     /// convergence failure.
     pub fn write_row(&mut self, row: usize, data: &[bool], t_pulse: f64) -> Result<ArrayOp> {
+        let op = self.write_row_trial(row, data, t_pulse)?;
+        // Commit new states.
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if let Some(p) = op.trace.last(&format!("p(Ffe{i}_{j})")) {
+                    self.state[i * self.cols + j] = p;
+                }
+            }
+        }
+        Ok(op)
+    }
+
+    /// The simulation core of [`FefetArray::write_row`], without the
+    /// state commit: runs the write transient against the stored state
+    /// and reports the result, leaving the array untouched. This is what
+    /// lets [`FefetArray::write_disturb_map`] run per-row trials against
+    /// one shared array instead of deep-cloning it per worker.
+    fn write_row_trial(&self, row: usize, data: &[bool], t_pulse: f64) -> Result<ArrayOp> {
         if data.len() != self.cols {
             return Err(CktError::Netlist(format!(
                 "write_row: got {} bits for {} columns",
@@ -381,14 +448,6 @@ impl FefetArray {
         if let Some(tel) = self.instr.get() {
             tel.array.row_writes.inc();
             tel.array.disturb_max.update_max(max_disturb);
-        }
-        // Commit new states.
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                if let Some(p) = trace.last(&format!("p(Ffe{i}_{j})")) {
-                    self.state[i * self.cols + j] = p;
-                }
-            }
         }
         Ok(ArrayOp {
             energy: trace.total_source_energy(),
@@ -532,11 +591,13 @@ impl FefetArray {
         self.read_rows(&rows, t_read, threads)
     }
 
-    /// Write-disturb sweep: for each row in turn, writes `data` into a
-    /// **clone** of the array and records the worst unaccessed-cell
-    /// polarization drift. The array itself is never modified, so the
-    /// per-row trials are independent and run on the persistent worker
-    /// pool (`threads = 0` = one per available hardware thread).
+    /// Write-disturb sweep: for each row in turn, runs the write
+    /// transient against the stored state and records the worst
+    /// unaccessed-cell polarization drift, without ever committing. The
+    /// array itself is never modified, so the per-row trials are
+    /// independent and run on the persistent worker pool (`threads = 0`
+    /// = one per available hardware thread) against **one** shared
+    /// array — no per-trial deep clone.
     ///
     /// Returns the per-row `max_disturb` values (C/m²), indexed by the
     /// accessed row.
@@ -558,12 +619,10 @@ impl FefetArray {
             )));
         }
         let rows: Vec<usize> = (0..self.rows).collect();
-        let this = std::sync::Arc::new(self.clone());
+        let this = Arc::new(self.clone());
         let data = data.to_vec();
         crate::parallel::pool_map(rows, threads, &self.instr, move |&row| {
-            let mut trial = (*this).clone();
-            trial
-                .write_row(row, &data, t_pulse)
+            this.write_row_trial(row, &data, t_pulse)
                 .map(|op| op.max_disturb)
         })
         .into_iter()
@@ -737,5 +796,67 @@ mod tests {
                 "currents diverge: dense {d:e} vs sparse {s:e}"
             );
         }
+    }
+
+    /// The array-supplied column/driver/border partition must be a valid
+    /// BBD structure for the real array circuit (no direct coupling
+    /// between two blocks), and the BBD backend must agree with the
+    /// sparse one on the physics.
+    #[test]
+    fn bbd_backend_agrees_with_sparse_on_a_read() {
+        let mut a = small_array();
+        a.write_row(0, &[true, false, true], 1.0e-9).unwrap();
+        let mut sparse = a.clone();
+        sparse.solver_backend = SolverBackend::Sparse;
+        let mut bbd = a;
+        bbd.solver_backend = SolverBackend::Bbd;
+        bbd.instr = Instrumentation::enabled();
+        let rs = sparse.read_row(0, 3e-9).unwrap();
+        let rb = bbd.read_row(0, 3e-9).unwrap();
+        assert_eq!(rs.bits, rb.bits);
+        assert_eq!(
+            rs.op.trace.time().len(),
+            rb.op.trace.time().len(),
+            "backends accepted different step sequences"
+        );
+        for (s, b) in rs.currents.iter().zip(&rb.currents) {
+            let scale = s.abs().max(b.abs()).max(1e-30);
+            assert!(
+                (s - b).abs() / scale < 1e-6,
+                "currents diverge: sparse {s:e} vs bbd {b:e}"
+            );
+        }
+        let tel = bbd.instr.get().unwrap();
+        assert!(tel.solver.bbd_refactors.get() > 0, "BBD path not engaged");
+        // 2x3 array: one block per column + two driver blocks per row,
+        // border = the rs/ws row lines.
+        assert_eq!(tel.solver.bbd_blocks.get(), (3 + 2 * 2) as u64);
+        assert_eq!(tel.solver.bbd_border_len.get(), (2 * 2) as u64);
+    }
+
+    /// Pooled sweep workers share the array's analysis cache: the number
+    /// of symbolic analyses is set by the number of distinct matrix
+    /// patterns, not by the worker or row count.
+    #[test]
+    fn pooled_sweep_shares_one_symbolic_analysis_per_pattern() {
+        let mut a = small_array();
+        a.solver_backend = SolverBackend::Sparse;
+        a.instr = Instrumentation::enabled();
+        // Warm the cache with one serial read: every pattern analyzed.
+        a.read_row(0, 3e-9).unwrap();
+        let tel = a.instr.get().unwrap();
+        let analyses_one_op = tel.solver.sparse_symbolic_analyses.get();
+        assert!(analyses_one_op >= 1);
+        // A parallel sweep must add zero analyses — only cache hits.
+        a.read_all_rows(3e-9, 2).unwrap();
+        assert_eq!(
+            tel.solver.sparse_symbolic_analyses.get(),
+            analyses_one_op,
+            "pooled workers re-analyzed a cached pattern"
+        );
+        assert!(tel.solver.analysis_cache_hits.get() >= 2);
+        // Same story for the no-commit write-disturb trials.
+        a.write_disturb_map(&[true, false, true], 1.0e-9, 2).unwrap();
+        assert_eq!(tel.solver.sparse_symbolic_analyses.get(), analyses_one_op);
     }
 }

@@ -14,10 +14,13 @@
 
 use crate::feram::FeramCell;
 use fefet_ckt::circuit::Circuit;
+use fefet_ckt::engine::{SolverBackend, SolverOptions};
+use fefet_ckt::plan::{AnalysisCache, BlockPlan};
 use fefet_ckt::trace::Trace;
 use fefet_ckt::transient::{transient, TransientOptions};
 use fefet_ckt::waveform::Waveform;
 use fefet_ckt::{CktError, Result};
+use std::sync::Arc;
 
 /// Edge time for control ramps (s).
 const T_EDGE: f64 = 50e-12;
@@ -33,6 +36,12 @@ pub struct FeramArray {
     pub cols: usize,
     /// Cell template.
     pub cell: FeramCell,
+    /// Linear-solver backend for every simulation this array runs, as
+    /// for [`crate::array::FefetArray::solver_backend`].
+    pub solver_backend: SolverBackend,
+    /// Shared symbolic-analysis cache (by `Arc` into every clone,
+    /// including [`FeramArray::read_margins`] worker trials).
+    cache: AnalysisCache,
     state: Vec<f64>,
 }
 
@@ -61,6 +70,8 @@ impl FeramArray {
             rows,
             cols,
             cell,
+            solver_backend: SolverBackend::default(),
+            cache: AnalysisCache::new(),
             state: vec![p_lo; rows * cols],
         }
     }
@@ -156,6 +167,52 @@ impl FeramArray {
         c
     }
 
+    /// The BBD partition of a FERAM array circuit: one block per column
+    /// (bit line, its driver when present, and the cell storage nodes
+    /// down the column), one tiny block per word/plate-line driver, and
+    /// the shared `wl`/`pl` row lines as the border.
+    fn block_plan(&self, c: &Circuit) -> Result<BlockPlan> {
+        let mut plan = BlockPlan::for_circuit(c);
+        for j in 0..self.cols {
+            plan.assign_node_name(c, &format!("bl{j}"), j)?;
+            // Floating bit lines (reads) have no driver node or source.
+            if c.find_node(&format!("bl{j}_drv")).is_some() {
+                plan.assign_node_name(c, &format!("bl{j}_drv"), j)?;
+                plan.assign_element(c, &format!("Vbl{j}"), j)?;
+            }
+            for i in 0..self.rows {
+                plan.assign_node_name(c, &format!("n{i}_{j}"), j)?;
+            }
+        }
+        for i in 0..self.rows {
+            let b_wl = self.cols + 2 * i;
+            let b_pl = b_wl + 1;
+            plan.assign_node_name(c, &format!("wl{i}_drv"), b_wl)?;
+            plan.assign_element(c, &format!("Vwl{i}"), b_wl)?;
+            plan.assign_node_name(c, &format!("pl{i}_drv"), b_pl)?;
+            plan.assign_element(c, &format!("Vpl{i}"), b_pl)?;
+        }
+        Ok(plan)
+    }
+
+    fn run(&self, c: &Circuit, t_end: f64) -> Result<Trace> {
+        let plan = self.block_plan(c)?;
+        transient(
+            c,
+            t_end,
+            TransientOptions {
+                dt: self.cell.dt,
+                solver: SolverOptions {
+                    backend: self.solver_backend,
+                    block_plan: Some(Arc::new(plan)),
+                    cache: Some(self.cache.clone()),
+                    ..SolverOptions::default()
+                },
+                ..TransientOptions::default()
+            },
+        )
+    }
+
     fn commit(&mut self, trace: &Trace) {
         for i in 0..self.rows {
             for j in 0..self.cols {
@@ -233,14 +290,7 @@ impl FeramArray {
             .collect();
         let ckt = self.build(&wl_waves, &pl_waves, &bl_waves);
         let t_end = T_START + 2.0 * t_pulse + t_restore + 0.4e-9;
-        let trace = transient(
-            &ckt,
-            t_end,
-            TransientOptions {
-                dt: self.cell.dt,
-                ..TransientOptions::default()
-            },
-        )?;
+        let trace = self.run(&ckt, t_end)?;
         let max_disturb = self.disturb(&trace, row);
         self.commit(&trace);
         Ok(FeramArrayOp {
@@ -274,14 +324,7 @@ impl FeramArray {
         let bl_waves: Vec<Option<Waveform>> = vec![None; self.cols];
         let ckt = self.build(&wl_waves, &pl_waves, &bl_waves);
         let t_end = T_START + t_dev + 0.4e-9;
-        let trace = transient(
-            &ckt,
-            t_end,
-            TransientOptions {
-                dt: self.cell.dt,
-                ..TransientOptions::default()
-            },
-        )?;
+        let trace = self.run(&ckt, t_end)?;
         let swings: Vec<f64> = (0..self.cols)
             .map(|j| {
                 trace
@@ -314,7 +357,7 @@ impl FeramArray {
     /// The first convergence error, in row order.
     pub fn read_margins(&self, t_dev: f64, threads: usize) -> Result<Vec<Vec<f64>>> {
         let rows: Vec<usize> = (0..self.rows).collect();
-        let this = std::sync::Arc::new(self.clone());
+        let this = Arc::new(self.clone());
         crate::parallel::pool_map(
             rows,
             threads,
@@ -382,6 +425,29 @@ mod tests {
             feram_op.max_disturb,
             fefet_op.max_disturb
         );
+    }
+
+    /// The FERAM column/driver/border partition must be a valid BBD
+    /// structure for both the driven (write) and floating-bit-line
+    /// (read) circuits, with physics matching the default backend.
+    #[test]
+    fn bbd_backend_agrees_on_feram_write_and_read() {
+        let mut auto_a = small();
+        let mut bbd = small();
+        bbd.solver_backend = SolverBackend::Bbd;
+        auto_a.write_row(0, &[true, false], 1.2e-9).unwrap();
+        bbd.write_row(0, &[true, false], 1.2e-9).unwrap();
+        for j in 0..2 {
+            assert_eq!(auto_a.bit(0, j), bbd.bit(0, j), "column {j}");
+        }
+        let (_, sa) = auto_a.read_row(0, 2e-9).unwrap();
+        let (_, sb) = bbd.read_row(0, 2e-9).unwrap();
+        for (x, y) in sa.iter().zip(&sb) {
+            assert!(
+                (x - y).abs() < 1e-6 * x.abs().max(1.0),
+                "swings diverge: {x} vs {y}"
+            );
+        }
     }
 
     #[test]

@@ -90,6 +90,7 @@ pub const SOLVER_MODULES: &[&str] = &[
     "transient.rs",
     "dynamics.rs",
     "sparse.rs",
+    "bbd.rs",
     "ac.rs",
     "parallel.rs",
 ];
@@ -104,6 +105,7 @@ pub const PANIC_FREE_CRATES: &[&str] = &["numerics", "ckt", "device", "core", "n
 pub const HOT_PATH_MODULES: &[&str] = &[
     "engine.rs",
     "sparse.rs",
+    "bbd.rs",
     "transient.rs",
     "dc.rs",
     "parallel.rs",

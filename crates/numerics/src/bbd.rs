@@ -1,0 +1,888 @@
+//! Bordered-block-diagonal (BBD) Schur-complement factorization.
+//!
+//! The MNA Jacobian of a crossbar memory array is nearly block-diagonal:
+//! one independent block per bitline column (the column lines plus that
+//! column's cell-internal nodes), coupled only through a thin **border**
+//! of shared row lines. This module exploits that structure instead of
+//! rediscovering it numerically:
+//!
+//! - A [`BlockStructure`] assigns every unknown to one of `K` diagonal
+//!   blocks or to the border. The assignment comes from the circuit
+//!   builder (which knows the array layout) — no graph partitioner runs.
+//! - [`BbdLu::analyze`] permutes the pattern into block form, builds one
+//!   [`SparseLu`] per block, and — because the per-column blocks of an
+//!   array are structurally identical — shares a single
+//!   [`SparseSymbolic`] analysis across every block with the same local
+//!   pattern. A 64-column array pays for **one** Markowitz ordering, not
+//!   64.
+//! - [`BbdLu::refactor`] scatters the global CSR values through a
+//!   precomputed per-slot destination map (block entry, block↔border
+//!   coupling, or border entry), refactors each block, forms the Schur
+//!   complement `S = D − Σ_k C_k A_k⁻¹ B_k` column by column, and
+//!   factors `S` densely. The border of an R-row array is just the 2R
+//!   row-line unknowns, so the dense border solve stays tiny relative to
+//!   the blocks.
+//! - [`BbdLu::solve_in_place`] runs block forward solves, the border
+//!   solve, and block back substitutions — all against preallocated
+//!   scratch.
+//!
+//! Everything after `analyze` is allocation-free, matching the
+//! [`SparseLu`] contract the Newton engine relies on.
+
+use crate::linalg::{LuWorkspace, Matrix};
+use crate::sparse::{CsrMatrix, CsrPattern, SparseLu, SparseSymbolic};
+use crate::{Error, Result};
+use std::sync::Arc;
+
+/// Partition of `n` unknowns into `n_blocks` diagonal blocks plus a
+/// border. Entries between two *different* blocks are illegal; entries
+/// between a block and the border, or inside the border, go into the
+/// coupling/border storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockStructure {
+    n_blocks: usize,
+    /// Per unknown: `Some(k)` = interior to block `k`, `None` = border.
+    block_of: Vec<Option<usize>>,
+}
+
+impl BlockStructure {
+    /// Builds a structure from a per-unknown assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] if the assignment is empty, references
+    /// a block `>= n_blocks`, or leaves some block with no unknowns.
+    // fefet-lint: allow-item(hot-alloc) -- one-time structure construction at circuit setup
+    pub fn new(n_blocks: usize, block_of: Vec<Option<usize>>) -> Result<Self> {
+        if block_of.is_empty() {
+            return Err(Error::InvalidArgument("block structure: no unknowns"));
+        }
+        let mut seen = vec![false; n_blocks];
+        for b in block_of.iter().flatten() {
+            match seen.get_mut(*b) {
+                Some(s) => *s = true,
+                None => {
+                    return Err(Error::InvalidArgument(
+                        "block structure: assignment references a block out of range",
+                    ))
+                }
+            }
+        }
+        if seen.iter().any(|s| !s) {
+            return Err(Error::InvalidArgument(
+                "block structure: a block has no unknowns",
+            ));
+        }
+        Ok(Self { n_blocks, block_of })
+    }
+
+    /// Number of unknowns covered.
+    pub fn n(&self) -> usize {
+        self.block_of.len()
+    }
+
+    /// Number of diagonal blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// Block of unknown `i` (`None` = border).
+    pub fn block_of(&self, i: usize) -> Option<usize> {
+        self.block_of.get(i).copied().flatten()
+    }
+
+    /// Number of border unknowns.
+    pub fn border_len(&self) -> usize {
+        self.block_of.iter().filter(|b| b.is_none()).count()
+    }
+}
+
+/// Border columns solved per batched triangular solve during the Schur
+/// build. Wide enough to amortize the factor traversal and keep the
+/// inner loops vectorizable; narrow enough that the batch buffer stays
+/// cache-resident for the largest array blocks.
+const SCHUR_BATCH: usize = 32;
+
+/// Destination of one global CSR value slot in the BBD storage.
+#[derive(Debug, Clone, Copy)]
+enum SlotDest {
+    /// Interior entry: value slot `slot` of block `k`'s CSR matrix.
+    Block { k: u32, slot: u32 },
+    /// Block-row × border-column coupling entry of block `k`.
+    BCoupling { k: u32, idx: u32 },
+    /// Border-row × block-column coupling entry of block `k`.
+    CCoupling { k: u32, idx: u32 },
+    /// Border × border entry (row-major index into the dense `D`).
+    Border { idx: u32 },
+}
+
+/// One diagonal block: its local CSR matrix + LU, and its coupling to
+/// the border in both directions.
+#[derive(Debug, Clone)]
+struct Block {
+    /// Local index → global unknown index (ascending).
+    globals: Vec<usize>,
+    a: CsrMatrix,
+    lu: SparseLu,
+    /// Distinct border columns this block couples into (sorted), with
+    /// CSC-style ranges over `b_rows`/`b_vals`.
+    b_cols: Vec<usize>,
+    b_col_ptr: Vec<usize>,
+    b_rows: Vec<usize>,
+    b_vals: Vec<f64>,
+    /// `C_k` entries: (border row, local col) value triples.
+    c_rows: Vec<usize>,
+    c_cols: Vec<usize>,
+    c_vals: Vec<f64>,
+    /// Offset of this block in the concatenated interior scratch.
+    off: usize,
+}
+
+/// Bordered-block-diagonal LU via Schur complement, with per-block
+/// sparse LU and a dense border factor.
+///
+/// Mirrors the [`SparseLu`] life cycle: [`BbdLu::analyze`] once per
+/// (pattern, structure), then allocation-free [`BbdLu::refactor`] /
+/// [`BbdLu::solve_in_place`] / [`BbdLu::factor_solve_in_place`].
+#[derive(Debug, Clone)]
+pub struct BbdLu {
+    n: usize,
+    /// Border local index → global unknown index (ascending).
+    border: Vec<usize>,
+    blocks: Vec<Block>,
+    /// Static scatter target for border×border entries of A.
+    d: Matrix,
+    /// Schur complement work matrix `S = D − Σ C_k A_k⁻¹ B_k`.
+    schur: Matrix,
+    border_lu: LuWorkspace,
+    /// Per global value slot: where it lands in the BBD storage.
+    dest: Vec<SlotDest>,
+    /// Concatenated per-block interior solution scratch.
+    u: Vec<f64>,
+    /// Per-block right-hand-side scratch (max block length).
+    t: Vec<f64>,
+    /// Schur batch scratch: `SCHUR_BATCH` columns of `A_k⁻¹ B_k`,
+    /// row-major (max block length × batch width).
+    w: Vec<f64>,
+    /// Triangular-solve scratch for the batched Schur solves.
+    w_scratch: Vec<f64>,
+    /// Border right-hand-side / solution scratch.
+    g: Vec<f64>,
+    /// Distinct block patterns (symbolic analyses actually run).
+    classes: usize,
+    refactors: u64,
+    solves: u64,
+    factored: bool,
+}
+
+impl BbdLu {
+    /// One-time setup: permute `pattern` into block form along
+    /// `structure`, symbolically analyze one representative per distinct
+    /// block pattern (identical blocks share the [`SparseSymbolic`]),
+    /// and preallocate every buffer the numeric phase touches.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] if `structure` does not cover
+    /// `pattern`'s order; [`Error::InvalidArgument`] if the pattern
+    /// couples two different blocks directly (the partition is wrong for
+    /// this matrix); [`Error::StructurallySingular`] if a block is not
+    /// structurally invertible on its own.
+    // fefet-lint: allow-item(hot-alloc) -- one-time symbolic setup; refactor/solve run against these buffers allocation-free
+    pub fn analyze(pattern: &CsrPattern, structure: &BlockStructure) -> Result<Self> {
+        let n = pattern.n();
+        if structure.n() != n {
+            return Err(Error::DimensionMismatch {
+                found: (structure.n(), 1),
+                expected: (n, 1),
+            });
+        }
+        let n_blocks = structure.n_blocks();
+
+        // Local index maps: interior unknowns get a per-block local
+        // index (ascending in global order); border unknowns get a
+        // border-local index.
+        let mut local_of = vec![0usize; n];
+        let mut block_globals: Vec<Vec<usize>> = vec![Vec::new(); n_blocks];
+        let mut border: Vec<usize> = Vec::new();
+        for i in 0..n {
+            match structure.block_of(i) {
+                Some(k) => {
+                    local_of[i] = block_globals[k].len();
+                    block_globals[k].push(i);
+                }
+                None => {
+                    local_of[i] = border.len();
+                    border.push(i);
+                }
+            }
+        }
+        let border_n = border.len();
+
+        // Walk the global pattern once, routing every slot.
+        struct RawBlock {
+            a_entries: Vec<(usize, usize)>,
+            a_slots: Vec<usize>,
+            /// (border col, local row, global slot)
+            b_entries: Vec<(usize, usize, usize)>,
+            /// (border row, local col, global slot)
+            c_entries: Vec<(usize, usize, usize)>,
+        }
+        let mut raw: Vec<RawBlock> = (0..n_blocks)
+            .map(|_| RawBlock {
+                a_entries: Vec::new(),
+                a_slots: Vec::new(),
+                b_entries: Vec::new(),
+                c_entries: Vec::new(),
+            })
+            .collect();
+        let mut d_slots: Vec<(usize, usize)> = Vec::new(); // (dense idx, global slot)
+        let row_ptr = pattern.row_ptr();
+        let col_idx = pattern.col_idx();
+        for r in 0..n {
+            for s in row_ptr[r]..row_ptr[r + 1] {
+                let c = col_idx[s];
+                match (structure.block_of(r), structure.block_of(c)) {
+                    (Some(kr), Some(kc)) if kr == kc => {
+                        raw[kr].a_entries.push((local_of[r], local_of[c]));
+                        raw[kr].a_slots.push(s);
+                    }
+                    (Some(_), Some(_)) => {
+                        return Err(Error::InvalidArgument(
+                            "bbd: pattern couples two different blocks directly",
+                        ));
+                    }
+                    (Some(kr), None) => {
+                        raw[kr].b_entries.push((local_of[c], local_of[r], s));
+                    }
+                    (None, Some(kc)) => {
+                        raw[kc].c_entries.push((local_of[r], local_of[c], s));
+                    }
+                    (None, None) => {
+                        d_slots.push((local_of[r] * border_n + local_of[c], s));
+                    }
+                }
+            }
+        }
+
+        // Build the blocks, sharing one symbolic analysis per distinct
+        // local pattern (array columns are structurally identical, so
+        // this typically collapses K analyses to one or two).
+        let nnz = pattern.nnz();
+        let mut dest = vec![SlotDest::Border { idx: 0 }; nnz];
+        let mut classes: Vec<(CsrPattern, Arc<SparseSymbolic>)> = Vec::new();
+        let mut blocks: Vec<Block> = Vec::with_capacity(n_blocks);
+        let mut off = 0usize;
+        let mut max_block = 0usize;
+        for (k, rb) in raw.into_iter().enumerate() {
+            let m = block_globals[k].len();
+            max_block = max_block.max(m);
+            let local_pat = CsrPattern::from_entries(m, &rb.a_entries)?;
+            let lu = match classes.iter().find(|(p, _)| *p == local_pat) {
+                Some((_, sym)) => SparseLu::from_symbolic(Arc::clone(sym)),
+                None => {
+                    let sym = Arc::new(SparseSymbolic::analyze(&local_pat)?);
+                    classes.push((local_pat.clone(), Arc::clone(&sym)));
+                    SparseLu::from_symbolic(sym)
+                }
+            };
+            let a = CsrMatrix::from_pattern(local_pat);
+            // Interior slots: the global pattern is deduplicated, so
+            // each local (r, c) appears exactly once and the local slot
+            // lookup is a bijection.
+            for (&(lr, lc), &s) in rb.a_entries.iter().zip(&rb.a_slots) {
+                let slot = a.slot_of(lr, lc).ok_or(Error::InvalidArgument(
+                    "bbd: block entry missing from its own pattern",
+                ))?;
+                dest[s] = SlotDest::Block {
+                    k: k as u32,
+                    slot: slot as u32,
+                };
+            }
+            // B coupling, grouped CSC-style by border column.
+            let mut b_entries = rb.b_entries;
+            b_entries.sort_unstable();
+            let mut b_cols = Vec::new();
+            let mut b_col_ptr = Vec::new();
+            let mut b_rows = Vec::with_capacity(b_entries.len());
+            for (idx, &(q, lr, s)) in b_entries.iter().enumerate() {
+                if b_cols.last() != Some(&q) {
+                    b_cols.push(q);
+                    b_col_ptr.push(idx);
+                }
+                b_rows.push(lr);
+                dest[s] = SlotDest::BCoupling {
+                    k: k as u32,
+                    idx: idx as u32,
+                };
+            }
+            b_col_ptr.push(b_entries.len());
+            // C coupling: flat entry list.
+            let mut c_rows = Vec::with_capacity(rb.c_entries.len());
+            let mut c_cols = Vec::with_capacity(rb.c_entries.len());
+            for (idx, &(p, lc, s)) in rb.c_entries.iter().enumerate() {
+                c_rows.push(p);
+                c_cols.push(lc);
+                dest[s] = SlotDest::CCoupling {
+                    k: k as u32,
+                    idx: idx as u32,
+                };
+            }
+            let b_len = b_entries.len();
+            let c_len = c_rows.len();
+            blocks.push(Block {
+                globals: std::mem::take(&mut block_globals[k]),
+                a,
+                lu,
+                b_cols,
+                b_col_ptr,
+                b_rows,
+                b_vals: vec![0.0; b_len],
+                c_rows,
+                c_cols,
+                c_vals: vec![0.0; c_len],
+                off,
+            });
+            off += m;
+        }
+        for (idx, s) in d_slots {
+            dest[s] = SlotDest::Border { idx: idx as u32 };
+        }
+
+        Ok(Self {
+            n,
+            border,
+            blocks,
+            d: Matrix::zeros(border_n, border_n),
+            schur: Matrix::zeros(border_n, border_n),
+            border_lu: LuWorkspace::new(border_n),
+            dest,
+            u: vec![0.0; off],
+            t: vec![0.0; max_block],
+            w: vec![0.0; max_block * SCHUR_BATCH],
+            w_scratch: vec![0.0; max_block * SCHUR_BATCH],
+            g: vec![0.0; border_n],
+            classes: classes.len(),
+            refactors: 0,
+            solves: 0,
+            factored: false,
+        })
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of diagonal blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Border size (dense Schur complement order).
+    pub fn border_len(&self) -> usize {
+        self.border.len()
+    }
+
+    /// Distinct block patterns — the number of symbolic analyses the
+    /// setup actually ran (shared across structurally identical blocks).
+    pub fn pattern_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Numeric refactorizations performed.
+    pub fn refactor_count(&self) -> u64 {
+        self.refactors
+    }
+
+    /// Solves performed.
+    pub fn solve_count(&self) -> u64 {
+        self.solves
+    }
+
+    /// Whether a successful numeric factorization is held, i.e. whether
+    /// [`BbdLu::solve_in_place`] can run without a fresh refactor.
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+
+    /// Total fill-in across the block LUs (the border factor is dense).
+    pub fn fill_nnz(&self) -> usize {
+        let mut fill = 0;
+        for b in &self.blocks {
+            fill += b.lu.fill_nnz();
+        }
+        fill
+    }
+
+    /// Numeric refactorization from the global CSR values. The values
+    /// are scattered through the precomputed destination map, each block
+    /// is refactored, and the Schur complement is formed and factored.
+    /// Allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] if `a` does not match the analyzed
+    /// pattern; [`Error::Singular`] (with the **global** column) if a
+    /// block or border pivot collapses numerically.
+    pub fn refactor(&mut self, a: &CsrMatrix) -> Result<()> {
+        if a.n() != self.n || a.nnz() != self.dest.len() {
+            return Err(Error::DimensionMismatch {
+                found: (a.n(), a.nnz()),
+                expected: (self.n, self.dest.len()),
+            });
+        }
+        self.refactors += 1;
+        self.factored = false;
+        let av = a.values();
+        // Scatter. Every BBD slot is written by exactly one global slot
+        // (the maps are bijections built from the same pattern), so this
+        // is assignment, not accumulation.
+        for (s, &v) in av.iter().enumerate() {
+            match self.dest[s] {
+                SlotDest::Block { k, slot } => {
+                    self.blocks[k as usize].a.values_mut()[slot as usize] = v;
+                }
+                SlotDest::BCoupling { k, idx } => {
+                    self.blocks[k as usize].b_vals[idx as usize] = v;
+                }
+                SlotDest::CCoupling { k, idx } => {
+                    self.blocks[k as usize].c_vals[idx as usize] = v;
+                }
+                SlotDest::Border { idx } => {
+                    self.d.as_mut_slice()[idx as usize] = v;
+                }
+            }
+        }
+        // Per-block LU, then the Schur complement in batches of border
+        // columns: S[:, Q] −= C_k · (A_k⁻¹ B_k[:, Q]). Batching lets
+        // the triangular solve traverse the factor once per batch with
+        // a contiguous inner loop over columns instead of once per
+        // column — the difference between the Schur build costing more
+        // than a plain sparse factorization and costing a fraction of
+        // one.
+        let border_n = self.border.len();
+        self.schur.as_mut_slice().copy_from_slice(self.d.as_slice());
+        for b in &mut self.blocks {
+            let m = b.globals.len();
+            if let Err(Error::Singular { column }) = b.lu.refactor(&b.a) {
+                return Err(Error::Singular {
+                    column: b.globals[column],
+                });
+            }
+            let w = &mut self.w[..m * SCHUR_BATCH];
+            let schur = self.schur.as_mut_slice();
+            let n_cols = b.b_cols.len();
+            let mut c0 = 0;
+            while c0 < n_cols {
+                let bw = SCHUR_BATCH.min(n_cols - c0);
+                w.fill(0.0);
+                for (lane, ci) in (c0..c0 + bw).enumerate() {
+                    for e in b.b_col_ptr[ci]..b.b_col_ptr[ci + 1] {
+                        w[b.b_rows[e] * SCHUR_BATCH + lane] = b.b_vals[e];
+                    }
+                }
+                b.lu
+                    .solve_multi_in_place(w, SCHUR_BATCH, bw, &mut self.w_scratch)?;
+                let qs = &b.b_cols[c0..c0 + bw];
+                for (idx, &p) in b.c_rows.iter().enumerate() {
+                    let cv = b.c_vals[idx];
+                    let wrow = &w[b.c_cols[idx] * SCHUR_BATCH..][..bw];
+                    let srow = &mut schur[p * border_n..(p + 1) * border_n];
+                    for (&q, &x) in qs.iter().zip(wrow) {
+                        srow[q] -= cv * x;
+                    }
+                }
+                c0 += bw;
+            }
+        }
+        if border_n > 0 {
+            if let Err(Error::Singular { column }) = self.border_lu.factor_in_place(&mut self.schur)
+            {
+                return Err(Error::Singular {
+                    column: self.border[column],
+                });
+            }
+        }
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Solves `A·x = b` in place against the current factorization.
+    /// Allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] without a factorization;
+    /// [`Error::DimensionMismatch`] on a wrong right-hand-side length.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<()> {
+        if !self.factored {
+            return Err(Error::InvalidArgument(
+                "bbd solve_in_place: no numeric factorization held",
+            ));
+        }
+        if b.len() != self.n {
+            return Err(Error::DimensionMismatch {
+                found: (b.len(), 1),
+                expected: (self.n, 1),
+            });
+        }
+        self.solves += 1;
+        // Forward: u_k = A_k⁻¹ b_k, then the border system
+        // S·y = b_border − Σ C_k u_k.
+        for blk in &mut self.blocks {
+            let m = blk.globals.len();
+            let u = &mut self.u[blk.off..blk.off + m];
+            for (i, &gi) in blk.globals.iter().enumerate() {
+                u[i] = b[gi];
+            }
+            blk.lu.solve_in_place(u)?;
+        }
+        for (p, &gp) in self.border.iter().enumerate() {
+            self.g[p] = b[gp];
+        }
+        for blk in &self.blocks {
+            let u = &self.u[blk.off..blk.off + blk.globals.len()];
+            for (idx, &p) in blk.c_rows.iter().enumerate() {
+                self.g[p] -= blk.c_vals[idx] * u[blk.c_cols[idx]];
+            }
+        }
+        if !self.border.is_empty() {
+            self.border_lu.solve_into(&mut self.g)?;
+        }
+        // Back: x_k = A_k⁻¹ (b_k − B_k y).
+        for blk in &mut self.blocks {
+            let m = blk.globals.len();
+            let t = &mut self.t[..m];
+            for (i, &gi) in blk.globals.iter().enumerate() {
+                t[i] = b[gi];
+            }
+            for (ci, &q) in blk.b_cols.iter().enumerate() {
+                let y = self.g[q];
+                if y != 0.0 {
+                    for e in blk.b_col_ptr[ci]..blk.b_col_ptr[ci + 1] {
+                        t[blk.b_rows[e]] -= blk.b_vals[e] * y;
+                    }
+                }
+            }
+            blk.lu.solve_in_place(t)?;
+            for (i, &gi) in blk.globals.iter().enumerate() {
+                b[gi] = t[i];
+            }
+        }
+        for (p, &gp) in self.border.iter().enumerate() {
+            b[gp] = self.g[p];
+        }
+        Ok(())
+    }
+
+    /// Fused refactor + solve, the per-Newton-iteration entry point.
+    pub fn factor_solve_in_place(&mut self, a: &CsrMatrix, b: &mut [f64]) -> Result<()> {
+        self.refactor(a)?;
+        self.solve_in_place(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Builds a random crossbar-structured system: `n_blocks` diagonal
+    /// blocks of `block_len` unknowns plus a `border_len` border, with
+    /// random block interiors, random block↔border couplings, and a
+    /// diagonally dominant value assignment.
+    fn random_bbd_system(
+        rng: &mut Rng,
+        n_blocks: usize,
+        block_len: usize,
+        border_len: usize,
+        identical_blocks: bool,
+    ) -> (CsrMatrix, BlockStructure, Vec<f64>) {
+        let n = n_blocks * block_len + border_len;
+        let mut block_of: Vec<Option<usize>> = Vec::with_capacity(n);
+        for k in 0..n_blocks {
+            block_of.extend(std::iter::repeat(Some(k)).take(block_len));
+        }
+        block_of.extend(std::iter::repeat(None).take(border_len));
+        let structure = BlockStructure::new(n_blocks, block_of).unwrap();
+
+        let mut entries: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        // One shared random local pattern (identical blocks) or a fresh
+        // one per block.
+        let mut local_pairs: Vec<(usize, usize)> = Vec::new();
+        for k in 0..n_blocks {
+            if k == 0 || !identical_blocks {
+                local_pairs.clear();
+                for _ in 0..(2 * block_len) {
+                    let r = rng.below(block_len as u64) as usize;
+                    let c = rng.below(block_len as u64) as usize;
+                    local_pairs.push((r, c));
+                }
+            }
+            let base = k * block_len;
+            for &(r, c) in &local_pairs {
+                entries.push((base + r, base + c));
+            }
+            // Couplings to the border, both directions.
+            if border_len > 0 {
+                for _ in 0..block_len.max(1) {
+                    let lr = rng.below(block_len as u64) as usize;
+                    let q = rng.below(border_len as u64) as usize;
+                    entries.push((base + lr, n_blocks * block_len + q));
+                    let p = rng.below(border_len as u64) as usize;
+                    let lc = rng.below(block_len as u64) as usize;
+                    entries.push((n_blocks * block_len + p, base + lc));
+                }
+            }
+        }
+        // Border interior couplings.
+        for _ in 0..(2 * border_len) {
+            let p = rng.below(border_len.max(1) as u64) as usize;
+            let q = rng.below(border_len.max(1) as u64) as usize;
+            if border_len > 0 {
+                entries.push((n_blocks * block_len + p, n_blocks * block_len + q));
+            }
+        }
+        let pat = CsrPattern::from_entries(n, &entries).unwrap();
+        let mut m = CsrMatrix::from_pattern(pat);
+        for r in 0..n {
+            let (lo, hi) = (m.pattern().row_ptr()[r], m.pattern().row_ptr()[r + 1]);
+            let mut off_sum = 0.0;
+            for k in lo..hi {
+                if m.pattern().col_idx()[k] != r {
+                    let v = rng.uniform_in(-1.0, 1.0);
+                    m.values_mut()[k] = v;
+                    off_sum += v.abs();
+                }
+            }
+            let s = m.slot_of(r, r).unwrap();
+            m.values_mut()[s] = off_sum + 1.0 + rng.uniform();
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.uniform_in(-5.0, 5.0)).collect();
+        (m, structure, b)
+    }
+
+    #[test]
+    fn property_bbd_matches_sparse_lu_on_random_crossbar_systems() {
+        let mut rng = Rng::seed_from_u64(0xbbd_5eed);
+        for trial in 0..200 {
+            let n_blocks = 1 + rng.below(5) as usize;
+            let block_len = 1 + rng.below(6) as usize;
+            let border_len = rng.below(6) as usize;
+            let identical = rng.below(2) == 0;
+            let (m, structure, b) =
+                random_bbd_system(&mut rng, n_blocks, block_len, border_len, identical);
+            let mut sparse = SparseLu::analyze(m.pattern()).unwrap();
+            let mut xs = b.clone();
+            sparse.factor_solve_in_place(&m, &mut xs).unwrap();
+            let mut bbd = BbdLu::analyze(m.pattern(), &structure).unwrap();
+            let mut xb = b.clone();
+            bbd.factor_solve_in_place(&m, &mut xb).unwrap();
+            for i in 0..m.n() {
+                let scale = xs[i].abs().max(1.0);
+                assert!(
+                    (xb[i] - xs[i]).abs() <= 1e-9 * scale,
+                    "trial {trial} blocks={n_blocks}x{block_len} border={border_len} i={i}: \
+                     bbd {} vs sparse {}",
+                    xb[i],
+                    xs[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_blocks_share_one_symbolic_analysis() {
+        let mut rng = Rng::seed_from_u64(7);
+        let (m, structure, _) = random_bbd_system(&mut rng, 6, 4, 3, true);
+        let bbd = BbdLu::analyze(m.pattern(), &structure).unwrap();
+        assert_eq!(bbd.block_count(), 6);
+        assert_eq!(
+            bbd.pattern_classes(),
+            1,
+            "6 identical blocks must share a single symbolic analysis"
+        );
+        assert_eq!(bbd.border_len(), 3);
+    }
+
+    #[test]
+    fn refactor_reuses_everything_across_value_changes() {
+        let mut rng = Rng::seed_from_u64(21);
+        let (mut m, structure, b) = random_bbd_system(&mut rng, 3, 5, 2, true);
+        let n = m.n();
+        let mut bbd = BbdLu::analyze(m.pattern(), &structure).unwrap();
+        for round in 0..5 {
+            for v in m.values_mut() {
+                *v += rng.uniform_in(-0.05, 0.05);
+            }
+            for r in 0..n {
+                let s = m.slot_of(r, r).unwrap();
+                let d = m.values()[s];
+                m.values_mut()[s] = d.abs() + 2.0;
+            }
+            let mut x = b.clone();
+            bbd.factor_solve_in_place(&m, &mut x).unwrap();
+            let mut ax = vec![0.0; n];
+            m.mul_vec(&x, &mut ax).unwrap();
+            for i in 0..n {
+                assert!(
+                    (ax[i] - b[i]).abs() < 1e-9 * b[i].abs().max(1.0),
+                    "round {round} i={i}: residual {} vs {}",
+                    ax[i],
+                    b[i]
+                );
+            }
+        }
+        assert_eq!(bbd.refactor_count(), 5);
+        assert_eq!(bbd.solve_count(), 5);
+    }
+
+    #[test]
+    fn modified_newton_resolve_without_refactor() {
+        let mut rng = Rng::seed_from_u64(99);
+        let (m, structure, b) = random_bbd_system(&mut rng, 2, 4, 2, false);
+        let mut bbd = BbdLu::analyze(m.pattern(), &structure).unwrap();
+        assert!(!bbd.is_factored());
+        let mut x1 = b.clone();
+        assert!(matches!(
+            bbd.solve_in_place(&mut x1),
+            Err(Error::InvalidArgument(_))
+        ));
+        bbd.refactor(&m).unwrap();
+        assert!(bbd.is_factored());
+        let mut x1 = b.clone();
+        bbd.solve_in_place(&mut x1).unwrap();
+        let mut x2 = b.clone();
+        bbd.solve_in_place(&mut x2).unwrap();
+        assert_eq!(x1, x2, "repeated solves against one factor must agree");
+    }
+
+    #[test]
+    fn cross_block_coupling_is_rejected() {
+        // Two 1-unknown blocks coupled directly: illegal partition.
+        let entries = [(0usize, 0usize), (1, 1), (0, 1)];
+        let pat = CsrPattern::from_entries(2, &entries).unwrap();
+        let structure = BlockStructure::new(2, vec![Some(0), Some(1)]).unwrap();
+        assert!(matches!(
+            BbdLu::analyze(&pat, &structure),
+            Err(Error::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn all_border_degenerates_to_dense() {
+        let mut rng = Rng::seed_from_u64(3);
+        // 1 dummy block of 1 unknown; everything else border.
+        let (m, _, b) = random_bbd_system(&mut rng, 1, 1, 6, false);
+        let structure =
+            BlockStructure::new(1, std::iter::once(Some(0)).chain([None; 6]).collect()).unwrap();
+        let mut bbd = BbdLu::analyze(m.pattern(), &structure).unwrap();
+        let mut sparse = SparseLu::analyze(m.pattern()).unwrap();
+        let mut xb = b.clone();
+        let mut xs = b.clone();
+        bbd.factor_solve_in_place(&m, &mut xb).unwrap();
+        sparse.factor_solve_in_place(&m, &mut xs).unwrap();
+        for i in 0..m.n() {
+            assert!((xb[i] - xs[i]).abs() <= 1e-9 * xs[i].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn no_border_is_pure_block_diagonal() {
+        let mut rng = Rng::seed_from_u64(5);
+        let (m, structure, b) = random_bbd_system(&mut rng, 4, 3, 0, true);
+        let mut bbd = BbdLu::analyze(m.pattern(), &structure).unwrap();
+        assert_eq!(bbd.border_len(), 0);
+        let mut x = b.clone();
+        bbd.factor_solve_in_place(&m, &mut x).unwrap();
+        let mut ax = vec![0.0; m.n()];
+        m.mul_vec(&x, &mut ax).unwrap();
+        for i in 0..m.n() {
+            assert!((ax[i] - b[i]).abs() < 1e-9 * b[i].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn numerically_singular_block_reports_global_column() {
+        // Block 1 (unknowns 2, 3) is numerically rank-deficient.
+        let entries = [
+            (0usize, 0usize),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+            (2, 2),
+            (2, 3),
+            (3, 2),
+            (3, 3),
+        ];
+        let pat = CsrPattern::from_entries(4, &entries).unwrap();
+        let mut m = CsrMatrix::from_pattern(pat.clone());
+        for (v, val) in m
+            .values_mut()
+            .iter_mut()
+            .zip([2.0, 1.0, 1.0, 3.0, 1.0, 2.0, 2.0, 4.0])
+        {
+            *v = val;
+        }
+        let structure =
+            BlockStructure::new(2, vec![Some(0), Some(0), Some(1), Some(1)]).unwrap();
+        let mut bbd = BbdLu::analyze(&pat, &structure).unwrap();
+        match bbd.refactor(&m) {
+            Err(Error::Singular { column }) => {
+                assert!(column == 2 || column == 3, "global column, got {column}")
+            }
+            other => panic!("expected Singular, got {other:?}"),
+        }
+        assert!(!bbd.is_factored());
+    }
+
+    #[test]
+    fn structure_validation() {
+        assert!(matches!(
+            BlockStructure::new(1, vec![]),
+            Err(Error::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            BlockStructure::new(1, vec![Some(1)]),
+            Err(Error::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            BlockStructure::new(2, vec![Some(0), None]),
+            Err(Error::InvalidArgument(_))
+        ));
+        let s = BlockStructure::new(2, vec![Some(0), None, Some(1), Some(0)]).unwrap();
+        assert_eq!(s.n(), 4);
+        assert_eq!(s.n_blocks(), 2);
+        assert_eq!(s.border_len(), 1);
+        assert_eq!(s.block_of(1), None);
+        assert_eq!(s.block_of(3), Some(0));
+    }
+
+    #[test]
+    fn wrong_sized_inputs_are_typed_errors() {
+        let entries = [(0usize, 0usize), (1, 1)];
+        let pat = CsrPattern::from_entries(2, &entries).unwrap();
+        let structure = BlockStructure::new(1, vec![Some(0), None]).unwrap();
+        let bad = BlockStructure::new(1, vec![Some(0), None, None]).unwrap();
+        assert!(matches!(
+            BbdLu::analyze(&pat, &bad),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        let mut bbd = BbdLu::analyze(&pat, &structure).unwrap();
+        let other = CsrMatrix::from_pattern(
+            CsrPattern::from_entries(3, &[(0, 0), (1, 1), (2, 2)]).unwrap(),
+        );
+        assert!(matches!(
+            bbd.refactor(&other),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        let mut m = CsrMatrix::from_pattern(pat);
+        m.values_mut().copy_from_slice(&[1.0, 1.0]);
+        bbd.refactor(&m).unwrap();
+        assert!(matches!(
+            bbd.solve_in_place(&mut [1.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+}

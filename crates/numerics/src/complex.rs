@@ -184,24 +184,54 @@ impl CMatrix {
         self.data[r * self.n + c] = v;
     }
 
-    /// Solves `A x = b` in place via LU with partial pivoting (by
-    /// magnitude). The matrix is consumed.
+    /// Overwrites this matrix with the contents of `other`, keeping the
+    /// allocation — the AC sweep's per-frequency restore of the
+    /// frequency-independent base stamp.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] on an order mismatch.
+    pub fn copy_from(&mut self, other: &CMatrix) -> Result<()> {
+        if self.n != other.n {
+            return Err(Error::DimensionMismatch {
+                found: (other.n, other.n),
+                expected: (self.n, self.n),
+            });
+        }
+        self.data.copy_from_slice(&other.data);
+        Ok(())
+    }
+
+    /// Solves `A x = b` via LU with partial pivoting (by magnitude).
+    /// The matrix is consumed.
     ///
     /// # Errors
     ///
     /// [`Error::Singular`] for a numerically singular matrix,
     /// [`Error::DimensionMismatch`] if `b.len() != order`.
-    #[allow(clippy::needless_range_loop)]
     pub fn solve(mut self, b: &[Complex]) -> Result<Vec<Complex>> {
+        let mut x: Vec<Complex> = b.to_vec();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` with `b` supplied (and the solution returned) in
+    /// `x`, destroying the matrix contents — the factorization happens
+    /// in this matrix's storage, so a repeated-solve caller restores it
+    /// with [`CMatrix::copy_from`] between solves and never reallocates.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CMatrix::solve`].
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve_in_place(&mut self, x: &mut [Complex]) -> Result<()> {
         let n = self.n;
-        if b.len() != n {
+        if x.len() != n {
             return Err(Error::DimensionMismatch {
-                found: (b.len(), 1),
+                found: (x.len(), 1),
                 expected: (n, 1),
             });
         }
-        let mut x: Vec<Complex> = b.to_vec();
-        let mut perm: Vec<usize> = (0..n).collect();
         for k in 0..n {
             // Pivot by magnitude.
             let mut p = k;
@@ -222,7 +252,6 @@ impl CMatrix {
                     self.set(k, c, self.at(p, c));
                     self.set(p, c, tmp);
                 }
-                perm.swap(k, p);
                 x.swap(k, p);
             }
             let pivot = self.at(k, k);
@@ -245,7 +274,7 @@ impl CMatrix {
             }
             x[i] = s / self.at(i, i);
         }
-        Ok(x)
+        Ok(())
     }
 }
 
@@ -337,6 +366,30 @@ mod tests {
         assert!(matches!(
             m.solve(&[Complex::ZERO, Complex::ZERO]),
             Err(Error::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_from_restores_and_solve_in_place_matches_solve() {
+        let mut base = CMatrix::zeros(2);
+        base.add(0, 0, Complex::new(2.0, 1.0));
+        base.add(0, 1, Complex::ONE);
+        base.add(1, 0, Complex::ONE);
+        base.add(1, 1, Complex::new(3.0, -2.0));
+        let b = [Complex::real(1.0), Complex::new(0.0, 1.0)];
+        let reference = base.clone().solve(&b).unwrap();
+        let mut work = CMatrix::zeros(2);
+        for _ in 0..3 {
+            work.copy_from(&base).unwrap();
+            let mut x = b.to_vec();
+            work.solve_in_place(&mut x).unwrap();
+            for (xi, ri) in x.iter().zip(&reference) {
+                assert!(close(*xi, *ri, 1e-14));
+            }
+        }
+        assert!(matches!(
+            work.copy_from(&CMatrix::zeros(3)),
+            Err(Error::DimensionMismatch { .. })
         ));
     }
 

@@ -24,9 +24,16 @@
 //! time via [`CsrMatrix::slot_of`] and thereafter stamp with
 //! `values_mut()[slot] += g`. The pattern is immutable after
 //! construction; stamps may only touch preresolved slots.
+//!
+//! The analysis products themselves are immutable and live in a
+//! [`SparseSymbolic`] behind an `Arc`: many [`SparseLu`] instances (one
+//! per parallel sweep worker, or one per identical diagonal block of a
+//! bordered-block-diagonal system) share a single symbolic analysis and
+//! carry only their own numeric buffers.
 
 use crate::linalg::Matrix;
 use crate::{Error, Result};
+use std::sync::Arc;
 
 /// Pivots smaller than this in magnitude are treated as exact zeros,
 /// mirroring the dense LU in [`crate::linalg`].
@@ -209,14 +216,15 @@ impl CsrMatrix {
     }
 }
 
-/// Pattern-cached sparse LU with one-time symbolic analysis and
-/// allocation-free numeric refactorization.
+/// Immutable products of one symbolic analysis: permutations, the full
+/// fill-in pattern, and the scatter maps the numeric phase replays.
 ///
-/// Built once per circuit topology with [`SparseLu::analyze`]; thereafter
-/// [`SparseLu::refactor`] + [`SparseLu::solve_in_place`] (or the fused
-/// [`SparseLu::factor_solve_in_place`]) run with zero heap allocation.
-#[derive(Debug, Clone)]
-pub struct SparseLu {
+/// Shareable across any number of [`SparseLu`] instances via `Arc` —
+/// pooled sweep workers factoring the same circuit topology, or the
+/// identical per-column blocks of a bordered-block-diagonal system, pay
+/// for the Markowitz ordering exactly once.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SparseSymbolic {
     n: usize,
     /// Permuted row position `i` → original row index.
     row_perm: Vec<usize>,
@@ -225,15 +233,28 @@ pub struct SparseLu {
     /// LU pattern, row-wise in permuted coordinates, positions sorted.
     lu_row_ptr: Vec<usize>,
     lu_cols: Vec<usize>,
-    lu_vals: Vec<f64>,
-    /// Slot of the diagonal within `lu_vals` for each permuted row.
+    /// Slot of the diagonal within the LU values for each permuted row.
     diag_ptr: Vec<usize>,
-    inv_diag: Vec<f64>,
     /// For each A value slot: its permuted column position (searchless
     /// scatter during refactorization).
     a_cols_permuted: Vec<usize>,
     /// Copy of A's row pointers (so refactor only needs A's values).
     a_row_ptr: Vec<usize>,
+}
+
+/// Pattern-cached sparse LU with one-time symbolic analysis and
+/// allocation-free numeric refactorization.
+///
+/// Built once per circuit topology with [`SparseLu::analyze`]; thereafter
+/// [`SparseLu::refactor`] + [`SparseLu::solve_in_place`] (or the fused
+/// [`SparseLu::factor_solve_in_place`]) run with zero heap allocation.
+/// [`SparseLu::from_symbolic`] builds additional numeric instances over
+/// an already-shared analysis without re-running it.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    sym: Arc<SparseSymbolic>,
+    lu_vals: Vec<f64>,
+    inv_diag: Vec<f64>,
     /// Dense scatter/gather work array, indexed by permuted position.
     work: Vec<f64>,
     /// Solve scratch (permuted RHS / solution).
@@ -249,7 +270,7 @@ pub struct SparseLu {
     factored: bool,
 }
 
-impl SparseLu {
+impl SparseSymbolic {
     /// One-time symbolic analysis of a structural pattern.
     ///
     /// Runs a restricted structural Markowitz elimination: at each step
@@ -450,38 +471,16 @@ impl SparseLu {
         }
 
         let a_cols_permuted: Vec<usize> = pattern.col_idx.iter().map(|&c| col_pos[c]).collect();
-        let lu_nnz = lu_cols.len();
         Ok(Self {
             n,
             row_perm,
             col_perm,
             lu_row_ptr,
             lu_cols,
-            lu_vals: vec![0.0; lu_nnz],
             diag_ptr,
-            inv_diag: vec![0.0; n],
             a_cols_permuted,
             a_row_ptr: pattern.row_ptr.clone(),
-            work: vec![0.0; n],
-            y: vec![0.0; n],
-            refactors: 0,
-            solves: 0,
-            factored: false,
         })
-    }
-
-    fn singular_index(row_active: &[bool], row_count: &[usize], col_active: &[bool]) -> usize {
-        for (r, &act) in row_active.iter().enumerate() {
-            if act && row_count[r] == 0 {
-                return r;
-            }
-        }
-        for (c, &act) in col_active.iter().enumerate() {
-            if act {
-                return c;
-            }
-        }
-        0
     }
 
     /// Matrix order.
@@ -500,6 +499,70 @@ impl SparseLu {
         self.lu_cols
             .len()
             .saturating_sub(self.a_cols_permuted.len())
+    }
+
+    fn singular_index(row_active: &[bool], row_count: &[usize], col_active: &[bool]) -> usize {
+        for (r, &act) in row_active.iter().enumerate() {
+            if act && row_count[r] == 0 {
+                return r;
+            }
+        }
+        for (c, &act) in col_active.iter().enumerate() {
+            if act {
+                return c;
+            }
+        }
+        0
+    }
+}
+
+impl SparseLu {
+    /// One-time symbolic analysis of a structural pattern (see
+    /// [`SparseSymbolic::analyze`]) wrapped with fresh numeric storage.
+    pub fn analyze(pattern: &CsrPattern) -> Result<Self> {
+        Ok(Self::from_symbolic(Arc::new(SparseSymbolic::analyze(
+            pattern,
+        )?)))
+    }
+
+    /// Fresh numeric state over an already-computed (shared) symbolic
+    /// analysis. The expensive Markowitz ordering is not re-run; only
+    /// the numeric buffers are allocated.
+    // fefet-lint: allow-item(hot-alloc) -- per-instance numeric buffers are allocated once here, then reused allocation-free
+    pub fn from_symbolic(sym: Arc<SparseSymbolic>) -> Self {
+        let n = sym.n;
+        let lu_nnz = sym.lu_cols.len();
+        Self {
+            sym,
+            lu_vals: vec![0.0; lu_nnz],
+            inv_diag: vec![0.0; n],
+            work: vec![0.0; n],
+            y: vec![0.0; n],
+            refactors: 0,
+            solves: 0,
+            factored: false,
+        }
+    }
+
+    /// The shared symbolic analysis this instance factors against.
+    pub fn symbolic(&self) -> &Arc<SparseSymbolic> {
+        &self.sym
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.sym.n
+    }
+
+    /// Nonzeros in the factored L+U pattern (fill-in included).
+    pub fn lu_nnz(&self) -> usize {
+        self.sym.lu_nnz()
+    }
+
+    /// Fill-in nonzeros added by symbolic analysis beyond the original
+    /// matrix pattern.
+    pub fn fill_nnz(&self) -> usize {
+        self.sym.fill_nnz()
     }
 
     /// Numeric refactorizations performed over this analysis's lifetime.
@@ -527,43 +590,44 @@ impl SparseLu {
     /// Returns [`Error::Singular`] if a pivot collapses numerically,
     /// identifying the original column of the failed pivot.
     pub fn refactor(&mut self, a: &CsrMatrix) -> Result<()> {
-        if a.n() != self.n || a.nnz() != self.a_cols_permuted.len() {
+        let sym = &*self.sym;
+        if a.n() != sym.n || a.nnz() != sym.a_cols_permuted.len() {
             return Err(Error::DimensionMismatch {
                 found: (a.n(), a.nnz()),
-                expected: (self.n, self.a_cols_permuted.len()),
+                expected: (sym.n, sym.a_cols_permuted.len()),
             });
         }
         self.refactors += 1;
         self.factored = false;
         let av = a.values();
-        for i in 0..self.n {
+        for i in 0..sym.n {
             // Scatter row `row_perm[i]` of A into the dense work array
             // (zeroing exactly the LU row-i positions first).
-            for k in self.lu_row_ptr[i]..self.lu_row_ptr[i + 1] {
-                self.work[self.lu_cols[k]] = 0.0;
+            for k in sym.lu_row_ptr[i]..sym.lu_row_ptr[i + 1] {
+                self.work[sym.lu_cols[k]] = 0.0;
             }
-            let r = self.row_perm[i];
-            for k in self.a_row_ptr[r]..self.a_row_ptr[r + 1] {
-                self.work[self.a_cols_permuted[k]] += av[k];
+            let r = sym.row_perm[i];
+            for k in sym.a_row_ptr[r]..sym.a_row_ptr[r + 1] {
+                self.work[sym.a_cols_permuted[k]] += av[k];
             }
             // Eliminate: for each sub-diagonal position k (ascending),
             // apply pivot row k's upper part.
-            for t in self.lu_row_ptr[i]..self.diag_ptr[i] {
-                let k = self.lu_cols[t];
+            for t in sym.lu_row_ptr[i]..sym.diag_ptr[i] {
+                let k = sym.lu_cols[t];
                 let l = self.work[k] * self.inv_diag[k];
                 self.work[k] = l;
-                for u in self.diag_ptr[k] + 1..self.lu_row_ptr[k + 1] {
-                    self.work[self.lu_cols[u]] -= l * self.lu_vals[u];
+                for u in sym.diag_ptr[k] + 1..sym.lu_row_ptr[k + 1] {
+                    self.work[sym.lu_cols[u]] -= l * self.lu_vals[u];
                 }
             }
             // Gather back and invert the pivot.
-            for k in self.lu_row_ptr[i]..self.lu_row_ptr[i + 1] {
-                self.lu_vals[k] = self.work[self.lu_cols[k]];
+            for k in sym.lu_row_ptr[i]..sym.lu_row_ptr[i + 1] {
+                self.lu_vals[k] = self.work[sym.lu_cols[k]];
             }
-            let d = self.lu_vals[self.diag_ptr[i]];
+            let d = self.lu_vals[sym.diag_ptr[i]];
             if !(d.abs() >= PIVOT_EPS) {
                 return Err(Error::Singular {
-                    column: self.col_perm[i],
+                    column: sym.col_perm[i],
                 });
             }
             self.inv_diag[i] = 1.0 / d;
@@ -586,36 +650,119 @@ impl SparseLu {
                 "solve_in_place: analysis holds no numeric factorization",
             ));
         }
-        if b.len() != self.n {
+        let sym = &*self.sym;
+        if b.len() != sym.n {
             return Err(Error::DimensionMismatch {
                 found: (b.len(), 1),
-                expected: (self.n, 1),
+                expected: (sym.n, 1),
             });
         }
         self.solves += 1;
         // Permute the RHS into factored row order.
-        for i in 0..self.n {
-            self.y[i] = b[self.row_perm[i]];
+        for i in 0..sym.n {
+            self.y[i] = b[sym.row_perm[i]];
         }
         // Forward substitution (unit lower-triangular L).
-        for i in 0..self.n {
+        for i in 0..sym.n {
             let mut acc = self.y[i];
-            for t in self.lu_row_ptr[i]..self.diag_ptr[i] {
-                acc -= self.lu_vals[t] * self.y[self.lu_cols[t]];
+            for t in sym.lu_row_ptr[i]..sym.diag_ptr[i] {
+                acc -= self.lu_vals[t] * self.y[sym.lu_cols[t]];
             }
             self.y[i] = acc;
         }
         // Back substitution (U with stored diagonal).
-        for i in (0..self.n).rev() {
+        for i in (0..sym.n).rev() {
             let mut acc = self.y[i];
-            for t in self.diag_ptr[i] + 1..self.lu_row_ptr[i + 1] {
-                acc -= self.lu_vals[t] * self.y[self.lu_cols[t]];
+            for t in sym.diag_ptr[i] + 1..sym.lu_row_ptr[i + 1] {
+                acc -= self.lu_vals[t] * self.y[sym.lu_cols[t]];
             }
             self.y[i] = acc * self.inv_diag[i];
         }
         // Un-permute the solution into original column order.
-        for i in 0..self.n {
-            b[self.col_perm[i]] = self.y[i];
+        for i in 0..sym.n {
+            b[sym.col_perm[i]] = self.y[i];
+        }
+        Ok(())
+    }
+
+    /// Solves `A·X = B` for `ncols` right-hand sides at once, stored
+    /// row-major (`x[i * stride + c]` holds row `i` of column `c`). The
+    /// factor is traversed once for the whole batch with a contiguous
+    /// inner loop over columns, so the per-entry index traffic of
+    /// [`SparseLu::solve_in_place`] is amortized across the batch —
+    /// this is what makes a Schur complement build affordable. The
+    /// caller provides `scratch` (same layout, at least `n * stride`)
+    /// so the batch width is not baked into this type. Allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] if the analysis holds no numeric
+    /// factorization or `ncols > stride`;
+    /// [`Error::DimensionMismatch`] if `x` or `scratch` is shorter
+    /// than `n * stride`.
+    pub fn solve_multi_in_place(
+        &mut self,
+        x: &mut [f64],
+        stride: usize,
+        ncols: usize,
+        scratch: &mut [f64],
+    ) -> Result<()> {
+        if !self.factored {
+            return Err(Error::InvalidArgument(
+                "solve_multi_in_place: analysis holds no numeric factorization",
+            ));
+        }
+        if ncols > stride {
+            return Err(Error::InvalidArgument(
+                "solve_multi_in_place: ncols exceeds the row stride",
+            ));
+        }
+        let sym = &*self.sym;
+        let n = sym.n;
+        if x.len() < n * stride || scratch.len() < n * stride {
+            return Err(Error::DimensionMismatch {
+                found: (x.len().min(scratch.len()), ncols),
+                expected: (n * stride, ncols),
+            });
+        }
+        self.solves += ncols as u64;
+        // Permute the right-hand sides into factored row order.
+        for i in 0..n {
+            let src = sym.row_perm[i] * stride;
+            scratch[i * stride..i * stride + ncols].copy_from_slice(&x[src..src + ncols]);
+        }
+        // Forward substitution (unit lower-triangular L), batched.
+        for i in 0..n {
+            let (head, tail) = scratch.split_at_mut(i * stride);
+            let yi = &mut tail[..ncols];
+            for t in sym.lu_row_ptr[i]..sym.diag_ptr[i] {
+                let l = self.lu_vals[t];
+                let yj = &head[sym.lu_cols[t] * stride..][..ncols];
+                for (a, b) in yi.iter_mut().zip(yj) {
+                    *a -= l * *b;
+                }
+            }
+        }
+        // Back substitution (U with stored diagonal), batched.
+        for i in (0..n).rev() {
+            let (head, tail) = scratch.split_at_mut((i + 1) * stride);
+            let yi = &mut head[i * stride..][..ncols];
+            for t in sym.diag_ptr[i] + 1..sym.lu_row_ptr[i + 1] {
+                let u = self.lu_vals[t];
+                let yj = &tail[(sym.lu_cols[t] - i - 1) * stride..][..ncols];
+                for (a, b) in yi.iter_mut().zip(yj) {
+                    *a -= u * *b;
+                }
+            }
+            let dinv = self.inv_diag[i];
+            for a in yi.iter_mut() {
+                *a *= dinv;
+            }
+        }
+        // Un-permute the solutions into original column order.
+        for i in 0..n {
+            let dst = sym.col_perm[i] * stride;
+            x[dst..dst + ncols].copy_from_slice(&scratch[i * stride..i * stride + ncols]);
         }
         Ok(())
     }
@@ -782,6 +929,55 @@ mod tests {
         }
         // The branch-row constraint v0 - v1 = 1.5 must hold exactly-ish.
         assert!((x[0] - x[1] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_multi_matches_repeated_single_solves() {
+        let m = csr_from_dense(&[
+            &[2.0, 1.0, 0.0, 0.0],
+            &[1.0, 3.0, 1.0, 0.0],
+            &[0.0, 1.0, 4.0, 2.0],
+            &[0.5, 0.0, 1.0, 5.0],
+        ]);
+        let n = 4;
+        let mut lu = SparseLu::analyze(m.pattern()).unwrap();
+        lu.refactor(&m).unwrap();
+        // Three right-hand sides in a stride-4 row-major batch (one
+        // lane left unused to exercise ncols < stride).
+        let stride = 4;
+        let ncols = 3;
+        let cols: [Vec<f64>; 3] = [
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![-2.0, 0.5, 3.0, 1.0],
+            vec![0.0, 0.0, 0.0, 7.0],
+        ];
+        let mut x = vec![0.0; n * stride];
+        for (c, col) in cols.iter().enumerate() {
+            for i in 0..n {
+                x[i * stride + c] = col[i];
+            }
+        }
+        let mut scratch = vec![0.0; n * stride];
+        lu.solve_multi_in_place(&mut x, stride, ncols, &mut scratch)
+            .unwrap();
+        for (c, col) in cols.iter().enumerate() {
+            let mut single = col.clone();
+            lu.solve_in_place(&mut single).unwrap();
+            for i in 0..n {
+                assert!(
+                    (x[i * stride + c] - single[i]).abs() < 1e-13,
+                    "col {c}, row {i}: batched {} vs single {}",
+                    x[i * stride + c],
+                    single[i]
+                );
+            }
+        }
+        // The unused lane is untouched input space, not part of the
+        // contract — but ncols > stride must be rejected.
+        assert!(matches!(
+            lu.solve_multi_in_place(&mut x, 2, 3, &mut scratch),
+            Err(Error::InvalidArgument(_))
+        ));
     }
 
     #[test]

@@ -93,7 +93,8 @@ impl PowerTrace {
         Ok(PowerTrace::from_segments(segments))
     }
 
-    /// Number of power outages (transitions to a segment below `p_min`).
+    /// Number of power outages: transitions to a segment below the
+    /// power threshold `p_min` (W).
     pub fn outage_count(&self, p_min: f64) -> usize {
         let mut n = 0;
         let mut powered = true;
@@ -152,7 +153,7 @@ impl HarvesterScenario {
         }
     }
 
-    /// Generates a reproducible trace of the given duration.
+    /// Generates a reproducible trace of the given `duration` (s).
     ///
     /// # Panics
     ///

@@ -44,7 +44,7 @@ pub struct NvpConfig {
     pub backup_words: usize,
     /// Storage-capacitor energy capacity (J).
     pub storage_capacity: f64,
-    /// Safety factor on the backup-energy reserve.
+    /// Safety factor on the backup-energy reserve (dimensionless).
     pub reserve_margin: f64,
     /// Fraction of capacity accumulated beyond the reserve+restore level
     /// before waking the core.
@@ -109,11 +109,12 @@ impl NvpConfig {
 /// Result of one NVP simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NvpRun {
-    /// Cycles committed by successful backups.
+    /// Cycles committed by successful backups (a dimensionless count).
     pub committed_cycles: f64,
     /// Trace duration (s).
     pub total_time: f64,
-    /// Forward progress: committed cycles / (clock × duration) ∈ [0, 1].
+    /// Forward-progress ratio: committed cycles / (clock × duration),
+    /// in [0, 1].
     pub forward_progress: f64,
     /// Number of backups performed.
     pub backups: usize,
@@ -123,7 +124,8 @@ pub struct NvpRun {
     pub harvested_energy: f64,
     /// Energy spent on backup + restore traffic (J).
     pub nvm_energy: f64,
-    /// Cycles executed but lost to power failures (0 under ODAB).
+    /// Cycles executed but lost to power failures — a dimensionless
+    /// count, 0 under ODAB.
     pub lost_cycles: f64,
     /// Backup images lost to retention expiry during long outages.
     pub retention_losses: usize,

@@ -53,7 +53,8 @@ impl Fig13 {
 }
 
 /// Runs the Fig 13 experiment: every MiBench benchmark on the same
-/// harvester trace, once per memory technology.
+/// harvester trace of length `trace_duration` (s), once per memory
+/// technology.
 pub fn fig13(
     scenario: HarvesterScenario,
     trace_duration: f64,
@@ -77,7 +78,7 @@ pub fn fig13(
 
 /// Multi-seed robustness statistics for the Fig 13 improvement: mean and
 /// standard deviation of the suite-mean improvement across independent
-/// harvester traces.
+/// harvester traces of length `trace_duration` (s).
 pub fn improvement_statistics(
     scenario: HarvesterScenario,
     trace_duration: f64,
@@ -97,7 +98,8 @@ pub fn improvement_statistics(
 }
 
 /// The "lower-power scenarios benefit most" sweep: mean improvement per
-/// harvester scenario, strongest first.
+/// harvester scenario over a trace of length `trace_duration` (s),
+/// strongest first.
 pub fn power_sweep(
     trace_duration: f64,
     seed: u64,
