@@ -17,6 +17,7 @@ use fefet_device::dynamics::integrate;
 use fefet_device::paper_fefet;
 use fefet_mem::array::{FastPathToggles, FefetArray};
 use fefet_mem::cell::FefetCell;
+use fefet_mem::yield_engine::{YieldEngine, YieldSpec};
 use fefet_numerics::linalg::{norm_inf, LuWorkspace, Matrix};
 use fefet_numerics::rng::Rng;
 use fefet_telemetry::Instrumentation;
@@ -348,7 +349,14 @@ fn bench_newton_scaling(report: &mut Report) {
         // Warm the BBD workspace so its one-time structure analysis
         // stays out of the timed region.
         newton_inplace(
-            &asm, &ckt, t_bias, &opts_bbd, &mut xb, &x_star, &states, &mut ws_bbd,
+            &asm,
+            &ckt,
+            t_bias,
+            &opts_bbd,
+            &mut xb,
+            &x_star,
+            &states,
+            &mut ws_bbd,
         );
         let name_dense = format!("newton_array_{rows}x{cols}_dense");
         let name_sparse = format!("newton_array_{rows}x{cols}_sparse");
@@ -371,7 +379,14 @@ fn bench_newton_scaling(report: &mut Report) {
             },
             || {
                 newton_inplace(
-                    &asm, &ckt, t_bias, &opts_bbd, &mut xb, &x_star, &states, &mut ws_bbd,
+                    &asm,
+                    &ckt,
+                    t_bias,
+                    &opts_bbd,
+                    &mut xb,
+                    &x_star,
+                    &states,
+                    &mut ws_bbd,
                 );
                 xb.last().copied()
             },
@@ -384,7 +399,14 @@ fn bench_newton_scaling(report: &mut Report) {
         let mut dense_measured = true;
         let dense_solve = |xd: &mut Vec<f64>, ws_dense: &mut NewtonWorkspace| {
             newton_inplace(
-                &asm, &ckt, t_bias, &opts_dense, xd, &x_star, &states, ws_dense,
+                &asm,
+                &ckt,
+                t_bias,
+                &opts_dense,
+                xd,
+                &x_star,
+                &states,
+                ws_dense,
             );
             xd.last().copied()
         };
@@ -514,15 +536,20 @@ fn bench_newton_256(report: &mut Report) {
     report.bench_once("newton_array_256x256_cold_bbd", || {
         ws = NewtonWorkspace::new(n);
         newton_inplace(
-            &asm, &ckt, t_bias, &opts, &mut x_star, &x0, &states, &mut ws,
+            &asm,
+            &ckt,
+            t_bias,
+            &opts,
+            &mut x_star,
+            &x0,
+            &states,
+            &mut ws,
         );
         x_star.last().copied()
     });
     let mut x = vec![0.0; n];
     report.bench_once("newton_array_256x256_bbd", || {
-        newton_inplace(
-            &asm, &ckt, t_bias, &opts, &mut x, &x_star, &states, &mut ws,
-        );
+        newton_inplace(&asm, &ckt, t_bias, &opts, &mut x, &x_star, &states, &mut ws);
         x.last().copied()
     });
     let nnz = ws.sparse_nnz(true).map(|z| z as u64);
@@ -845,13 +872,216 @@ fn bench_array_sweep(report: &mut Report) {
     // Smoke runs sweep a 4-row subset to keep CI fast.
     let a64 = seeded(64, 64);
     let n64 = a64.mna_dims().expect("64x64 dims").n_unknowns as u64;
-    let rows64: Vec<usize> = if smoke() { (0..4).collect() } else { (0..64).collect() };
+    let rows64: Vec<usize> = if smoke() {
+        (0..4).collect()
+    } else {
+        (0..64).collect()
+    };
     report.bench_once("array_read_sweep_64x64_serial", || {
         a64.read_rows(&rows64, t_read, 1)
             .expect("64x64 sweep")
             .len()
     });
     report.annotate("array_read_sweep_64x64_serial", n64, None);
+}
+
+/// The Monte Carlo yield engine's cross-trial reuse, in two pairs:
+///
+/// **Cold vs warm trial** — the same perturbed-array trial evaluated
+/// the honest cold way (fresh workspace, its own symbolic analysis,
+/// Newton from the initial-condition seed) against the engine's warm
+/// path (reused per-worker scratch, shared analysis cache, Newton
+/// warm-started from the converged nominal solution). Batches are
+/// interleaved, and on full runs the warm path must win by ≥ 2×
+/// (min-of-batches, so host-load drift cannot manufacture a pass).
+/// One instrumented engine proves the reuse is real: exactly one
+/// sparse symbolic analysis across the bootstrap and every trial.
+///
+/// **Serial vs pooled run** — the whole streaming yield run at one
+/// thread vs four, with the bit-identity of the two reports asserted
+/// inline (draws are serial, evaluation fans out, outcomes fold in
+/// trial order).
+fn bench_yield(report: &mut Report) {
+    // 32×32 array, minimal device-level grids: the pair isolates the
+    // solver-reuse win (symbolic analysis + warm start) rather than the
+    // (identical-cost) per-trial shmoo work. At this size the cold
+    // side's Markowitz analysis dominates, which is exactly the cost
+    // the shared cache deletes.
+    let trial_spec = YieldSpec {
+        rows: 32,
+        cols: 32,
+        n_trials: 64,
+        seed: 0xca11_ab1e,
+        threads: 1,
+        shmoo_nv: 1,
+        shmoo_nt: 1,
+        ..YieldSpec::default()
+    };
+    let engine = YieldEngine::new(
+        FefetCell::default(),
+        trial_spec.clone(),
+        Instrumentation::off(),
+    )
+    .expect("yield engine");
+    let n = engine.n_unknowns() as u64;
+    let mut scratch = engine.make_scratch();
+    engine.run_trial(&mut scratch, 0); // stand the scratch up untimed
+    let n_tr = trial_spec.n_trials;
+    let (mut tc, mut tw) = (0usize, 0usize);
+    report.bench_pair(
+        "yield_trial_cold",
+        "yield_trial_warm",
+        || {
+            tc = (tc + 1) % n_tr;
+            engine.run_trial_cold(opaque(tc)).warm_iters
+        },
+        || {
+            tw = (tw + 1) % n_tr;
+            engine.run_trial(&mut scratch, opaque(tw)).warm_iters
+        },
+    );
+    report.annotate("yield_trial_cold", n, None);
+    report.annotate("yield_trial_warm", n, None);
+    // Instrumented engines donate per-trial Newton/refactor counts and
+    // pin the symbolic-reuse claim.
+    let instr_w = Instrumentation::enabled();
+    let eng_w = YieldEngine::new(FefetCell::default(), trial_spec.clone(), instr_w.clone())
+        .expect("instrumented engine");
+    let mut s_w = eng_w.make_scratch();
+    let boot_analyses = instr_w
+        .get()
+        .map(|t| t.solver.sparse_symbolic_analyses.get())
+        .unwrap_or(0);
+    for t in 0..8 {
+        eng_w.run_trial(&mut s_w, t);
+    }
+    let mut s_w2 = eng_w.make_scratch(); // a second worker joins the cache
+    eng_w.run_trial(&mut s_w2, 0);
+    if let Some(tel) = instr_w.get() {
+        assert_eq!(
+            tel.solver.sparse_symbolic_analyses.get(),
+            boot_analyses,
+            "warm trials must not re-analyze: one symbolic analysis per pattern per process"
+        );
+        assert!(tel.solver.analysis_cache_hits.get() >= 2);
+        report.attach_telemetry(
+            "yield_trial_warm",
+            tel.solver.newton_iterations.sum() as u64,
+            tel.solver.sparse_refactors.get(),
+        );
+        println!(
+            "yield warm trials: {} symbolic analyses (bootstrap included), {} cache hits",
+            tel.solver.sparse_symbolic_analyses.get(),
+            tel.solver.analysis_cache_hits.get()
+        );
+    }
+    let instr_c = Instrumentation::enabled();
+    let eng_c = YieldEngine::new(FefetCell::default(), trial_spec, instr_c.clone())
+        .expect("instrumented engine");
+    let base = instr_c.get().map(|t| {
+        (
+            t.solver.newton_iterations.sum() as u64,
+            t.solver.sparse_refactors.get(),
+        )
+    });
+    for t in 0..9 {
+        eng_c.run_trial_cold(t);
+    }
+    if let (Some(tel), Some((it0, rf0))) = (instr_c.get(), base) {
+        report.attach_telemetry(
+            "yield_trial_cold",
+            tel.solver.newton_iterations.sum() as u64 - it0,
+            tel.solver.sparse_refactors.get() - rf0,
+        );
+    }
+    if let (Some(cold), Some(warm)) = (
+        report.min_of("yield_trial_cold"),
+        report.min_of("yield_trial_warm"),
+    ) {
+        // The acceptance gate: ≥ 2× per trial on full runs. Single-shot
+        // smoke batches are too noisy for a ratio, but cold slower than
+        // warm must hold even there.
+        if smoke() {
+            assert!(
+                warm <= cold,
+                "warm yield trial regressed past cold: {warm:.6} s vs {cold:.6} s"
+            );
+        } else {
+            assert!(
+                cold >= 2.0 * warm,
+                "warm trial reuse must win ≥2x: cold {cold:.6} s vs warm {warm:.6} s"
+            );
+        }
+        println!(
+            "yield trial speedup (cold/warm, min):         {:.2}x",
+            cold / warm
+        );
+    }
+
+    // Serial vs pooled streaming run, bit-identity asserted inline.
+    let run_spec = YieldSpec {
+        rows: 4,
+        cols: 4,
+        n_trials: if smoke() { 8 } else { 32 },
+        seed: 0x1e1d,
+        threads: 1,
+        shmoo_nv: 2,
+        shmoo_nt: 2,
+        ..YieldSpec::default()
+    };
+    let serial = YieldEngine::new(
+        FefetCell::default(),
+        run_spec.clone(),
+        Instrumentation::off(),
+    )
+    .expect("serial yield engine");
+    let par_spec = YieldSpec {
+        threads: 4,
+        ..run_spec.clone()
+    };
+    let par = YieldEngine::new(FefetCell::default(), par_spec, Instrumentation::off())
+        .expect("pooled yield engine");
+    let mut last_serial = None;
+    let mut last_par = None;
+    report.bench_pair(
+        "yield_run_serial",
+        "yield_run_par4",
+        || {
+            let r = serial.run();
+            let y = r.read_yield;
+            last_serial = Some(r);
+            y
+        },
+        || {
+            let r = par.run();
+            let y = r.read_yield;
+            last_par = Some(r);
+            y
+        },
+    );
+    let (Some(rs), Some(rp)) = (last_serial, last_par) else {
+        panic!("yield pair produced no reports");
+    };
+    // Normalize the meta line (thread count) and demand identical
+    // payloads — every statistic, histogram bucket and corner.
+    assert_eq!(
+        rs.to_run_report(&run_spec).to_json(),
+        rp.to_run_report(&run_spec).to_json(),
+        "pooled yield run must be bit-identical to serial"
+    );
+    println!(
+        "yield_run serial/par4: reports bit-identical over {} trials",
+        rs.n_trials
+    );
+    if let (Some(s), Some(p)) = (
+        report.min_of("yield_run_serial"),
+        report.min_of("yield_run_par4"),
+    ) {
+        println!(
+            "yield_run 4-thread speedup (serial/par4, min): {:.2}x",
+            s / p
+        );
+    }
 }
 
 fn bench_lk_stepper(report: &mut Report) {
@@ -876,6 +1106,7 @@ fn main() {
     bench_cell_write(&mut report);
     bench_fastpaths(&mut report);
     bench_array_sweep(&mut report);
+    bench_yield(&mut report);
     bench_lk_stepper(&mut report);
 
     // Derived headline ratios.

@@ -113,6 +113,8 @@ fn main() {
             .expect("fast solve");
         }
         let fastt = t0.elapsed() / reps;
-        println!("  {name:7} cold {cold:>12.3?}  warm-exact {warm:>10.3?}  warm-reuse {fastt:>10.3?}");
+        println!(
+            "  {name:7} cold {cold:>12.3?}  warm-exact {warm:>10.3?}  warm-reuse {fastt:>10.3?}"
+        );
     }
 }

@@ -157,6 +157,84 @@ impl Circuit {
         }
     }
 
+    /// Replaces the parameter set of an existing MOSFET, allowing one
+    /// netlist to be re-simulated under perturbed device parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`CktError::UnknownSignal`] if `name` does not exist,
+    /// [`CktError::Netlist`] if the element is not a MOSFET.
+    pub fn set_mosfet_params(&mut self, name: &str, params: MosParams) -> Result<(), CktError> {
+        let idx = *self
+            .element_index
+            .get(name)
+            .ok_or_else(|| CktError::UnknownSignal(name.to_string()))?;
+        self.set_mosfet_params_at(idx, params)
+    }
+
+    /// Replaces the parameter set of the MOSFET at element position
+    /// `idx` ([`Circuit::element_position`] order). The index-based form
+    /// does no hashing or string formatting on success, so Monte Carlo
+    /// trial loops can re-parameterize a cached circuit allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`CktError::Netlist`] if `idx` is out of range or the element is
+    /// not a MOSFET.
+    pub fn set_mosfet_params_at(&mut self, idx: usize, params: MosParams) -> Result<(), CktError> {
+        match self.elements.get_mut(idx) {
+            Some((_, Element::Mosfet { params: p, .. })) => {
+                *p = params;
+                Ok(())
+            }
+            Some((name, other)) => Err(CktError::Netlist(format!(
+                "element {name} is not a MOSFET: {other:?}"
+            ))),
+            None => Err(CktError::Netlist(format!(
+                "element index {idx} out of range"
+            ))),
+        }
+    }
+
+    /// Replaces the parameter set of an existing ferroelectric
+    /// capacitor (initial polarization is left untouched; see
+    /// [`Circuit::set_fe_polarization`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CktError::UnknownSignal`] if `name` does not exist,
+    /// [`CktError::Netlist`] if the element is not an FE capacitor.
+    pub fn set_fecap_params(&mut self, name: &str, params: FeCapParams) -> Result<(), CktError> {
+        let idx = *self
+            .element_index
+            .get(name)
+            .ok_or_else(|| CktError::UnknownSignal(name.to_string()))?;
+        self.set_fecap_params_at(idx, params)
+    }
+
+    /// Replaces the parameter set of the FE capacitor at element
+    /// position `idx` ([`Circuit::element_position`] order); the
+    /// allocation-free counterpart of [`Circuit::set_fecap_params`].
+    ///
+    /// # Errors
+    ///
+    /// [`CktError::Netlist`] if `idx` is out of range or the element is
+    /// not an FE capacitor.
+    pub fn set_fecap_params_at(&mut self, idx: usize, params: FeCapParams) -> Result<(), CktError> {
+        match self.elements.get_mut(idx) {
+            Some((_, Element::FeCap { params: p, .. })) => {
+                *p = params;
+                Ok(())
+            }
+            Some((name, other)) => Err(CktError::Netlist(format!(
+                "element {name} is not an FE capacitor: {other:?}"
+            ))),
+            None => Err(CktError::Netlist(format!(
+                "element index {idx} out of range"
+            ))),
+        }
+    }
+
     fn push(&mut self, name: &str, e: Element) -> &mut Self {
         assert!(
             !self.element_index.contains_key(name),
@@ -574,6 +652,48 @@ mod tests {
             Element::FeCap { p0, .. } => assert_eq!(*p0, 0.4),
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn set_device_params_updates_in_place() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.mosfet("M1", a, a, Circuit::GND, MosParams::nmos_45nm());
+        c.fecap("F1", a, Circuit::GND, FeCapParams::new(2.25e-9, 1e-15), 0.1);
+
+        let mut mos = MosParams::nmos_45nm();
+        mos.vt0 += 0.123;
+        c.set_mosfet_params("M1", mos).unwrap();
+        match c.find_element("M1").unwrap() {
+            Element::Mosfet { params, .. } => assert!((params.vt0 - mos.vt0).abs() < 1e-15),
+            _ => panic!(),
+        }
+
+        let fe = FeCapParams::new(2.5e-9, 2e-15);
+        let idx = c.element_position("F1").unwrap();
+        c.set_fecap_params_at(idx, fe).unwrap();
+        match c.find_element("F1").unwrap() {
+            Element::FeCap { params, p0, .. } => {
+                assert!((params.thickness - 2.5e-9).abs() < 1e-18);
+                // p0 untouched by a params swap.
+                assert!((p0 - 0.1).abs() < 1e-15);
+            }
+            _ => panic!(),
+        }
+
+        // Kind and range validation.
+        assert!(matches!(
+            c.set_mosfet_params("F1", mos),
+            Err(CktError::Netlist(_))
+        ));
+        assert!(matches!(
+            c.set_fecap_params("ghost", fe),
+            Err(CktError::UnknownSignal(_))
+        ));
+        assert!(matches!(
+            c.set_fecap_params_at(99, fe),
+            Err(CktError::Netlist(_))
+        ));
     }
 
     #[test]

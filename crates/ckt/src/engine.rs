@@ -244,8 +244,13 @@ impl NewtonWorkspace {
     /// been built: `(diagonal blocks, border order, pattern classes)`.
     pub fn bbd_dims(&self, dc: bool) -> Option<(usize, usize, usize)> {
         let s = if dc { &self.bbd_dc } else { &self.bbd_tr };
-        s.as_ref()
-            .map(|s| (s.lu.block_count(), s.lu.border_len(), s.lu.pattern_classes()))
+        s.as_ref().map(|s| {
+            (
+                s.lu.block_count(),
+                s.lu.border_len(),
+                s.lu.pattern_classes(),
+            )
+        })
     }
 }
 
@@ -445,7 +450,9 @@ impl Assembly {
             } else {
                 tel.solver.sparse_symbolic_analyses.inc();
             }
-            tel.solver.sparse_pattern_nnz.record_max(pattern.nnz() as u64);
+            tel.solver
+                .sparse_pattern_nnz
+                .record_max(pattern.nnz() as u64);
             let fill = lu.lu_nnz().saturating_sub(pattern.nnz());
             tel.solver.sparse_fill_nnz.record_max(fill as u64);
         }
@@ -491,10 +498,10 @@ impl Assembly {
             }
             tel.solver.bbd_blocks.record_max(lu.block_count() as u64);
             tel.solver.bbd_border_len.record_max(lu.border_len() as u64);
-            tel.solver.sparse_pattern_nnz.record_max(pattern.nnz() as u64);
             tel.solver
-                .sparse_fill_nnz
-                .record_max(lu.fill_nnz() as u64);
+                .sparse_pattern_nnz
+                .record_max(pattern.nnz() as u64);
+            tel.solver.sparse_fill_nnz.record_max(lu.fill_nnz() as u64);
         }
         let a = CsrMatrix::from_pattern(pattern);
         Ok(BbdState { a, slots, lu })
@@ -733,12 +740,10 @@ impl Assembly {
                     // backend's Jacobian storage. The sparse and BBD
                     // backends stamp the same global CSR shape.
                     let csr: Option<(&mut CsrMatrix, &[usize])> = match kind {
-                        BackendKind::Sparse => sparse
-                            .as_mut()
-                            .map(|sp| (&mut sp.a, sp.slots.as_slice())),
-                        BackendKind::Bbd => {
-                            bbd.as_mut().map(|st| (&mut st.a, st.slots.as_slice()))
+                        BackendKind::Sparse => {
+                            sparse.as_mut().map(|sp| (&mut sp.a, sp.slots.as_slice()))
                         }
+                        BackendKind::Bbd => bbd.as_mut().map(|st| (&mut st.a, st.slots.as_slice())),
                         BackendKind::Dense => None,
                     };
                     if let Some((a, slots)) = csr {
@@ -796,25 +801,19 @@ impl Assembly {
                         Some(sp) => sp.lu.solve_in_place(dx),
                         // `stored_ok` proved the backend state exists.
                         None => {
-                            return Err(CktError::Netlist(
-                                "newton workspace has no backend".into(),
-                            ))
+                            return Err(CktError::Netlist("newton workspace has no backend".into()))
                         }
                     },
                     BackendKind::Bbd => match bbd.as_mut() {
                         Some(st) => st.lu.solve_in_place(dx),
                         None => {
-                            return Err(CktError::Netlist(
-                                "newton workspace has no backend".into(),
-                            ))
+                            return Err(CktError::Netlist("newton workspace has no backend".into()))
                         }
                     },
                     BackendKind::Dense => match dense.as_mut() {
                         Some(dn) => dn.lu.solve_into(dx),
                         None => {
-                            return Err(CktError::Netlist(
-                                "newton workspace has no backend".into(),
-                            ))
+                            return Err(CktError::Netlist("newton workspace has no backend".into()))
                         }
                     },
                 }
@@ -827,26 +826,20 @@ impl Assembly {
                     BackendKind::Sparse => match sparse.as_mut() {
                         Some(sp) => sp.lu.factor_solve_in_place(&sp.a, dx),
                         None => {
-                            return Err(CktError::Netlist(
-                                "newton workspace has no backend".into(),
-                            ))
+                            return Err(CktError::Netlist("newton workspace has no backend".into()))
                         }
                     },
                     BackendKind::Bbd => match bbd.as_mut() {
                         Some(st) => st.lu.factor_solve_in_place(&st.a, dx),
                         None => {
-                            return Err(CktError::Netlist(
-                                "newton workspace has no backend".into(),
-                            ))
+                            return Err(CktError::Netlist("newton workspace has no backend".into()))
                         }
                     },
                     // One of the setup branches always built its state.
                     BackendKind::Dense => match dense.as_mut() {
                         Some(dn) => dn.lu.factor_solve_in_place(&mut dn.jac, dx),
                         None => {
-                            return Err(CktError::Netlist(
-                                "newton workspace has no backend".into(),
-                            ))
+                            return Err(CktError::Netlist("newton workspace has no backend".into()))
                         }
                     },
                 };
@@ -910,9 +903,9 @@ impl Assembly {
                             if let Some(st) = bbd.as_ref() {
                                 // Two triangular solves per block per
                                 // iteration (forward + back).
-                                tel.solver.bbd_block_solves.add(
-                                    2 * (iters as u64) * st.lu.block_count() as u64,
-                                );
+                                tel.solver
+                                    .bbd_block_solves
+                                    .add(2 * (iters as u64) * st.lu.block_count() as u64);
                             }
                         }
                         BackendKind::Dense => {

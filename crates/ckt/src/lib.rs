@@ -20,6 +20,10 @@
 //!   array-supplied bordered-block-diagonal partition to the engine, and
 //!   [`plan::AnalysisCache`] shares one symbolic analysis per pattern
 //!   across parallel sweep workers.
+//! - [`parallel`] — std-only fan-out: scoped-thread
+//!   [`parallel::parallel_map`] and the process-wide persistent
+//!   work-stealing pool behind [`parallel::pool_map`], shared by array
+//!   sweeps, Monte Carlo evaluation, and the yield engine.
 //! - [`dc`] — DC operating point via Newton with gmin stepping, plus
 //!   source sweeps.
 //! - [`ac`] — small-signal frequency-domain analysis around a bias
@@ -61,6 +65,7 @@ pub mod dc;
 pub mod elements;
 pub mod engine;
 pub mod models;
+pub mod parallel;
 pub mod plan;
 pub mod trace;
 pub mod transient;

@@ -856,7 +856,8 @@ mod tests {
         );
         assert!(tel.solver.analysis_cache_hits.get() >= 2);
         // Same story for the no-commit write-disturb trials.
-        a.write_disturb_map(&[true, false, true], 1.0e-9, 2).unwrap();
+        a.write_disturb_map(&[true, false, true], 1.0e-9, 2)
+            .unwrap();
         assert_eq!(tel.solver.sparse_symbolic_analyses.get(), analyses_one_op);
     }
 }

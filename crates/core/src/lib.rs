@@ -15,8 +15,11 @@
 //!   plate-line disturb the FEFET scheme avoids.
 //! - [`mod@array`] — m×n array with shared lines and metal parasitics; row
 //!   write with unaccessed-row isolation; sneak-path checks (Fig 7).
-//! - [`parallel`] — std-only scoped-thread fan-out used by the array
-//!   read/disturb/margin sweeps.
+//! - [`parallel`] — re-export of the shared `fefet_ckt::parallel` pool
+//!   used by the array read/disturb/margin sweeps and the yield engine.
+//! - [`yield_engine`] — Monte Carlo yield engine: perturbed array trials
+//!   with cross-trial symbolic-analysis reuse, warm-started Newton, and
+//!   streaming fixed-memory statistics.
 //! - [`sense`] — the current-sensing chain (clamp driver, pre-charge
 //!   driver, current sense amplifier) and the eq. (2) read-time
 //!   decomposition (§5, Fig 8).
@@ -42,6 +45,7 @@ pub mod macro_model;
 pub mod parallel;
 pub mod sense;
 pub mod shmoo;
+pub mod yield_engine;
 
 pub use bias::{BiasSpec, LineBias, Operation};
 pub use cell::FefetCell;

@@ -9,9 +9,17 @@
 //! margin and yield.
 
 use crate::fefet::Fefet;
+use fefet_ckt::parallel::pool_map;
 use fefet_numerics::rng::Rng;
+use fefet_telemetry::Instrumentation;
 
 /// 1-σ relative/absolute spreads of the varied parameters.
+///
+/// The three classic knobs (`t_fe_sigma_rel`, `vt_sigma`,
+/// `width_sigma_rel`) default to typical 45 nm-node values; the
+/// polarization/coercive-field and trap knobs default to **off** (0.0)
+/// so that the random-draw sequence — and therefore every seeded result
+/// — of a pre-existing three-knob spec is unchanged.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationSpec {
     /// Ferroelectric-thickness σ as a fraction of nominal (typ. 2-5 %).
@@ -20,6 +28,19 @@ pub struct VariationSpec {
     pub vt_sigma: f64,
     /// Width σ as a fraction of nominal (line-edge roughness).
     pub width_sigma_rel: f64,
+    /// Remanent-polarization σ as a fraction of nominal P_r
+    /// (grain-orientation spread). 0 disables the draw pair.
+    pub pr_sigma_rel: f64,
+    /// Coercive-field σ as a fraction of nominal E_c. 0 disables the
+    /// draw pair (P_r and E_c are drawn together when either is on).
+    pub ec_sigma_rel: f64,
+    /// Mean areal defect/trap density (1/m²); the per-device trap count
+    /// is drawn from a normal approximation of Poisson(density × area).
+    /// 0 disables the draw.
+    pub trap_density: f64,
+    /// Threshold shift per trapped charge (V); electron trapping raises
+    /// V_T of the read transistor.
+    pub trap_delta_vt: f64,
 }
 
 impl Default for VariationSpec {
@@ -28,6 +49,10 @@ impl Default for VariationSpec {
             t_fe_sigma_rel: 0.03,
             vt_sigma: 0.03,
             width_sigma_rel: 0.02,
+            pr_sigma_rel: 0.0,
+            ec_sigma_rel: 0.0,
+            trap_density: 0.0,
+            trap_delta_vt: 10e-3,
         }
     }
 }
@@ -87,6 +112,11 @@ impl MonteCarlo {
 }
 
 /// Applies one sampled variation to a nominal device.
+///
+/// Draw order is part of the API: the three legacy draws come first (so
+/// legacy specs reproduce bit-identically), then the P_r/E_c pair (both
+/// normals drawn whenever either knob is on, keeping the draw count
+/// independent of the knob values), then the trap-count draw.
 pub fn sample_device(nominal: &Fefet, spec: &VariationSpec, rng: &mut Rng) -> Fefet {
     let mut dev = *nominal;
     dev.fe.thickness *= 1.0 + spec.t_fe_sigma_rel * rng.normal();
@@ -94,6 +124,22 @@ pub fn sample_device(nominal: &Fefet, spec: &VariationSpec, rng: &mut Rng) -> Fe
     dev.mos.w *= dw;
     dev.fe.area *= dw; // gate and FE share the width
     dev.mos.vt0 += spec.vt_sigma * rng.normal();
+    if spec.pr_sigma_rel > 0.0 || spec.ec_sigma_rel > 0.0 {
+        // Scale the Landau landscape so that P_r scales by s_p and the
+        // coercive field by s_e: E'(P) = s_e·E(P/s_p) maps the
+        // coefficients to α·s_e/s_p, β·s_e/s_p³, γ·s_e/s_p⁵ while
+        // preserving the S-curve shape and the number of stable states.
+        let s_p = (1.0 + spec.pr_sigma_rel * rng.normal()).max(0.05);
+        let s_e = (1.0 + spec.ec_sigma_rel * rng.normal()).max(0.05);
+        dev.fe.lk.alpha *= s_e / s_p;
+        dev.fe.lk.beta *= s_e / (s_p * s_p * s_p);
+        dev.fe.lk.gamma *= s_e / (s_p * s_p * s_p * s_p * s_p);
+    }
+    if spec.trap_density > 0.0 {
+        let lambda = spec.trap_density * dev.fe.area;
+        let n_t = (lambda + lambda.sqrt() * rng.normal()).max(0.0);
+        dev.mos.vt0 += n_t * spec.trap_delta_vt;
+    }
     dev
 }
 
@@ -139,8 +185,10 @@ pub fn monte_carlo(nominal: &Fefet, spec: &VariationSpec, n: usize, seed: u64) -
 
 /// The parallel variant of [`monte_carlo`]: the random draws are made
 /// serially (so the result is bit-identical to the serial version), then
-/// the per-sample equilibrium analyses are fanned out over `threads`
-/// worker threads with `std::thread::scope`.
+/// the per-sample equilibrium analyses are fanned out over the shared
+/// persistent work-stealing pool ([`fefet_ckt::parallel::pool_map`]),
+/// which preserves input order and hence bit-identity with the serial
+/// run regardless of how workers steal chunks.
 ///
 /// # Panics
 ///
@@ -158,22 +206,7 @@ pub fn monte_carlo_parallel(
         "monte_carlo_parallel: need at least one thread"
     );
     let devices = draw_devices(nominal, spec, n, seed);
-    let chunk = n.div_ceil(threads);
-    let mut samples: Vec<SampleResult> = Vec::with_capacity(n);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = devices
-            .chunks(chunk)
-            .map(|devs| scope.spawn(move || devs.iter().map(evaluate).collect::<Vec<_>>()))
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(part) => samples.extend(part),
-                // A worker panic is a programming error in `evaluate`;
-                // re-raise it on the caller's thread.
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-    });
+    let samples = pool_map(devices, threads, &Instrumentation::off(), |d| evaluate(d));
     MonteCarlo { samples }
 }
 
@@ -227,6 +260,10 @@ mod tests {
             t_fe_sigma_rel: 0.0,
             vt_sigma: 0.0,
             width_sigma_rel: 0.0,
+            pr_sigma_rel: 0.0,
+            ec_sigma_rel: 0.0,
+            trap_density: 0.0,
+            trap_delta_vt: 0.0,
         };
         let mc = monte_carlo(&paper_fefet(), &spec, 16, 3);
         let (mean, sd) = mc.p_hi_stats().unwrap();
@@ -253,6 +290,99 @@ mod tests {
         // Thread counts beyond the sample count are fine too.
         let over = monte_carlo_parallel(&paper_fefet(), &spec, 5, 9, 16);
         assert_eq!(over.samples.len(), 5);
+    }
+
+    #[test]
+    fn new_knobs_off_draw_nothing() {
+        // With the trap/P_r/E_c knobs at zero no extra normals are
+        // drawn, so changing only `trap_delta_vt` (which is never used
+        // when `trap_density == 0`) must not perturb any sample — this
+        // is what keeps legacy seeded runs bit-identical.
+        let base = VariationSpec::default();
+        let tweaked = VariationSpec {
+            trap_delta_vt: 99.0,
+            ..base
+        };
+        let a = monte_carlo(&paper_fefet(), &base, 32, 13);
+        let b = monte_carlo(&paper_fefet(), &tweaked, 32, 13);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn pr_ec_scaling_maps_landau_coefficients_consistently() {
+        let nominal = paper_fefet();
+        // E_c-only: α, β, γ all scale by the same factor s_e.
+        let ec_spec = VariationSpec {
+            t_fe_sigma_rel: 0.0,
+            vt_sigma: 0.0,
+            width_sigma_rel: 0.0,
+            ec_sigma_rel: 0.10,
+            ..VariationSpec::default()
+        };
+        let mut rng = Rng::seed_from_u64(21);
+        let dev = sample_device(&nominal, &ec_spec, &mut rng);
+        let ra = dev.fe.lk.alpha / nominal.fe.lk.alpha;
+        let rb = dev.fe.lk.beta / nominal.fe.lk.beta;
+        let rg = dev.fe.lk.gamma / nominal.fe.lk.gamma;
+        assert!(ra > 0.0, "scale factor must stay positive: {ra}");
+        assert!((ra - rb).abs() < 1e-12 && (ra - rg).abs() < 1e-12);
+        assert!((ra - 1.0).abs() > 1e-6, "a 10 % σ draw should move α");
+
+        // P_r-only: α scales by 1/s_p, β by 1/s_p³, γ by 1/s_p⁵.
+        let pr_spec = VariationSpec {
+            ec_sigma_rel: 0.0,
+            pr_sigma_rel: 0.10,
+            ..ec_spec
+        };
+        let mut rng = Rng::seed_from_u64(22);
+        let dev = sample_device(&nominal, &pr_spec, &mut rng);
+        let ra = dev.fe.lk.alpha / nominal.fe.lk.alpha;
+        let rb = dev.fe.lk.beta / nominal.fe.lk.beta;
+        let rg = dev.fe.lk.gamma / nominal.fe.lk.gamma;
+        assert!((ra * ra * ra - rb).abs() < 1e-10 * rb.abs());
+        assert!((ra * ra * ra * ra * ra - rg).abs() < 1e-10 * rg.abs());
+    }
+
+    #[test]
+    fn pr_knob_spreads_memory_states() {
+        let spec = VariationSpec {
+            t_fe_sigma_rel: 0.0,
+            vt_sigma: 0.0,
+            width_sigma_rel: 0.0,
+            pr_sigma_rel: 0.05,
+            ..VariationSpec::default()
+        };
+        let mc = monte_carlo(&paper_fefet(), &spec, 100, 17);
+        let (_, sd) = mc.p_hi_stats().unwrap();
+        assert!(sd > 1e-3, "P_r spread must widen p_hi: sd {sd:.2e}");
+    }
+
+    #[test]
+    fn trap_knob_raises_threshold_on_average() {
+        let nominal = paper_fefet();
+        // Choose the density so the expected per-device trap count is
+        // ~20; the mean V_T shift should then track λ·ΔV_T closely.
+        let lambda_target = 20.0;
+        let spec = VariationSpec {
+            t_fe_sigma_rel: 0.0,
+            vt_sigma: 0.0,
+            width_sigma_rel: 0.0,
+            trap_density: lambda_target / nominal.fe.area,
+            trap_delta_vt: 5e-3,
+            ..VariationSpec::default()
+        };
+        let mut rng = Rng::seed_from_u64(33);
+        let n = 300;
+        let mean_shift: f64 = (0..n)
+            .map(|_| sample_device(&nominal, &spec, &mut rng).mos.vt0 - nominal.mos.vt0)
+            .sum::<f64>()
+            / n as f64;
+        let expected = lambda_target * spec.trap_delta_vt;
+        assert!(mean_shift > 0.0);
+        assert!(
+            (mean_shift - expected).abs() < 0.2 * expected,
+            "mean shift {mean_shift:.4} V vs expected {expected:.4} V"
+        );
     }
 
     #[test]

@@ -482,8 +482,7 @@ impl BbdLu {
                         w[b.b_rows[e] * SCHUR_BATCH + lane] = b.b_vals[e];
                     }
                 }
-                b.lu
-                    .solve_multi_in_place(w, SCHUR_BATCH, bw, &mut self.w_scratch)?;
+                b.lu.solve_multi_in_place(w, SCHUR_BATCH, bw, &mut self.w_scratch)?;
                 let qs = &b.b_cols[c0..c0 + bw];
                 for (idx, &p) in b.c_rows.iter().enumerate() {
                     let cv = b.c_vals[idx];
@@ -825,8 +824,7 @@ mod tests {
         {
             *v = val;
         }
-        let structure =
-            BlockStructure::new(2, vec![Some(0), Some(0), Some(1), Some(1)]).unwrap();
+        let structure = BlockStructure::new(2, vec![Some(0), Some(0), Some(1), Some(1)]).unwrap();
         let mut bbd = BbdLu::analyze(&pat, &structure).unwrap();
         match bbd.refactor(&m) {
             Err(Error::Singular { column }) => {
