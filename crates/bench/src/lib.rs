@@ -22,6 +22,7 @@
 //! Std-only performance benches live under `benches/`; they run on the
 //! [`tinybench`] harness (the offline build cannot fetch `criterion`).
 
+pub mod jsonval;
 pub mod tinybench;
 
 /// Prints a labelled section header.

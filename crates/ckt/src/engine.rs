@@ -16,7 +16,7 @@ use crate::CktError;
 use fefet_numerics::bbd::BbdLu;
 use fefet_numerics::linalg::{norm_inf, LuWorkspace, Matrix};
 use fefet_numerics::sparse::{CsrMatrix, CsrPattern, SparseLu};
-use fefet_telemetry::{ConvergenceReport, Instrumentation};
+use fefet_telemetry::{ConvergenceReport, Instrumentation, TraceEvent};
 use std::sync::Arc;
 
 /// Linear-solver backend for the Newton inner solve.
@@ -687,6 +687,10 @@ impl Assembly {
         };
 
         let nv = self.n_nodes - 1;
+        // Profiling (trace recorder attached): one clock read here and
+        // one at the solve's end; counters-only instrumentation never
+        // touches the clock.
+        let prof_t0 = opts.instr.profile().map(|(_, tr)| tr.now_ns());
         // Damping factor applied on the most recent iteration (1.0 =
         // full Newton step); reported in convergence diagnostics.
         let mut last_damping = 1.0;
@@ -846,6 +850,14 @@ impl Assembly {
                 if r.is_ok() {
                     factors += 1;
                     *factor_key = Some(key);
+                    if let Some((_, tr)) = opts.instr.profile() {
+                        let backend = match kind {
+                            BackendKind::Dense => 0,
+                            BackendKind::Sparse => 1,
+                            BackendKind::Bbd => 2,
+                        };
+                        tr.instant(TraceEvent::Factor, backend);
+                    }
                 }
                 r
             };
@@ -920,8 +932,18 @@ impl Assembly {
                         tel.solver.bypass_misses.add(bm);
                     }
                 }
+                if let (Some(t0), Some((tel, tr))) = (prof_t0, opts.instr.profile()) {
+                    let end = tr.now_ns();
+                    tel.latency.solve_ns.record_ns(end.saturating_sub(t0));
+                    tr.complete_at(TraceEvent::NewtonSolve, t0, end, (it + 1) as u64);
+                }
                 return Ok(it + 1);
             }
+        }
+        if let (Some(t0), Some((tel, tr))) = (prof_t0, opts.instr.profile()) {
+            let end = tr.now_ns();
+            tel.latency.solve_ns.record_ns(end.saturating_sub(t0));
+            tr.complete_at(TraceEvent::NewtonSolve, t0, end, opts.max_newton as u64);
         }
         if let Some(tel) = opts.instr.get() {
             tel.solver.failures.inc();

@@ -19,11 +19,20 @@
 //!   deterministic, every bit of the output — is identical to a serial
 //!   run regardless of thread count or claim interleaving.
 
-use fefet_telemetry::Instrumentation;
+use fefet_telemetry::{Instrumentation, TraceEvent};
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+thread_local! {
+    /// This thread's pool participant slot: 0 for every caller thread,
+    /// `i + 1` for persistent pool worker `i` (set once at spawn).
+    /// Keys the per-worker `PoolStats` breakdown.
+    static POOL_WORKER_ID: Cell<usize> = const { Cell::new(0) };
+}
 
 /// The default worker count: one per available hardware thread, falling
 /// back to 1 when parallelism cannot be queried.
@@ -157,7 +166,10 @@ fn global_pool() -> &'static Pool {
             let shared = Arc::clone(&shared);
             let spawned = std::thread::Builder::new()
                 .name(format!("fefet-pool-{i}"))
-                .spawn(move || worker_loop(&shared));
+                .spawn(move || {
+                    POOL_WORKER_ID.with(|id| id.set(i + 1));
+                    worker_loop(&shared)
+                });
             if spawned.is_ok() {
                 workers += 1;
             }
@@ -180,6 +192,9 @@ struct SweepCtx<T, F> {
     /// Chunks claimed by pool workers beyond their first — work the pool
     /// genuinely took off the caller's plate.
     stolen: AtomicU64,
+    /// Shared sink for per-worker accounting and (when a trace
+    /// recorder is attached) claim/steal/task events.
+    instr: Instrumentation,
 }
 
 /// Per-item result message; `Panicked` carries the payload so the sweep
@@ -198,6 +213,14 @@ where
     F: Fn(&T) -> U,
 {
     let n = ctx.items.len();
+    let wid = POOL_WORKER_ID.with(Cell::get);
+    let tel = ctx.instr.get();
+    let prof = ctx.instr.profile();
+    // Per-participant tallies, flushed once at exit: the claim loop
+    // itself stays counter-free.
+    let mut tasks_run = 0u64;
+    let mut steals = 0u64;
+    let mut busy_ns = 0u64;
     let mut claims = 0usize;
     let mut start = ctx.next.fetch_add(ctx.chunk, Ordering::Relaxed);
     while start < n {
@@ -206,13 +229,33 @@ where
             ctx.peak.fetch_max(now_active, Ordering::Relaxed);
         }
         claims += 1;
-        if helper && claims > 1 {
+        let stolen_chunk = helper && claims > 1;
+        if stolen_chunk {
             ctx.stolen.fetch_add(1, Ordering::Relaxed);
+            steals += 1;
+        }
+        if let Some((_, tr)) = prof {
+            let ev = if stolen_chunk {
+                TraceEvent::PoolSteal
+            } else {
+                TraceEvent::PoolClaim
+            };
+            tr.instant(ev, start as u64);
         }
         let end = (start + ctx.chunk).min(n);
+        // Busy time per chunk: two clock reads amortized over the whole
+        // chunk, taken only when instrumentation is on at all.
+        let chunk_t0 = tel.map(|_| Instant::now());
         for i in start..end {
+            let item_t0 = prof.map(|(_, t)| t.now_ns());
             let out =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (ctx.f)(&ctx.items[i])));
+            if let (Some(t0), Some((t, tr))) = (item_t0, prof) {
+                let end_ns = tr.now_ns();
+                t.latency.pool_task_ns.record_ns(end_ns.saturating_sub(t0));
+                tr.complete_at(TraceEvent::PoolTask, t0, end_ns, i as u64);
+            }
+            tasks_run += 1;
             let msg = match out {
                 Ok(u) => Msg::Done(i, u),
                 Err(payload) => Msg::Panicked(payload),
@@ -223,13 +266,42 @@ where
                 if claims > 0 {
                     ctx.active.fetch_sub(1, Ordering::Relaxed);
                 }
+                if let Some(t0) = chunk_t0 {
+                    busy_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                }
+                flush_worker_stats(tel, wid, tasks_run, steals, busy_ns);
                 return;
             }
+        }
+        if let Some(t0) = chunk_t0 {
+            busy_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         }
         start = ctx.next.fetch_add(ctx.chunk, Ordering::Relaxed);
     }
     if claims > 0 {
         ctx.active.fetch_sub(1, Ordering::Relaxed);
+    }
+    flush_worker_stats(tel, wid, tasks_run, steals, busy_ns);
+}
+
+/// Folds one participant's sweep tallies into its `PoolStats` slot.
+fn flush_worker_stats(
+    tel: Option<&fefet_telemetry::Telemetry>,
+    wid: usize,
+    tasks: u64,
+    steals: u64,
+    busy_ns: u64,
+) {
+    let Some(tel) = tel else {
+        return;
+    };
+    if tasks == 0 && steals == 0 {
+        return;
+    }
+    if let Some(w) = tel.pool.worker(wid) {
+        w.tasks.add(tasks);
+        w.steals.add(steals);
+        w.busy_ns.add(busy_ns);
     }
 }
 
@@ -272,7 +344,29 @@ where
         if let Some(tel) = instr.get() {
             tel.pool.workers_active.record_max(1);
         }
-        return items.iter().map(f).collect();
+        // Inline fallback. When profiling, items still get task events
+        // and latency samples (attributed to participant slot 0, the
+        // caller) so single-core runs trace the same way pooled ones do.
+        return match instr.profile() {
+            None => items.iter().map(f).collect(),
+            Some((tel, tr)) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let t0 = tr.now_ns();
+                    let u = f(item);
+                    let end = tr.now_ns();
+                    let dur = end.saturating_sub(t0);
+                    tel.latency.pool_task_ns.record_ns(dur);
+                    tr.complete_at(TraceEvent::PoolTask, t0, end, i as u64);
+                    if let Some(w) = tel.pool.worker(0) {
+                        w.tasks.inc();
+                        w.busy_ns.add(dur);
+                    }
+                    u
+                })
+                .collect(),
+        };
     }
     let pool = global_pool();
     let ctx = Arc::new(SweepCtx {
@@ -283,6 +377,7 @@ where
         active: AtomicUsize::new(0),
         peak: AtomicUsize::new(0),
         stolen: AtomicU64::new(0),
+        instr: instr.clone(),
     });
     let (tx, rx) = mpsc::channel::<Msg<U>>();
     let helpers = (threads - 1).min(pool.workers);
@@ -456,6 +551,26 @@ mod tests {
         // The pool (and the process) keep working afterwards.
         let out = pool_map(vec![1u32, 2, 3], 4, &Instrumentation::off(), |&i| i + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    /// With a trace recorder attached, every pool item produces a task
+    /// event, a latency sample, and a per-participant attribution —
+    /// on the pooled path and on the single-core inline fallback alike.
+    #[test]
+    fn profiled_pool_map_records_task_events_and_worker_stats() {
+        let instr = Instrumentation::enabled();
+        let tr = instr.get().unwrap().attach_trace(256);
+        let out = pool_map((0..20u64).collect(), 4, &instr, |&i| i + 1);
+        assert_eq!(out, (1..=20u64).collect::<Vec<_>>());
+        let tel = instr.get().unwrap();
+        assert_eq!(tel.latency.pool_task_ns.count(), 20);
+        assert!(tel.latency.pool_task_ns.p50() <= tel.latency.pool_task_ns.p99());
+        let attributed: u64 = tel.pool.workers.iter().map(|w| w.tasks.get()).sum();
+        assert_eq!(attributed, 20, "every item lands in a participant slot");
+        assert!(tr.events_recorded() >= 20, "one task event per item");
+        let j = tr.to_chrome_json();
+        assert!(fefet_telemetry::json::validate(&j).is_ok());
+        assert!(j.contains("\"name\":\"pool.task\""), "{j}");
     }
 
     /// Sweep telemetry: item/sweep totals are exact; the concurrency

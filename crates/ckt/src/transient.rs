@@ -8,6 +8,7 @@ use crate::engine::{Assembly, NewtonWorkspace, SolverOptions};
 use crate::trace::Trace;
 use crate::{CktError, Result};
 use fefet_numerics::quad::RunningIntegral;
+use fefet_telemetry::TraceEvent;
 
 /// Bounded accepted-point history for the LTE step controller: the times
 /// and node-voltage parts of the last (up to) three accepted solutions,
@@ -343,6 +344,10 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
     // step leaves `x` untouched; on acceptance the two swap pointers.
     let mut x_new = vec![0.0; asm.n_unknowns()];
     while t < t_end * (1.0 - 1e-15) {
+        // Profiling: the step timer spans every attempt (rejections
+        // included) so the latency distribution reflects what a step
+        // actually cost, not just its final successful solve.
+        let step_t0 = opts.solver.instr.profile().map(|(_, tr)| tr.now_ns());
         while bp_cursor < bps.len() && bps[bp_cursor] <= t * (1.0 + 1e-15) {
             bp_cursor += 1;
         }
@@ -496,6 +501,15 @@ pub fn transient(ckt: &Circuit, t_end: f64, opts: TransientOptions) -> Result<Tr
             if at_corner {
                 tel.steps.corner_snaps.inc();
             }
+        }
+        if let (Some(t0), Some((tel, tr))) = (step_t0, opts.solver.instr.profile()) {
+            let end = tr.now_ns();
+            tel.latency
+                .transient_step_ns
+                .record_ns(end.saturating_sub(t0));
+            // arg: accepted step size in femtoseconds (integral, so it
+            // survives the u64 payload; ps would alias sub-ps steps).
+            tr.complete_at(TraceEvent::TransientStep, t0, end, (h * 1e15) as u64);
         }
         if at_corner {
             // Restart the controller after a stimulus corner.

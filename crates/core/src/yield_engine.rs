@@ -47,7 +47,7 @@ use fefet_device::fefet::Fefet;
 use fefet_device::variability::{sample_device, VariationSpec};
 use fefet_numerics::rng::Rng;
 use fefet_telemetry::json::fmt_f64;
-use fefet_telemetry::{Histogram, Instrumentation, RunReport};
+use fefet_telemetry::{Histogram, Instrumentation, RunReport, TraceEvent};
 use std::cell::RefCell;
 use std::sync::Arc;
 
@@ -864,7 +864,8 @@ impl YieldEngine {
 fn run_trial_pooled(core: &Arc<EngineCore>, trial: usize) -> TrialOutcome {
     let engine = YieldEngine { core: core.clone() };
     let key = Arc::as_ptr(core) as usize;
-    SCRATCH.with(|slot| {
+    let trial_t0 = core.instr.profile().map(|(_, tr)| tr.now_ns());
+    let out = SCRATCH.with(|slot| {
         let mut slot = slot.borrow_mut();
         let fresh = !matches!(&*slot, Some((k, _)) if *k == key);
         if fresh {
@@ -878,7 +879,11 @@ fn run_trial_pooled(core: &Arc<EngineCore>, trial: usize) -> TrialOutcome {
             let mut scratch = engine.make_scratch();
             engine.run_trial(&mut scratch, trial)
         }
-    })
+    });
+    if let (Some(t0), Some((_, tr))) = (trial_t0, core.instr.profile()) {
+        tr.complete_at(TraceEvent::YieldTrial, t0, tr.now_ns(), trial as u64);
+    }
+    out
 }
 
 /// Read margin of the accessed row from a solved iterate: smallest ON

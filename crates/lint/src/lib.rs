@@ -25,8 +25,9 @@
 //! - **R6 `hot-alloc`** — no allocation constructs (`Vec::new`,
 //!   `vec![`, `with_capacity`, `.clone()`, `.to_vec()`, `.collect()`,
 //!   `Box::new`, `format!`, `String::from`) inside functions of the
-//!   warm-path modules ([`HOT_PATH_MODULES`]). Every fn there is warm
-//!   by default; construction/setup functions opt out with the
+//!   warm-path modules ([`HOT_PATH_MODULES`], matched by basename or —
+//!   for entries containing `/` — by path suffix). Every fn there is
+//!   warm by default; construction/setup functions opt out with the
 //!   item-scoped directive. This is the static twin of the
 //!   `fefet-alloctrack` zero-allocation pins.
 //! - **R7 `atomic-ordering`** — every atomic operation must name an
@@ -99,9 +100,14 @@ pub const SOLVER_MODULES: &[&str] = &[
 /// and print-free (R5).
 pub const PANIC_FREE_CRATES: &[&str] = &["numerics", "ckt", "device", "core", "nvp", "telemetry"];
 
-/// Basenames of the warm-path modules where R6 forbids allocation:
-/// these hold the Newton/transient inner loops and the sweep pool, the
-/// code `fefet-alloctrack` pins zero-allocation dynamically.
+/// Warm-path modules where R6 forbids allocation: these hold the
+/// Newton/transient inner loops, the sweep pool, and the telemetry
+/// record paths (trace ring, quantile histograms) — the code
+/// `fefet-alloctrack` pins zero-allocation dynamically. Entries
+/// without a `/` match by basename anywhere in the tree; entries with
+/// a `/` match as a path suffix, for modules whose basename collides
+/// with an unrelated file (`ckt/src/trace.rs` would otherwise drag in
+/// any future `trace.rs`).
 pub const HOT_PATH_MODULES: &[&str] = &[
     "engine.rs",
     "sparse.rs",
@@ -109,6 +115,8 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "transient.rs",
     "dc.rs",
     "parallel.rs",
+    "telemetry/src/trace.rs",
+    "telemetry/src/quantile.rs",
 ];
 
 /// Crate directory names whose public `f64` surface carries physical
@@ -231,7 +239,15 @@ fn is_solver_module(path: &str) -> bool {
 }
 
 fn is_hot_path_module(path: &str) -> bool {
-    HOT_PATH_MODULES.contains(&basename(path).as_str())
+    let p = norm_path(path);
+    let base = basename(path);
+    HOT_PATH_MODULES.iter().any(|m| {
+        if m.contains('/') {
+            p.ends_with(m)
+        } else {
+            base == *m
+        }
+    })
 }
 
 fn in_panic_free_crate(path: &str) -> bool {
@@ -659,6 +675,22 @@ fn warm() { let x = Box::new(1); }
         // Solver module: R2 + R4 fire.
         let f = lint_source("crates/ckt/src/dc.rs", src, Mode::Workspace);
         assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn hot_path_suffix_entries_scope_by_full_path() {
+        let src = "fn record(&self) { let v = Vec::new(); }";
+        // The telemetry record paths are R6-scoped by path suffix...
+        let f = lint_source("crates/telemetry/src/trace.rs", src, Mode::Workspace);
+        assert!(f.iter().any(|f| f.rule == Rule::HotAlloc), "{f:?}");
+        let f = lint_source("crates/telemetry/src/quantile.rs", src, Mode::Workspace);
+        assert!(f.iter().any(|f| f.rule == Rule::HotAlloc), "{f:?}");
+        // ...so an unrelated module sharing the basename stays out of
+        // scope (`ckt/src/trace.rs` would be a different file).
+        assert!(lint_source("crates/nvp/src/trace.rs", src, Mode::Workspace).is_empty());
+        // Basename entries still match anywhere.
+        let f = lint_source("crates/ckt/src/engine.rs", src, Mode::Workspace);
+        assert!(f.iter().any(|f| f.rule == Rule::HotAlloc), "{f:?}");
     }
 
     #[test]

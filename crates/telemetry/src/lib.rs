@@ -8,7 +8,11 @@
 //! - [`Counter`] / [`FloatCell`] / [`Histogram`]: lock-free atomic
 //!   metric primitives ([`metrics`]).
 //! - [`SpanRegistry`] / [`SpanGuard`]: wall-time span aggregation with
-//!   lock-free recording ([`span`]).
+//!   lock-free recording, keyed per worker thread ([`span`]).
+//! - [`QuantileHistogram`]: log-bucketed latency distributions with
+//!   p50/p90/p99 estimation and merge support ([`quantile`]).
+//! - [`TraceRecorder`]: lock-free per-thread ring-buffer trace events
+//!   with Chrome-trace JSON export ([`trace`]).
 //! - [`ConvergenceReport`]: structured "newton exhausted" diagnostics,
 //!   and [`RunReport`]: a hand-serialized JSON artifact ([`report`]).
 //! - [`json`]: escaping, float formatting, and a dependency-free JSON
@@ -28,14 +32,18 @@
 
 pub mod json;
 pub mod metrics;
+pub mod quantile;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{Counter, FloatCell, Histogram};
+pub use quantile::QuantileHistogram;
 pub use report::{ConvergenceReport, RunReport};
 pub use span::{SpanGuard, SpanRegistry, SpanStats};
+pub use trace::{TraceEvent, TraceRecorder};
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Per-solve Newton and linear-algebra statistics, recorded by
 /// `fefet_ckt::engine` (one recording block per solve) with sparse
@@ -327,9 +335,28 @@ impl Default for NvpStats {
     }
 }
 
-/// Persistent sweep-pool statistics, recorded by
-/// `fefet_core::parallel::pool_map`.
+/// Per-participant pool accounting slots. Slot 0 is the calling
+/// thread (every `pool_map` caller folds into it); slots 1+ are the
+/// persistent pool workers by spawn index.
+pub const POOL_WORKER_SLOTS: usize = 32;
+
+/// One pool participant's share of the sweep work: items it actually
+/// ran, chunks it claimed beyond its first, and wall time spent inside
+/// the map function. This is what makes the aggregate
+/// `workers_active` high-water attributable.
 #[derive(Debug, Default)]
+pub struct PoolWorkerStats {
+    /// Work items this participant executed.
+    pub tasks: Counter,
+    /// Chunks claimed beyond the participant's first (stolen work).
+    pub steals: Counter,
+    /// Wall time spent running claimed items (ns).
+    pub busy_ns: Counter,
+}
+
+/// Persistent sweep-pool statistics, recorded by
+/// `fefet_ckt::parallel::pool_map`.
+#[derive(Debug)]
 pub struct PoolStats {
     /// Pool sweeps dispatched (one per `pool_map` call that actually
     /// fanned out; inline fallbacks are not counted).
@@ -342,17 +369,97 @@ pub struct PoolStats {
     /// Chunks a participant claimed beyond its first — work "stolen"
     /// from the static equal split by the self-scheduling counter.
     pub tasks_stolen: Counter,
+    /// Per-participant breakdown (slot 0 = callers, 1+ = pool
+    /// workers). Participants beyond [`POOL_WORKER_SLOTS`] fold into
+    /// the last slot so nothing is ever lost.
+    pub workers: Vec<PoolWorkerStats>,
+}
+
+impl Default for PoolStats {
+    fn default() -> Self {
+        Self {
+            sweeps: Counter::new(),
+            items: Counter::new(),
+            workers_active: Counter::new(),
+            tasks_stolen: Counter::new(),
+            workers: (0..POOL_WORKER_SLOTS)
+                .map(|_| PoolWorkerStats::default())
+                .collect(),
+        }
+    }
 }
 
 impl PoolStats {
+    /// The accounting slot for participant `idx` (0 = caller, 1+ =
+    /// pool worker); out-of-range participants share the last slot.
+    #[inline]
+    pub fn worker(&self, idx: usize) -> Option<&PoolWorkerStats> {
+        let last = self.workers.len().saturating_sub(1);
+        self.workers.get(idx.min(last))
+    }
+
     pub fn to_json(&self) -> String {
-        format!(
+        let mut s = format!(
             "{{\"sweeps\":{},\"items\":{},\"workers_active\":{},\
-             \"tasks_stolen\":{}}}",
+             \"tasks_stolen\":{},\"workers\":[",
             self.sweeps.get(),
             self.items.get(),
             self.workers_active.get(),
             self.tasks_stolen.get(),
+        );
+        let mut first = true;
+        for (i, w) in self.workers.iter().enumerate() {
+            if w.tasks.get() == 0 && w.steals.get() == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "{{\"worker\":{i},\"tasks\":{},\"steals\":{},\"busy_ns\":{}}}",
+                w.tasks.get(),
+                w.steals.get(),
+                w.busy_ns.get(),
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Latency distributions for the three profiled operations, recorded
+/// only while a [`TraceRecorder`] is attached (see
+/// [`Instrumentation::profile`]): plain counter-level instrumentation
+/// never reads the clock per solve, which is what keeps its measured
+/// overhead at the <2% the PR 4 bench pinned.
+#[derive(Debug)]
+pub struct LatencyStats {
+    /// Wall time per Newton point solve (ns).
+    pub solve_ns: QuantileHistogram,
+    /// Wall time per accepted transient step (ns).
+    pub transient_step_ns: QuantileHistogram,
+    /// Wall time per pool work item (ns).
+    pub pool_task_ns: QuantileHistogram,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        Self {
+            solve_ns: QuantileHistogram::latency_ns(),
+            transient_step_ns: QuantileHistogram::latency_ns(),
+            pool_task_ns: QuantileHistogram::latency_ns(),
+        }
+    }
+}
+
+impl LatencyStats {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"solve_ns\":{},\"transient_step_ns\":{},\"pool_task_ns\":{}}}",
+            self.solve_ns.to_json(),
+            self.transient_step_ns.to_json(),
+            self.pool_task_ns.to_json(),
         )
     }
 }
@@ -367,11 +474,36 @@ pub struct Telemetry {
     pub nvp: NvpStats,
     pub pool: PoolStats,
     pub spans: SpanRegistry,
+    /// Latency distributions, populated only while profiling (a trace
+    /// recorder is attached).
+    pub latency: LatencyStats,
+    /// The profiling switch: set once by [`Telemetry::attach_trace`],
+    /// read lock-free forever after.
+    trace: OnceLock<Arc<TraceRecorder>>,
 }
 
 impl Telemetry {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches (or returns the already-attached) trace recorder with
+    /// `events_per_lane` ring slots per lane. Attaching is the single
+    /// profiling switch: it turns on both trace-event recording and the
+    /// [`LatencyStats`] clocks at every instrumented site sharing this
+    /// aggregate.
+    pub fn attach_trace(&self, events_per_lane: usize) -> Arc<TraceRecorder> {
+        Arc::clone(
+            self.trace
+                .get_or_init(|| Arc::new(TraceRecorder::with_capacity(events_per_lane))),
+        )
+    }
+
+    /// The attached trace recorder, if profiling is on. One lock-free
+    /// `OnceLock` load.
+    #[inline]
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.trace.get().map(Arc::as_ref)
     }
 
     /// Serializes the full snapshot as one JSON object, suitable as a
@@ -383,6 +515,7 @@ impl Telemetry {
         s.push_str(&format!(",\"array\":{}", self.array.to_json()));
         s.push_str(&format!(",\"nvp\":{}", self.nvp.to_json()));
         s.push_str(&format!(",\"pool\":{}", self.pool.to_json()));
+        s.push_str(&format!(",\"latency\":{}", self.latency.to_json()));
         s.push_str(",\"spans\":{");
         for (i, (name, count, total_ns)) in self.spans.snapshot().iter().enumerate() {
             if i > 0 {
@@ -444,6 +577,18 @@ impl Instrumentation {
     /// The shared aggregate itself (for snapshotting after a run).
     pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
         self.0.as_ref()
+    }
+
+    /// The profiling gate: `Some` only when instrumentation is on
+    /// *and* a trace recorder is attached. Hot paths call this once
+    /// per operation — off (no handle, or counters-only) it is one or
+    /// two lock-free checks with no clock read; on, the caller records
+    /// trace events and latency samples through the returned pair.
+    #[inline]
+    pub fn profile(&self) -> Option<(&Telemetry, &TraceRecorder)> {
+        let tel = self.0.as_deref()?;
+        let tr = tel.trace()?;
+        Some((tel, tr))
     }
 
     /// Opens a wall-time span; the returned guard records on drop. Off
@@ -516,6 +661,67 @@ mod tests {
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].0, "unit.test");
         assert_eq!(snap[0].1, 1);
+    }
+
+    #[test]
+    fn profiling_requires_both_handle_and_trace() {
+        assert!(Instrumentation::off().profile().is_none());
+        let instr = Instrumentation::enabled();
+        assert!(
+            instr.profile().is_none(),
+            "counters-only instrumentation must not profile"
+        );
+        let tel = instr.get().unwrap();
+        let tr = tel.attach_trace(64);
+        let (tel2, tr2) = instr.profile().expect("profiling on after attach");
+        assert!(std::ptr::eq(tel, tel2));
+        assert_eq!(tr.capacity_per_lane(), 64);
+        // Attach is idempotent: the first capacity wins.
+        let again = tel.attach_trace(4096);
+        assert_eq!(again.capacity_per_lane(), 64);
+        tr2.instant(TraceEvent::Factor, 0);
+        assert_eq!(tr.events_recorded(), 1, "handles share one recorder");
+    }
+
+    #[test]
+    fn latency_stats_serialize_with_quantiles() {
+        let tel = Telemetry::new();
+        for i in 1..=100u64 {
+            tel.latency.solve_ns.record_ns(i * 1000);
+        }
+        let j = tel.latency.to_json();
+        assert!(json::validate(&j).is_ok(), "{j}");
+        assert!(j.contains("\"solve_ns\":{\"count\":100"), "{j}");
+        let p50 = tel.latency.solve_ns.p50().unwrap();
+        let p99 = tel.latency.solve_ns.p99().unwrap();
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+    }
+
+    #[test]
+    fn pool_worker_slots_attribute_work() {
+        let tel = Telemetry::new();
+        if let Some(w) = tel.pool.worker(0) {
+            w.tasks.add(5);
+            w.busy_ns.add(1000);
+        }
+        if let Some(w) = tel.pool.worker(2) {
+            w.tasks.add(3);
+            w.steals.inc();
+        }
+        // Out-of-range participants fold into the last slot.
+        if let Some(w) = tel.pool.worker(POOL_WORKER_SLOTS + 10) {
+            w.tasks.inc();
+        }
+        let j = tel.pool.to_json();
+        assert!(json::validate(&j).is_ok(), "{j}");
+        assert!(j.contains("\"worker\":0,\"tasks\":5"), "{j}");
+        assert!(j.contains("\"worker\":2,\"tasks\":3,\"steals\":1"), "{j}");
+        assert!(
+            j.contains(&format!("\"worker\":{},\"tasks\":1", POOL_WORKER_SLOTS - 1)),
+            "{j}"
+        );
+        // Idle slots are omitted from the JSON entirely.
+        assert!(!j.contains("\"worker\":1,"), "{j}");
     }
 
     #[test]

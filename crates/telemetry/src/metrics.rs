@@ -357,6 +357,46 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_is_well_formed_and_reports_nothing() {
+        let h = Histogram::log10_decades(-12, -3);
+        assert_eq!(h.count(), 0);
+        assert!(h.mean().is_none());
+        assert!(h.min().is_none());
+        assert!(h.max().is_none());
+        assert!(h.bucket_counts().iter().all(|&c| c == 0));
+        let j = h.to_json();
+        assert!(validate(&j).is_ok(), "{j}");
+        assert!(j.contains("\"mean\":null"), "{j}");
+    }
+
+    #[test]
+    fn single_sample_sets_every_summary_stat() {
+        let h = Histogram::with_edges(vec![1.0, 10.0, 100.0]);
+        h.record(7.0);
+        assert_eq!(h.count(), 1);
+        assert!((h.sum() - 7.0).abs() < 1e-15);
+        assert!((h.mean().unwrap() - 7.0).abs() < 1e-15);
+        assert!((h.min().unwrap() - 7.0).abs() < 1e-15);
+        assert!((h.max().unwrap() - 7.0).abs() < 1e-15);
+        assert_eq!(h.bucket_counts(), vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn overflow_bucket_saturates_without_losing_samples() {
+        let h = Histogram::with_edges(vec![1.0, 2.0]);
+        for _ in 0..1000 {
+            h.record(1e12);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.bucket_counts(), vec![0, 0, 1000]);
+        assert!((h.max().unwrap() - 1e12).abs() < 1e-3);
+        // Degenerate layouts still bucket: everything in overflow.
+        let empty_edges = Histogram::with_edges(vec![]);
+        empty_edges.record(5.0);
+        assert_eq!(empty_edges.bucket_counts(), vec![1]);
+    }
+
+    #[test]
     fn histogram_json_is_well_formed() {
         let h = Histogram::with_edges(vec![1.0, 10.0]);
         assert!(validate(&h.to_json()).is_ok(), "{}", h.to_json());

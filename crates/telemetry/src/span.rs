@@ -1,16 +1,25 @@
 //! Lightweight span timing.
 //!
-//! A [`SpanRegistry`] maps span names to shared [`SpanStats`]. Looking
-//! a name up takes a short mutex hold (registration is rare — once per
-//! span name per worker, typically outside any inner loop); *recording*
-//! an observation is two relaxed atomic adds on an `Arc<SpanStats>`,
-//! so `parallel_map` workers never contend on a lock on the hot path.
-//! Time is measured with `std::time::Instant` only while a span is
-//! active; a no-op guard (instrumentation off) never reads the clock.
+//! A [`SpanRegistry`] maps `(thread slot, span name)` pairs to shared
+//! [`SpanStats`]. Keying by the recording thread's process-wide slot
+//! ([`crate::trace::thread_slot`]) keeps spans opened concurrently by
+//! pooled workers from collapsing into one flat entry — each worker's
+//! observations stay attributable, while [`SpanRegistry::snapshot`]
+//! still aggregates by name for the common reporting case
+//! ([`SpanRegistry::snapshot_by_worker`] exposes the breakdown).
+//! Looking a handle up takes a short mutex hold (registration is rare
+//! — once per span name per worker, typically outside any inner loop);
+//! *recording* an observation is two relaxed atomic adds on an
+//! `Arc<SpanStats>`, so pool workers never contend on a lock on the
+//! hot path. Time is measured with `std::time::Instant` only while a
+//! span is active; a no-op guard (instrumentation off) never reads the
+//! clock.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
+
+use crate::trace::thread_slot;
 
 /// Aggregated timing for one span name: total nanoseconds and the
 /// number of completed observations.
@@ -40,11 +49,12 @@ impl SpanStats {
     }
 }
 
-/// A thread-safe name → [`SpanStats`] registry. The slot list is tiny
-/// (one entry per distinct span name), so linear search beats any map.
+/// A thread-safe `(thread slot, name)` → [`SpanStats`] registry. The
+/// slot list is tiny (one entry per distinct span name per recording
+/// thread), so linear search beats any map.
 #[derive(Debug, Default)]
 pub struct SpanRegistry {
-    slots: Mutex<Vec<(String, Arc<SpanStats>)>>,
+    slots: Mutex<Vec<(usize, String, Arc<SpanStats>)>>,
 }
 
 impl SpanRegistry {
@@ -52,26 +62,47 @@ impl SpanRegistry {
         Self::default()
     }
 
-    /// Finds or creates the stats slot for `name`. Callers that time a
-    /// span in a loop should hoist this lookup out of the loop and
-    /// record through the returned `Arc` directly.
+    /// Finds or creates the stats slot for `name` on the calling
+    /// thread. Two threads asking for the same name get *different*
+    /// slots (that is the point: concurrent pooled spans no longer
+    /// collapse), while repeated calls from one thread share one.
+    /// Callers that time a span in a loop should hoist this lookup out
+    /// of the loop and record through the returned `Arc` directly.
     pub fn handle(&self, name: &str) -> Arc<SpanStats> {
+        let slot = thread_slot();
         let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some((_, stats)) = slots.iter().find(|(n, _)| n == name) {
+        if let Some((_, _, stats)) = slots.iter().find(|(s, n, _)| *s == slot && n == name) {
             return Arc::clone(stats);
         }
         let stats = Arc::new(SpanStats::default());
-        slots.push((name.to_string(), Arc::clone(&stats)));
+        slots.push((slot, name.to_string(), Arc::clone(&stats)));
         stats
     }
 
-    /// Snapshot of `(name, count, total_ns)` per span, in registration
-    /// order.
+    /// Snapshot of `(name, count, total_ns)` aggregated across all
+    /// recording threads, in first-registration order per name.
     pub fn snapshot(&self) -> Vec<(String, u64, u64)> {
+        let slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out: Vec<(String, u64, u64)> = Vec::new();
+        for (_, n, s) in slots.iter() {
+            if let Some(entry) = out.iter_mut().find(|(name, _, _)| name == n) {
+                entry.1 += s.count();
+                entry.2 += s.total_ns();
+            } else {
+                out.push((n.clone(), s.count(), s.total_ns()));
+            }
+        }
+        out
+    }
+
+    /// Snapshot of `(thread slot, name, count, total_ns)` per recording
+    /// thread, in registration order — the worker-level breakdown the
+    /// aggregated [`SpanRegistry::snapshot`] folds away.
+    pub fn snapshot_by_worker(&self) -> Vec<(usize, String, u64, u64)> {
         let slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
         slots
             .iter()
-            .map(|(n, s)| (n.clone(), s.count(), s.total_ns()))
+            .map(|(slot, n, s)| (*slot, n.clone(), s.count(), s.total_ns()))
             .collect()
     }
 }
@@ -161,5 +192,53 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap[0].1, 200);
         assert_eq!(snap[0].2, 200);
+    }
+
+    /// The PR 9 satellite fix: spans opened concurrently by pooled
+    /// workers must not collapse into one flat slot. Each worker gets
+    /// its own (thread, name) entry; only the reporting snapshot
+    /// aggregates.
+    #[test]
+    fn concurrent_worker_spans_stay_attributable() {
+        let reg = Arc::new(SpanRegistry::new());
+        std::thread::scope(|s| {
+            for w in 0..3u64 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    let h = reg.handle("trial");
+                    for _ in 0..=w {
+                        h.record_ns(10);
+                    }
+                });
+            }
+        });
+        let by_worker = reg.snapshot_by_worker();
+        assert_eq!(by_worker.len(), 3, "one slot per worker: {by_worker:?}");
+        let slots: Vec<usize> = by_worker.iter().map(|e| e.0).collect();
+        let mut dedup = slots.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "distinct thread slots: {slots:?}");
+        let mut counts: Vec<u64> = by_worker.iter().map(|e| e.2).collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 2, 3]);
+        // The aggregate view still folds them into one named row.
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0], ("trial".to_string(), 6, 60));
+    }
+
+    /// A thread re-entering the same span name nests onto its own slot
+    /// rather than a fresh one, and distinct names on one thread stay
+    /// distinct.
+    #[test]
+    fn per_thread_handles_are_stable_across_reentry() {
+        let reg = SpanRegistry::new();
+        let outer = reg.handle("outer");
+        let inner = reg.handle("inner");
+        let outer_again = reg.handle("outer");
+        assert!(Arc::ptr_eq(&outer, &outer_again));
+        assert!(!Arc::ptr_eq(&outer, &inner));
+        assert_eq!(reg.snapshot_by_worker().len(), 2);
     }
 }

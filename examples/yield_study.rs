@@ -11,7 +11,11 @@
 //! Run with `cargo run --release --example yield_study`. Set
 //! `YIELD_TRIALS` to override the Monte Carlo depth (CI's smoke lane
 //! uses a small value; a full run leaves the committed artifact at the
-//! repository root).
+//! repository root). Set `YIELD_TRACE=1` to also record a Chrome
+//! trace-event profile of the run (per-trial spans plus solver and
+//! pool events, one lane per worker) and dump it as
+//! `TRACE_yield.json` — open it in `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
 
 use fefet::mem::cell::FefetCell;
 use fefet::mem::yield_engine::{YieldEngine, YieldSpec};
@@ -26,6 +30,17 @@ fn trials_from_env(default_n: usize) -> usize {
 
 fn run() -> Result<(), String> {
     let instr = Instrumentation::enabled();
+    let tracing = std::env::var_os("YIELD_TRACE").is_some_and(|v| !v.is_empty());
+    let recorder = if tracing {
+        Some(
+            instr
+                .get()
+                .ok_or("instrumentation handle is off")?
+                .attach_trace(64 * 1024),
+        )
+    } else {
+        None
+    };
     let spec = YieldSpec {
         rows: 4,
         cols: 4,
@@ -122,6 +137,22 @@ fn run() -> Result<(), String> {
         .write_json(&path)
         .map_err(|e| format!("writing {}: {e}", path.display()))?;
     println!("wrote {}", path.display());
+
+    if let Some(recorder) = recorder {
+        let chrome = recorder.to_chrome_json();
+        json::validate(&chrome).map_err(|e| format!("Chrome trace is malformed JSON: {e}"))?;
+        let trace_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("TRACE_yield.json");
+        recorder
+            .write_chrome_json(&trace_path)
+            .map_err(|e| format!("writing {}: {e}", trace_path.display()))?;
+        println!(
+            "wrote {} ({} events, {} lanes, {} dropped)",
+            trace_path.display(),
+            recorder.events_recorded(),
+            recorder.lanes_claimed(),
+            recorder.dropped()
+        );
+    }
     Ok(())
 }
 
