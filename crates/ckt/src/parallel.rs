@@ -424,6 +424,74 @@ where
     done.into_iter().map(|(_, u)| u).collect()
 }
 
+/// Recovers a slot guard from a poisoned lock, like [`lock_queue`]: a
+/// slot is a plain `Option<T>`, valid at every instruction boundary.
+fn lock_slot<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// [`pool_map`] for stateful items: maps `f` over *mutable* items on
+/// the persistent pool and returns each (mutated) item alongside its
+/// result, in input order.
+///
+/// This is the fan-out shape for sweeps where the per-item work mutates
+/// owned state that the caller needs back afterwards — e.g. the serving
+/// layer's banks, whose arrays, calibration caches, and RNG streams all
+/// advance while a window of ops executes. Each item is visited exactly
+/// once (the pool hands out each index once), so per-item mutation
+/// never contends and the output — item state and result alike — is
+/// bit-identical to a serial `items.iter_mut().map(..)` pass regardless
+/// of thread count.
+///
+/// `threads` follows the same rules as [`pool_map`].
+///
+/// # Panics
+///
+/// Re-raises the first panic from `f` on the caller's thread. An item
+/// whose `f` panicked is dropped (its slot is consumed mid-flight), so
+/// the unwinding caller never observes half-mutated state.
+// fefet-lint: allow-item(hot-alloc) -- per-sweep setup (slot vector, index vector, result buffer), amortized over the sweep; the warm per-op path is inside `f`
+pub fn pool_map_mut<T, U, F>(
+    items: Vec<T>,
+    threads: usize,
+    instr: &Instrumentation,
+    f: F,
+) -> Vec<(T, U)>
+where
+    T: Send + 'static,
+    U: Send + 'static,
+    F: Fn(&mut T) -> U + Send + Sync + 'static,
+{
+    let n = items.len();
+    let slots: Arc<Vec<Mutex<Option<T>>>> =
+        Arc::new(items.into_iter().map(|t| Mutex::new(Some(t))).collect());
+    let worker_slots = Arc::clone(&slots);
+    let idx: Vec<usize> = (0..n).collect();
+    let results = pool_map(idx, threads, instr, move |&i| {
+        // The slot is always full here: pool_map hands out each index
+        // exactly once, and only the post-sweep collection below takes.
+        worker_slots
+            .get(i)
+            .map(|slot| lock_slot(slot).as_mut().map(&f))
+    });
+    let mut out: Vec<(T, U)> = Vec::with_capacity(n);
+    for (i, u) in results.into_iter().enumerate() {
+        let item = slots.get(i).and_then(|slot| lock_slot(slot).take());
+        if let (Some(t), Some(Some(u))) = (item, u) {
+            out.push((t, u));
+        }
+    }
+    assert!(
+        out.len() == n,
+        "pool_map_mut lost items: {} of {n}",
+        out.len()
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -571,6 +639,49 @@ mod tests {
         let j = tr.to_chrome_json();
         assert!(fefet_telemetry::json::validate(&j).is_ok());
         assert!(j.contains("\"name\":\"pool.task\""), "{j}");
+    }
+
+    /// `pool_map_mut` must return every item, mutated, with its result,
+    /// in input order — identical to a serial `iter_mut` pass at every
+    /// thread count.
+    #[test]
+    fn pool_map_mut_matches_serial_mutation_at_every_thread_count() {
+        let expect: Vec<(u64, u64)> = (0..53u64).map(|i| (i * 3 + 1, i * 3)).collect();
+        for threads in [1, 2, 4, 8] {
+            let items: Vec<u64> = (0..53).collect();
+            let out = pool_map_mut(items, threads, &Instrumentation::off(), |t| {
+                let before = *t * 3;
+                *t = before + 1;
+                before
+            });
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn pool_map_mut_empty_and_single_inputs() {
+        let out = pool_map_mut(Vec::<u8>::new(), 4, &Instrumentation::off(), |t| *t);
+        assert!(out.is_empty());
+        let out = pool_map_mut(vec![5u8], 4, &Instrumentation::off(), |t| {
+            *t += 1;
+            *t as u32
+        });
+        assert_eq!(out, vec![(6u8, 6u32)]);
+    }
+
+    /// A panic in `f` re-raises on the caller (the in-flight item is
+    /// consumed, never observed half-mutated), and the pool survives.
+    #[test]
+    fn pool_map_mut_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            pool_map_mut(vec![0u32, 1, 2, 3], 4, &Instrumentation::off(), |t| {
+                assert!(*t != 2, "boom on item 2");
+                *t
+            })
+        });
+        assert!(result.is_err(), "panic was swallowed");
+        let out = pool_map_mut(vec![9u32], 4, &Instrumentation::off(), |t| *t);
+        assert_eq!(out, vec![(9, 9)]);
     }
 
     /// Sweep telemetry: item/sweep totals are exact; the concurrency

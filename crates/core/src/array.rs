@@ -24,6 +24,13 @@ const T_EDGE: f64 = 50e-12;
 /// Quiescent lead-in (s).
 const T_START: f64 = 0.2e-9;
 
+/// Sense-amp current threshold separating ON from OFF bits (A).
+///
+/// [`FefetArray::read_row`] digitizes column currents against this
+/// value; the serving layer's macro fast path reuses it so guard-band
+/// margin checks agree with what an escalated circuit read would do.
+pub const I_SENSE_THRESHOLD_A: f64 = 1e-7;
+
 /// Per-array switches for the transient fast paths (modified-Newton
 /// Jacobian reuse, device bypass, step prediction). All default **on**;
 /// turning one off forces the corresponding exact path, which the parity
@@ -523,8 +530,7 @@ impl FefetArray {
             }
         }
         let max_disturb = self.collect_disturb(&trace, None); // read must disturb nobody
-        let i_threshold = 1e-7;
-        let bits: Vec<bool> = currents.iter().map(|i| *i > i_threshold).collect();
+        let bits: Vec<bool> = currents.iter().map(|i| *i > I_SENSE_THRESHOLD_A).collect();
         if let Some(tel) = self.instr.get() {
             tel.array.row_reads.inc();
             tel.array.sneak_current_max.update_max(max_sneak);

@@ -89,6 +89,22 @@ impl FeramArray {
         self.state[row * self.cols + col]
     }
 
+    /// Overwrites the stored polarization `p` (C/m²) of cell
+    /// `(row, col)` without running a circuit — the hook the serving layer
+    /// uses to keep the array's state in sync with fast-path writes and
+    /// to restore destructively-read rows after an escalated read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set_polarization(&mut self, row: usize, col: usize, p: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell index out of range"
+        );
+        self.state[row * self.cols + col] = p;
+    }
+
     /// Logic value of cell `(row, col)`.
     pub fn bit(&self, row: usize, col: usize) -> bool {
         let (p_lo, p_hi) = self.cell.memory_states();

@@ -33,6 +33,9 @@
 //!   swings the paper's Table 3 accounts for.
 //! - [`shmoo`] — (voltage × pulse-width) write pass/fail maps around the
 //!   Fig 10 operating points.
+//! - [`serving`] — memory-macro serving layer: batched multi-fidelity op
+//!   scheduler with a macro-model fast path and circuit-level escalation
+//!   for marginal operations.
 
 pub mod array;
 pub mod bias;
@@ -44,6 +47,7 @@ pub mod layout;
 pub mod macro_model;
 pub mod parallel;
 pub mod sense;
+pub mod serving;
 pub mod shmoo;
 pub mod yield_engine;
 

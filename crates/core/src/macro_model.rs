@@ -193,6 +193,100 @@ impl MacroConfig {
             read_energy: self.read_energy_per_word(),
         }
     }
+
+    /// Precomputes the derived energy/latency table for this
+    /// organization, so op-rate consumers (the serving fast path) pay
+    /// the layout/pitch/capacitance chain **once per config** instead of
+    /// on every word. [`MacroTable::write_energy_per_word`] and friends
+    /// reproduce the uncached methods bit-for-bit: the write energy
+    /// splits into a burst-independent base plus the isolation charge
+    /// that amortizes as `1/burst_len`, and both terms are frozen here.
+    pub fn table(&self) -> MacroTable {
+        let b = &self.bias;
+        let e_bitlines = self.cols as f64 * self.c_col_line() * b.v_write * b.v_write;
+        let e_cells = self.cols as f64 * self.q_switch * b.v_write;
+        let e_boost = self.c_row_line() * b.v_boost * b.v_boost;
+        let e_isolation = match self.kind {
+            MemoryKind::Fefet => {
+                (self.rows.saturating_sub(1)) as f64
+                    * self.c_row_line()
+                    * b.v_ws_unaccessed
+                    * b.v_ws_unaccessed
+            }
+            MemoryKind::Feram => 0.0,
+        };
+        MacroTable {
+            kind: self.kind,
+            bit_line_voltage_v: b.v_write,
+            write_energy_base_j: e_bitlines + e_cells + e_boost,
+            write_energy_isolation_j: e_isolation,
+            read_energy_j: self.read_energy_per_word(),
+            write_time_s: self.t_write,
+            read_time_s: self.timing.total(),
+        }
+    }
+}
+
+/// The derived per-word energy/latency table of one [`MacroConfig`],
+/// computed once by [`MacroConfig::table`]. Everything here is a plain
+/// `f64` lookup or one multiply-add — no layout, pitch or capacitance
+/// chains — which is what keeps the serving fast path allocation- and
+/// recomputation-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacroTable {
+    /// Memory technology the table was derived for.
+    pub kind: MemoryKind,
+    /// Bit-line write level (V).
+    pub bit_line_voltage_v: f64,
+    /// Burst-independent word write energy (J): bit-line swings, cell
+    /// switching, and the boosted accessed select.
+    pub write_energy_base_j: f64,
+    /// Full unaccessed-row isolation charge per burst (J); a burst of
+    /// `n` word writes pays `1/n` of it per word. Zero for FERAM.
+    pub write_energy_isolation_j: f64,
+    /// Word read energy (J).
+    pub read_energy_j: f64,
+    /// Cell write time at the operating voltage (s).
+    pub write_time_s: f64,
+    /// Eq. (2) read latency `max(t_pre, t_dec) + t_sa + t_buffer` (s).
+    pub read_time_s: f64,
+}
+
+impl MacroTable {
+    /// Energy to write one word (J) in a burst of `burst_len`
+    /// consecutive word writes; bit-identical to
+    /// [`MacroConfig::write_energy_per_word`] on the source config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_len == 0`.
+    pub fn write_energy_per_word(&self, burst_len: usize) -> f64 {
+        assert!(burst_len > 0, "burst_len must be at least 1");
+        self.write_energy_base_j + self.write_energy_isolation_j / burst_len as f64
+    }
+
+    /// Energy to read one word (J); bit-identical to
+    /// [`MacroConfig::read_energy_per_word`] on the source config.
+    pub fn read_energy_per_word(&self) -> f64 {
+        self.read_energy_j
+    }
+
+    /// Table 3-style word parameters for bursts of `burst_len`,
+    /// bit-identical to [`MacroConfig::nvm_params`] on the source
+    /// config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_len == 0`.
+    pub fn nvm_params(&self, burst_len: usize) -> NvmParams {
+        NvmParams {
+            kind: self.kind,
+            bit_line_voltage: self.bit_line_voltage_v,
+            write_time: self.write_time_s,
+            write_energy: self.write_energy_per_word(burst_len),
+            read_energy: self.read_energy_j,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +373,48 @@ mod tests {
         let short = MacroConfig::fefet(32, 32);
         let tall = MacroConfig::fefet(512, 32);
         assert!(tall.write_energy_per_word(1) > 3.0 * short.write_energy_per_word(1));
+    }
+
+    #[test]
+    fn table_matches_uncached_methods_bit_for_bit() {
+        // The serving fast path answers from the cached table; any drift
+        // against the per-call chain would silently skew energy totals.
+        for cfg in [
+            MacroConfig::fefet(64, 64),
+            MacroConfig::fefet(256, 32),
+            MacroConfig::feram(64, 64),
+            MacroConfig::feram(128, 16),
+        ] {
+            let table = cfg.table();
+            for burst in [1usize, 2, 16, 64, 1024] {
+                assert_eq!(
+                    table.write_energy_per_word(burst).to_bits(),
+                    cfg.write_energy_per_word(burst).to_bits(),
+                    "write energy, burst {burst}"
+                );
+            }
+            assert_eq!(
+                table.read_energy_per_word().to_bits(),
+                cfg.read_energy_per_word().to_bits()
+            );
+            let a = table.nvm_params(8);
+            let b = cfg.nvm_params(8);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.write_energy.to_bits(), b.write_energy.to_bits());
+            assert_eq!(a.read_energy.to_bits(), b.read_energy.to_bits());
+            assert_eq!(table.read_time_s.to_bits(), cfg.timing.total().to_bits());
+        }
+    }
+
+    #[test]
+    fn feram_table_has_no_isolation_term() {
+        let table = MacroConfig::feram(64, 64).table();
+        assert_eq!(table.write_energy_isolation_j, 0.0);
+        // Burst length is then irrelevant, as for the uncached method.
+        assert_eq!(
+            table.write_energy_per_word(1).to_bits(),
+            table.write_energy_per_word(64).to_bits()
+        );
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! End-to-end serving-layer checks through the public API: a seeded
+//! mixed stream over FEFET and FERAM banks, replayed serially, pooled,
+//! and against a brute-force scalar re-simulation of the tracked words
+//! that ignores batching entirely — the coalescing scheduler must be
+//! observationally equivalent to last-write-wins program order at
+//! window granularity.
+
+use fefet_mem::cell::FefetCell;
+use fefet_mem::feram::FeramCell;
+use fefet_mem::macro_model::MacroConfig;
+use fefet_mem::serving::{Bank, MemOp, MemoryService, OpClass, ServeSpec};
+use fefet_telemetry::Instrumentation;
+
+fn mixed_stream(n: u32, seed: u64) -> Vec<MemOp> {
+    let mut ops = Vec::with_capacity(n as usize);
+    let mut x = seed | 1;
+    for _ in 0..n {
+        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let bank = ((x >> 33) % 2) as u32;
+        let row = ((x >> 45) % 4) as u32;
+        let word = (x >> 7) & 0xff;
+        ops.push(match (x >> 61) % 3 {
+            0 => MemOp::Write { bank, row, word },
+            1 => MemOp::Read { bank, row },
+            _ => MemOp::Persist { bank, row },
+        });
+    }
+    ops
+}
+
+fn build_service(threads: usize) -> MemoryService {
+    let spec = ServeSpec {
+        threads,
+        window: 8,
+        ..ServeSpec::default()
+    };
+    let mut svc = MemoryService::new(spec, Instrumentation::off()).expect("service");
+    svc.add_bank(Bank::fefet(MacroConfig::fefet(4, 8), FefetCell::default()).expect("fefet bank"));
+    svc.add_bank(Bank::feram(MacroConfig::feram(4, 8), FeramCell::default()).expect("feram bank"));
+    svc.calibrate_bank(0).expect("calibrate fefet");
+    svc.calibrate_bank(1).expect("calibrate feram");
+    svc
+}
+
+/// Replays the stream against a plain `[bank][row] -> word` model with
+/// last-write-wins semantics *within each window* (writes commit before
+/// reads observe, which then see the window's final word).
+fn reference_words(
+    ops: &[MemOp],
+    window: usize,
+    initial: [[u64; 4]; 2],
+    svc: &MemoryService,
+) -> Vec<u64> {
+    let mut words = initial;
+    let mut expected = vec![0u64; ops.len()];
+    let mut i = 0;
+    while i < ops.len() {
+        let end = (i / window + 1) * window;
+        let chunk_end = end.min(ops.len());
+        // Writes commit first within the window.
+        for op in &ops[i..chunk_end] {
+            if let MemOp::Write { bank, row, word } = *op {
+                words[bank as usize][row as usize] = word;
+            }
+        }
+        for (j, op) in ops[i..chunk_end].iter().enumerate() {
+            expected[i + j] = words[op.bank() as usize][op.row() as usize];
+        }
+        i = chunk_end;
+    }
+    // Post-stream, the service's tracked words must agree too.
+    for (b, bank_words) in words.iter().enumerate() {
+        let bank = svc.bank(b as u32).expect("bank");
+        for (r, &w) in bank_words.iter().enumerate() {
+            assert_eq!(
+                bank.word(r),
+                w,
+                "bank {b} row {r}: tracked word diverged from program order"
+            );
+        }
+    }
+    expected
+}
+
+#[test]
+fn served_words_match_program_order_at_window_granularity() {
+    let ops = mixed_stream(200, 0xfeed_5eed);
+    let mut svc = build_service(1);
+    // Calibration leaves row 0 of each bank holding its complement
+    // pattern; the reference replay starts from the tracked state.
+    let mut initial = [[0u64; 4]; 2];
+    for (b, bank_words) in initial.iter_mut().enumerate() {
+        let bank = svc.bank(b as u32).expect("bank");
+        for (r, w) in bank_words.iter_mut().enumerate() {
+            *w = bank.word(r);
+        }
+    }
+    let mut out = Vec::new();
+    let summary = svc.serve(&ops, &mut out).expect("serve");
+    summary.validate().expect("summary invariants");
+    let expected = reference_words(&ops, svc.spec().window, initial, &svc);
+    for (i, (res, want)) in out.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            res.word, *want,
+            "op {i} ({:?}): served word {:#x}, program order says {want:#x}",
+            ops[i], res.word
+        );
+        assert_eq!(res.class, ops[i].class());
+    }
+}
+
+#[test]
+fn pooled_replay_is_bit_identical_and_deterministic() {
+    let ops = mixed_stream(200, 0xfeed_5eed);
+    let mut serial_out = Vec::new();
+    let serial = build_service(1)
+        .serve(&ops, &mut serial_out)
+        .expect("serial");
+    for threads in [2, 4] {
+        let mut pooled_out = Vec::new();
+        let pooled = build_service(threads)
+            .serve(&ops, &mut pooled_out)
+            .expect("pooled");
+        assert_eq!(serial_out, pooled_out, "threads={threads} diverged");
+        assert_eq!(serial, pooled, "threads={threads} summary diverged");
+    }
+    // And the whole thing replays bitwise under the same seed.
+    let mut replay_out = Vec::new();
+    let replay = build_service(1)
+        .serve(&ops, &mut replay_out)
+        .expect("replay");
+    assert_eq!(serial_out, replay_out);
+    assert_eq!(serial, replay);
+}
+
+#[test]
+fn per_class_accounting_matches_the_stream() {
+    let ops = mixed_stream(150, 0xabcd);
+    let mut svc = build_service(1);
+    let mut out = Vec::new();
+    let summary = svc.serve(&ops, &mut out).expect("serve");
+    let reads = ops.iter().filter(|o| o.class() == OpClass::Read).count() as u64;
+    let writes = ops.iter().filter(|o| o.class() == OpClass::Write).count() as u64;
+    let persists = ops.iter().filter(|o| o.class() == OpClass::Persist).count() as u64;
+    assert_eq!(summary.reads, reads);
+    assert_eq!(summary.writes, writes);
+    assert_eq!(summary.persists, persists);
+    assert_eq!(summary.ops, reads + writes + persists);
+    assert_eq!(summary.ops, summary.row_ops + summary.coalesced);
+}

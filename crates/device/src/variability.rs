@@ -41,6 +41,18 @@ pub struct VariationSpec {
     /// Threshold shift per trapped charge (V); electron trapping raises
     /// V_T of the read transistor.
     pub trap_delta_vt: f64,
+    /// Cycle-to-cycle (per-write) switched-polarization σ as a fraction
+    /// of nominal: each write cycle switches a slightly different
+    /// polarization fraction (nucleation stochasticity). 0 disables the
+    /// per-cycle draw pair. Unlike the device knobs above, this is
+    /// sampled per *write operation* via [`sample_write_cycle`], not per
+    /// device.
+    pub c2c_pr_sigma_rel: f64,
+    /// Cycle-to-cycle effective coercive-field σ as a fraction of
+    /// nominal: a high-E_c cycle switches less completely and stresses
+    /// half-selected neighbors harder. 0 disables the draw pair (both
+    /// per-cycle normals are drawn whenever either knob is on).
+    pub c2c_ec_sigma_rel: f64,
 }
 
 impl Default for VariationSpec {
@@ -53,8 +65,62 @@ impl Default for VariationSpec {
             ec_sigma_rel: 0.0,
             trap_density: 0.0,
             trap_delta_vt: 10e-3,
+            c2c_pr_sigma_rel: 0.0,
+            c2c_ec_sigma_rel: 0.0,
         }
     }
+}
+
+/// One write cycle's sampled variation, as multiplicative scale factors
+/// (unitless) around the nominal write.
+///
+/// Produced by [`sample_write_cycle`]; consumed by the serving layer's
+/// disturb/stress accumulator, where a weak-polarization or
+/// high-coercive-field cycle both shorten the margin budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteCycle {
+    /// Switched-polarization scale factor for this cycle (unitless,
+    /// clamped to ≥ 0.05; 1.0 = nominal).
+    pub pr_scale: f64,
+    /// Effective coercive-field scale factor for this cycle (unitless,
+    /// clamped to ≥ 0.05; 1.0 = nominal).
+    pub ec_scale: f64,
+}
+
+impl WriteCycle {
+    /// The nominal, variation-free cycle.
+    pub fn nominal() -> Self {
+        WriteCycle {
+            pr_scale: 1.0,
+            ec_scale: 1.0,
+        }
+    }
+
+    /// Relative disturb-stress weight of this cycle (unitless):
+    /// `ec_scale / pr_scale`. A cycle that needed a stronger effective
+    /// field, or switched less polarization, leaves half-selected
+    /// neighbors with proportionally more accumulated stress; the
+    /// nominal cycle weighs exactly 1.
+    pub fn stress_weight(&self) -> f64 {
+        self.ec_scale / self.pr_scale
+    }
+}
+
+/// Draws one write cycle's variation from `spec`'s cycle-to-cycle knobs.
+///
+/// Draw-count contract (the same discipline as [`sample_device`]): with
+/// both `c2c_*` knobs at 0 this consumes **zero** RNG draws and returns
+/// [`WriteCycle::nominal`], so pre-existing seeded op streams replay
+/// bit-identically when the knobs are off; when either knob is on, both
+/// normals are drawn (P_r first, then E_c), keeping the draw count
+/// independent of the knob values.
+pub fn sample_write_cycle(spec: &VariationSpec, rng: &mut Rng) -> WriteCycle {
+    if spec.c2c_pr_sigma_rel <= 0.0 && spec.c2c_ec_sigma_rel <= 0.0 {
+        return WriteCycle::nominal();
+    }
+    let pr_scale = (1.0 + spec.c2c_pr_sigma_rel * rng.normal()).max(0.05);
+    let ec_scale = (1.0 + spec.c2c_ec_sigma_rel * rng.normal()).max(0.05);
+    WriteCycle { pr_scale, ec_scale }
 }
 
 /// One sampled device's figures of merit.
@@ -264,6 +330,8 @@ mod tests {
             ec_sigma_rel: 0.0,
             trap_density: 0.0,
             trap_delta_vt: 0.0,
+            c2c_pr_sigma_rel: 0.0,
+            c2c_ec_sigma_rel: 0.0,
         };
         let mc = monte_carlo(&paper_fefet(), &spec, 16, 3);
         let (mean, sd) = mc.p_hi_stats().unwrap();
@@ -383,6 +451,72 @@ mod tests {
             (mean_shift - expected).abs() < 0.2 * expected,
             "mean shift {mean_shift:.4} V vs expected {expected:.4} V"
         );
+    }
+
+    #[test]
+    fn write_cycle_draws_are_seed_deterministic() {
+        let spec = VariationSpec {
+            c2c_pr_sigma_rel: 0.04,
+            c2c_ec_sigma_rel: 0.06,
+            ..VariationSpec::default()
+        };
+        let draw_seq = |seed: u64| -> Vec<(u64, u64)> {
+            let mut rng = Rng::seed_from_u64(seed);
+            (0..64)
+                .map(|_| {
+                    let c = sample_write_cycle(&spec, &mut rng);
+                    (c.pr_scale.to_bits(), c.ec_scale.to_bits())
+                })
+                .collect()
+        };
+        assert_eq!(draw_seq(42), draw_seq(42), "same seed, same cycles");
+        assert_ne!(draw_seq(42), draw_seq(43), "seed must matter");
+        // The draws actually move: a 4-6 % σ sequence is not all-nominal.
+        let seq = draw_seq(42);
+        assert!(seq
+            .iter()
+            .any(|&(p, e)| p != 1.0f64.to_bits() || e != 1.0f64.to_bits()));
+    }
+
+    #[test]
+    fn write_cycle_knobs_off_consume_no_draws() {
+        // The off spec must leave the RNG stream untouched — this is
+        // what keeps legacy seeded op streams bit-identical when a
+        // serving spec without c2c variation replays.
+        let spec = VariationSpec::default();
+        assert_eq!(spec.c2c_pr_sigma_rel, 0.0);
+        assert_eq!(spec.c2c_ec_sigma_rel, 0.0);
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..16 {
+            let c = sample_write_cycle(&spec, &mut a);
+            assert_eq!(c, WriteCycle::nominal());
+            assert_eq!(c.stress_weight(), 1.0);
+        }
+        assert_eq!(a.next_u64(), b.next_u64(), "off knobs drew from the RNG");
+    }
+
+    #[test]
+    fn write_cycle_draw_count_is_knob_value_independent() {
+        // Either knob alone still draws the full pair, so turning the
+        // second knob on later does not re-phase the stream.
+        let pr_only = VariationSpec {
+            c2c_pr_sigma_rel: 0.05,
+            ..VariationSpec::default()
+        };
+        let both = VariationSpec {
+            c2c_pr_sigma_rel: 0.05,
+            c2c_ec_sigma_rel: 0.05,
+            ..VariationSpec::default()
+        };
+        let mut a = Rng::seed_from_u64(11);
+        let mut b = Rng::seed_from_u64(11);
+        let ca = sample_write_cycle(&pr_only, &mut a);
+        let cb = sample_write_cycle(&both, &mut b);
+        assert_eq!(a.next_u64(), b.next_u64(), "draw counts diverged");
+        assert_eq!(ca.pr_scale.to_bits(), cb.pr_scale.to_bits());
+        assert_eq!(ca.ec_scale, 1.0, "pr-only spec keeps E_c nominal scale");
+        assert_ne!(cb.ec_scale, 1.0);
     }
 
     #[test]

@@ -117,6 +117,7 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "parallel.rs",
     "telemetry/src/trace.rs",
     "telemetry/src/quantile.rs",
+    "core/src/serving.rs",
 ];
 
 /// Crate directory names whose public `f64` surface carries physical

@@ -1,0 +1,167 @@
+//! Memory-macro serving artifact: stands up a two-bank
+//! [`MemoryService`] (a 64×64 FEFET macro plus a 16×16 FERAM baseline
+//! macro), calibrates both, serves a seeded mixed read/write/persist
+//! stream, and writes the self-validating serving report as
+//! `SERVE_traffic.json` at the repository root.
+//!
+//! CI runs this example and fails the build if the artifact is
+//! malformed JSON or the run's own invariants do not hold (summary
+//! accounting, calibrated escalation rate below 5%, serial/pooled
+//! bit-identity).
+//!
+//! Run with `cargo run --release --example serve_traffic`. Set
+//! `SERVE_OPS` to override the stream length and `SERVE_SEED` to
+//! change the traffic and cycle-variation draws.
+//!
+//! [`MemoryService`]: fefet::mem::serving::MemoryService
+
+use fefet::mem::cell::FefetCell;
+use fefet::mem::feram::FeramCell;
+use fefet::mem::macro_model::MacroConfig;
+use fefet::mem::serving::{Bank, MemOp, MemoryService, OpResult, ServeSpec, ServeSummary};
+use fefet::telemetry::{json, Instrumentation};
+
+fn env_u64(name: &str, default_v: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v.parse().unwrap_or(default_v),
+        Err(_) => default_v,
+    }
+}
+
+/// Seeded mixed traffic over both banks: bank 0 (64×64 FEFET) takes
+/// most of the stream, bank 1 (16×16 FERAM) the rest.
+fn mixed_stream(n: usize, seed: u64) -> Vec<MemOp> {
+    let mut ops = Vec::with_capacity(n);
+    let mut x = seed | 1;
+    for _ in 0..n {
+        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let bank = u32::from((x >> 33) % 4 == 0); // ~25% to the FERAM bank
+        let (rows, mask) = if bank == 0 {
+            (64u64, u64::MAX)
+        } else {
+            (16u64, 0xffff)
+        };
+        let row = ((x >> 45) % rows) as u32;
+        let word = (x >> 7) & mask;
+        ops.push(match (x >> 61) % 3 {
+            0 => MemOp::Write { bank, row, word },
+            1 => MemOp::Read { bank, row },
+            _ => MemOp::Persist { bank, row },
+        });
+    }
+    ops
+}
+
+fn build_service(spec: ServeSpec, instr: Instrumentation) -> Result<MemoryService, String> {
+    let mut svc =
+        MemoryService::new(spec, instr).map_err(|e| format!("service construction: {e}"))?;
+    let fefet = Bank::fefet(MacroConfig::fefet(64, 64), FefetCell::default())
+        .map_err(|e| format!("FEFET bank: {e}"))?;
+    let feram = Bank::feram(MacroConfig::feram(16, 16), FeramCell::default())
+        .map_err(|e| format!("FERAM bank: {e}"))?;
+    svc.add_bank(fefet);
+    svc.add_bank(feram);
+    svc.calibrate_bank(0)
+        .map_err(|e| format!("calibrating bank 0: {e}"))?;
+    svc.calibrate_bank(1)
+        .map_err(|e| format!("calibrating bank 1: {e}"))?;
+    Ok(svc)
+}
+
+fn serve_stream(
+    spec: &ServeSpec,
+    instr: Instrumentation,
+    ops: &[MemOp],
+) -> Result<(MemoryService, ServeSummary, Vec<OpResult>), String> {
+    let mut svc = build_service(spec.clone(), instr)?;
+    let mut out = Vec::new();
+    let summary = svc
+        .serve(ops, &mut out)
+        .map_err(|e| format!("serve: {e}"))?;
+    Ok((svc, summary, out))
+}
+
+fn run() -> Result<(), String> {
+    let n_ops = env_u64("SERVE_OPS", 20_000) as usize;
+    let seed = env_u64("SERVE_SEED", 0x5e12_5e2d);
+    let spec = ServeSpec {
+        seed,
+        ..ServeSpec::default()
+    };
+    let ops = mixed_stream(n_ops, seed);
+    println!(
+        "serve_traffic: {} ops over a 64x64 FEFET bank and a 16x16 FERAM bank (seed {seed:#x})",
+        ops.len()
+    );
+
+    let instr = Instrumentation::enabled();
+    let (svc, summary, serial_out) = serve_stream(&spec, instr.clone(), &ops)?;
+    summary
+        .validate()
+        .map_err(|e| format!("summary invariants: {e}"))?;
+
+    // Self-checks beyond the summary's own invariants.
+    let rate = summary.escalation_rate();
+    let checks: &[(&str, bool)] = &[
+        ("all ops accounted", summary.ops == ops.len() as u64),
+        ("calibrated escalation rate < 5%", rate < 0.05),
+        ("some coalescing happened", summary.coalesced > 0),
+        ("energy is positive", summary.energy_j > 0.0),
+    ];
+    for (what, ok) in checks {
+        if !ok {
+            return Err(format!("serving check failed: {what}"));
+        }
+    }
+
+    // Serial vs pooled bit-identity on the same stream.
+    let pooled_spec = ServeSpec {
+        threads: 0, // one worker per hardware thread
+        ..spec.clone()
+    };
+    let (_, pooled_summary, pooled_out) = serve_stream(&pooled_spec, Instrumentation::off(), &ops)?;
+    let (_, serial_ref_summary, serial_ref_out) =
+        serve_stream(&spec, Instrumentation::off(), &ops)?;
+    if pooled_out != serial_ref_out || pooled_summary != serial_ref_summary {
+        return Err("pooled serve is not bit-identical to the serial serve".to_string());
+    }
+    if serial_ref_out != serial_out {
+        return Err("instrumented serve changed the served results".to_string());
+    }
+
+    println!(
+        "served {} ops in {} windows: {} row ops ({} coalesced away), \
+         {} fast-path, {} escalated ({:.3}%)",
+        summary.ops,
+        summary.windows,
+        summary.row_ops,
+        summary.coalesced,
+        summary.fast_path,
+        summary.escalations,
+        100.0 * rate
+    );
+    println!(
+        "energy {:.3e} J, modeled time {:.3e} s",
+        summary.energy_j, summary.modeled_time_s
+    );
+
+    let report = svc.report(&summary);
+    let body = report.to_json();
+    json::validate(&body).map_err(|e| format!("artifact is malformed JSON: {e}"))?;
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("SERVE_traffic.json");
+    report
+        .write_json(&path)
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve_traffic: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
